@@ -1,0 +1,198 @@
+// Command mctrace generates and replays frozen workload traces, the role
+// the DocWords dataset file plays in the paper's evaluation: a trace on disk
+// makes an experiment reproducible bit-for-bit across machines and runs.
+//
+// Generate a mixed trace:
+//
+//	mctrace gen -out ops.trace -ops 1000000 -keyspace 200000 \
+//	        -mix 2:6:1 -negshare 0.2 -seed 1
+//
+// Replay it against a scheme and report throughput plus memory traffic:
+//
+//	mctrace replay -in ops.trace -scheme mccuckoo -capacity 300000
+//
+// Schemes: cuckoo, mccuckoo, bcht, bmccuckoo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mccuckoo/internal/core"
+	"mccuckoo/internal/cuckoo"
+	"mccuckoo/internal/kv"
+	"mccuckoo/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mctrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mctrace gen|replay [flags] (see -h)")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], out)
+	case "replay":
+		return runReplay(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen or replay)", args[0])
+	}
+}
+
+func runGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mctrace gen", flag.ContinueOnError)
+	var (
+		outPath  = fs.String("out", "", "output trace file (required)")
+		ops      = fs.Int("ops", 1_000_000, "number of operations")
+		keySpace = fs.Int("keyspace", 200_000, "distinct keys drawn from")
+		mix      = fs.String("mix", "2:6:1", "insert:lookup:delete weights")
+		negShare = fs.Float64("negshare", 0.2, "fraction of lookups on absent keys")
+		seed     = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	var wi, wl, wd float64
+	if _, err := fmt.Sscanf(*mix, "%f:%f:%f", &wi, &wl, &wd); err != nil {
+		return fmt.Errorf("gen: bad -mix %q: %w", *mix, err)
+	}
+	stream, err := workload.Mix(workload.MixConfig{
+		Seed: *seed, Ops: *ops, KeySpace: *keySpace,
+		InsertWeight: wi, LookupWeight: wl, DeleteWeight: wd,
+		NegativeShare: *negShare,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	if err := workload.WriteTrace(f, stream); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	counts := map[workload.OpKind]int{}
+	for _, op := range stream {
+		counts[op.Kind]++
+	}
+	fmt.Fprintf(out, "wrote %d ops to %s (insert %d, lookup %d, delete %d)\n",
+		len(stream), *outPath, counts[workload.OpInsert], counts[workload.OpLookup], counts[workload.OpDelete])
+	return nil
+}
+
+func runReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mctrace replay", flag.ContinueOnError)
+	var (
+		inPath   = fs.String("in", "", "input trace file (required)")
+		scheme   = fs.String("scheme", "mccuckoo", "cuckoo|mccuckoo|bcht|bmccuckoo")
+		capacity = fs.Int("capacity", 300_000, "table capacity in slots")
+		maxloop  = fs.Int("maxloop", 500, "kick chain bound")
+		seed     = fs.Uint64("seed", 1, "table seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("replay: -in is required")
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	stream, err := workload.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	tab, err := buildScheme(*scheme, *capacity, *maxloop, *seed)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var hits, misses, failed int64
+	for _, op := range stream {
+		switch op.Kind {
+		case workload.OpInsert:
+			if tab.Insert(op.Key, op.Key).Status == kv.Failed {
+				failed++
+			}
+		case workload.OpLookup:
+			if _, ok := tab.Lookup(op.Key); ok {
+				hits++
+			} else {
+				misses++
+			}
+		case workload.OpDelete:
+			tab.Delete(op.Key)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := tab.Stats()
+	m := tab.Meter().Snapshot()
+	fmt.Fprintf(out, "replayed %d ops in %v (%.2f Mops/s) against %s\n",
+		len(stream), elapsed.Round(time.Millisecond),
+		float64(len(stream))/elapsed.Seconds()/1e6, *scheme)
+	fmt.Fprintf(out, "final: %d items at %.1f%% load, %d stashed, %d failed inserts\n",
+		tab.Len(), tab.LoadRatio()*100, tab.StashLen(), failed)
+	fmt.Fprintf(out, "lookups: %d hits, %d misses; stash probed %d times\n",
+		hits, misses, st.StashProbe)
+	fmt.Fprintf(out, "traffic: %.3f off-chip reads/op, %.3f writes/op, %.3f counter accesses/op\n",
+		perOp(m.OffChipReads, len(stream)), perOp(m.OffChipWrites, len(stream)),
+		perOp(m.OnChipReads+m.OnChipWrites, len(stream)))
+	return nil
+}
+
+func perOp(n int64, ops int) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(n) / float64(ops)
+}
+
+// buildScheme constructs one of the four evaluated tables. Upsert semantics
+// are kept (traces may re-insert live keys).
+func buildScheme(name string, capacity, maxLoop int, seed uint64) (kv.Table, error) {
+	switch strings.ToLower(name) {
+	case "cuckoo":
+		return cuckoo.New(cuckoo.Config{
+			D: 3, Slots: 1, BucketsPerTable: capacity / 3,
+			MaxLoop: maxLoop, Seed: seed, StashEnabled: true,
+		})
+	case "bcht":
+		return cuckoo.New(cuckoo.Config{
+			D: 3, Slots: 3, BucketsPerTable: capacity / 9,
+			MaxLoop: maxLoop, Seed: seed, StashEnabled: true,
+		})
+	case "mccuckoo":
+		return core.New(core.Config{
+			D: 3, BucketsPerTable: capacity / 3,
+			MaxLoop: maxLoop, Seed: seed, StashEnabled: true,
+		})
+	case "bmccuckoo":
+		return core.NewBlocked(core.Config{
+			D: 3, Slots: 3, BucketsPerTable: capacity / 9,
+			MaxLoop: maxLoop, Seed: seed, StashEnabled: true,
+		})
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", name)
+	}
+}

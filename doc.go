@@ -1,0 +1,38 @@
+// Package mccuckoo implements Multi-copy Cuckoo Hashing (McCuckoo, ICDE
+// 2019): a cuckoo hash table that stores redundant copies of each item in all
+// of its free candidate buckets and tracks the copy count of every bucket in
+// a compact counter array kept in fast memory.
+//
+// The counters buy three things over standard cuckoo hashing:
+//
+//   - Insertions stop being blind. A bucket whose counter is greater than one
+//     holds a redundant copy and can be overwritten immediately, so the table
+//     sustains much higher load before any kick-out chain is needed, and the
+//     chains that do happen are shorter.
+//   - Lookups skip buckets that provably cannot hold the queried key: a zero
+//     counter among the candidates means the key was never inserted (the
+//     counter array doubles as a Bloom filter), and candidate partitions
+//     with fewer members than their counter value cannot contain the key.
+//   - Deletions never touch the main table: only counters are reset.
+//
+// Insertion failures overflow into a stash pre-screened by per-bucket flags,
+// so the stash is consulted only when a key plausibly lives there.
+//
+// # Table flavours
+//
+// New builds the single-slot table (d hash functions, one item per bucket,
+// d=3 by default). NewBlocked builds the blocked variant (l slots per bucket,
+// 3×3 by default), which trades slightly weaker lookup filtering for load
+// ratios close to 100%. Both are single-writer structures; Concurrent wraps
+// either for one-writer-many-readers use. Map adapts the table into a
+// generic key/value map for arbitrary comparable key types.
+//
+// # Instrumentation
+//
+// Every table counts its memory traffic — off-chip bucket reads/writes and
+// on-chip counter accesses — mirroring the paper's target platform where the
+// main table lives in slow external memory and the counters in on-chip SRAM.
+// Traffic and operation statistics are available through the Traffic and
+// Stats methods; cmd/mcbench regenerates every figure and table of the
+// paper's evaluation from the same counters.
+package mccuckoo

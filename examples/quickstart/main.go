@@ -1,0 +1,62 @@
+// Quickstart: the smallest useful McCuckoo program. Build a table, insert,
+// look up, delete, and inspect what the multi-copy design did under the
+// hood: how many redundant copies exist, how little off-chip traffic
+// lookups cost, and how deletions avoid off-chip writes entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mccuckoo"
+)
+
+func main() {
+	// A table with ~30k buckets (3 subtables of ~10k). The stash is on
+	// by default, so inserts never fail outright.
+	table, err := mccuckoo.New(30_000, mccuckoo.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fill to 80% load — far beyond where linear probing falls apart and
+	// near the territory where standard cuckoo hashing starts thrashing.
+	n := uint64(0.80 * float64(table.Capacity()))
+	for k := uint64(1); k <= n; k++ {
+		if res := table.Insert(k, k*10); res.Status == mccuckoo.Failed {
+			log.Fatalf("insert %d failed", k)
+		}
+	}
+	fmt.Printf("inserted %d items, load ratio %.1f%%\n", table.Len(), table.LoadRatio()*100)
+	fmt.Printf("physical copies in table: %d (%.2fx redundancy)\n",
+		table.Copies(), float64(table.Copies())/float64(table.Len()))
+	fmt.Printf("on-chip counter array: %d bytes for %d buckets (2 bits each)\n",
+		table.OnChipBytes(), table.Capacity())
+
+	// Lookups.
+	if v, ok := table.Lookup(123); ok {
+		fmt.Printf("lookup(123) = %d\n", v)
+	}
+	before := table.Traffic()
+	misses := 0
+	for k := n + 1; k <= n+10_000; k++ {
+		if _, ok := table.Lookup(k); !ok {
+			misses++
+		}
+	}
+	after := table.Traffic()
+	fmt.Printf("%d negative lookups cost %d off-chip reads (%.3f per miss; a counter-less table pays 3.0)\n",
+		misses, after.OffChipReads-before.OffChipReads,
+		float64(after.OffChipReads-before.OffChipReads)/float64(misses))
+
+	// Deletions reset counters only: zero off-chip writes.
+	before = table.Traffic()
+	for k := uint64(1); k <= 1000; k++ {
+		table.Delete(k)
+	}
+	after = table.Traffic()
+	fmt.Printf("1000 deletions cost %d off-chip writes (multi-copy deletion is counter-only)\n",
+		after.OffChipWrites-before.OffChipWrites)
+
+	fmt.Printf("final: %d items, %d in stash\n", table.Len(), table.StashLen())
+}

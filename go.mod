@@ -1,0 +1,3 @@
+module mccuckoo
+
+go 1.22

@@ -1,0 +1,625 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mccuckoo/internal/metrics"
+)
+
+// smallOptions keeps unit-test experiment runs fast while preserving shape.
+func smallOptions() Options {
+	return Options{Capacity: 9 * 512, MaxLoop: 500, Runs: 2, Seed: 7, Queries: 2000}
+}
+
+// seriesByName finds a series in a rendered table.
+func seriesByName(t *testing.T, tbl *metrics.Table, name string) *metrics.Series {
+	t.Helper()
+	for _, s := range tbl.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q not found", name)
+	return nil
+}
+
+func mustAt(t *testing.T, s *metrics.Series, x float64) float64 {
+	t.Helper()
+	y, ok := s.At(x)
+	if !ok {
+		t.Fatalf("series %q has no point at %g", s.Name, x)
+	}
+	return y
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}
+	if err := o.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Capacity%9 != 0 {
+		t.Fatalf("capacity %d not a multiple of 9", o.Capacity)
+	}
+	bad := Options{Capacity: 10}
+	if err := bad.normalize(); err == nil {
+		t.Error("tiny capacity accepted")
+	}
+}
+
+func TestBuildCapacityParity(t *testing.T) {
+	o := smallOptions()
+	if err := o.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	caps := map[int]bool{}
+	for _, s := range AllSchemes {
+		tab, err := build(s, o, 1, tableConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps[tab.Capacity()] = true
+	}
+	if len(caps) != 1 {
+		t.Fatalf("schemes have mismatched capacities: %v", caps)
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("fig9"); !ok {
+		t.Error("fig9 not registered")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("phantom experiment found")
+	}
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Desc == "" {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res, err := Fig9(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res[0].Table
+	// Headline claim: multi-copy reduces kick-outs at high load.
+	cu := mustAt(t, seriesByName(t, tbl, "Cuckoo"), 85)
+	mc := mustAt(t, seriesByName(t, tbl, "McCuckoo"), 85)
+	if mc >= cu {
+		t.Errorf("McCuckoo kicks (%.3f) not below Cuckoo (%.3f) at 85%%", mc, cu)
+	}
+	bc := mustAt(t, seriesByName(t, tbl, "BCHT"), 95)
+	bmc := mustAt(t, seriesByName(t, tbl, "B-McCuckoo"), 95)
+	if bmc >= bc {
+		t.Errorf("B-McCuckoo kicks (%.3f) not below BCHT (%.3f) at 95%%", bmc, bc)
+	}
+	// At 10% load nobody kicks.
+	if k := mustAt(t, seriesByName(t, tbl, "Cuckoo"), 10); k > 0.01 {
+		t.Errorf("Cuckoo kicks %.3f at 10%% load", k)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res, err := Fig10(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := res[0].Table, res[1].Table
+	// Reads: multi-copy far below single-copy at low load (the residue
+	// comes from principle-3 overwrites, which must read their victim).
+	if r := mustAt(t, seriesByName(t, reads, "McCuckoo"), 10); r > 0.5 {
+		t.Errorf("McCuckoo insert reads %.3f at 10%%, want well below 1", r)
+	}
+	if r := mustAt(t, seriesByName(t, reads, "Cuckoo"), 10); r < 0.5 {
+		t.Errorf("Cuckoo insert reads %.3f at 10%%, want ~1", r)
+	}
+	// Reads: multi-copy wins at high load too.
+	if mc, cu := mustAt(t, seriesByName(t, reads, "McCuckoo"), 90),
+		mustAt(t, seriesByName(t, reads, "Cuckoo"), 90); mc >= cu {
+		t.Errorf("McCuckoo reads (%.3f) not below Cuckoo (%.3f) at 90%%", mc, cu)
+	}
+	// Writes: multi-copy pays redundant writes at low load...
+	if mc, cu := mustAt(t, seriesByName(t, writes, "McCuckoo"), 10),
+		mustAt(t, seriesByName(t, writes, "Cuckoo"), 10); mc <= cu {
+		t.Errorf("McCuckoo writes (%.3f) not above Cuckoo (%.3f) at 10%%", mc, cu)
+	}
+	// ...and wins at high load (the Fig. 10b crossover).
+	if mc, cu := mustAt(t, seriesByName(t, writes, "McCuckoo"), 90),
+		mustAt(t, seriesByName(t, writes, "Cuckoo"), 90); mc >= cu {
+		t.Errorf("McCuckoo writes (%.3f) not below Cuckoo (%.3f) at 90%%", mc, cu)
+	}
+}
+
+func TestTableIOrdering(t *testing.T) {
+	res, err := TableI(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	parse := func(row []string) float64 {
+		var v float64
+		if _, err := fmtSscanfPercent(row[1], &v); err != nil {
+			t.Fatalf("bad cell %q: %v", row[1], err)
+		}
+		return v
+	}
+	cu, mc, bc, bmc := parse(rows[1]), parse(rows[2]), parse(rows[3]), parse(rows[4])
+	if !(cu < mc && mc < bc && bc < bmc) {
+		t.Errorf("Table I ordering violated: %.2f %.2f %.2f %.2f", cu, mc, bc, bmc)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	res, err := Fig11(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res[0].Table
+	// McCuckoo must reach at least as high a failure-free load as Cuckoo
+	// at every maxloop.
+	for _, ml := range []float64{50, 500} {
+		cu := mustAt(t, seriesByName(t, tbl, "Cuckoo"), ml)
+		mc := mustAt(t, seriesByName(t, tbl, "McCuckoo"), ml)
+		if mc < cu-1 { // allow 1pp noise at this tiny size
+			t.Errorf("maxloop %.0f: McCuckoo first failure at %.1f%%, Cuckoo at %.1f%%", ml, mc, cu)
+		}
+	}
+	// Blocked schemes should survive (near) everything.
+	if b := mustAt(t, seriesByName(t, tbl, "B-McCuckoo"), 500); b < 95 {
+		t.Errorf("B-McCuckoo failed at %.1f%%, want >95%%", b)
+	}
+}
+
+func TestFig12Fig13Shape(t *testing.T) {
+	o := smallOptions()
+	res12, err := Fig12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res13, err := Fig13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, miss := res12[0].Table, res13[0].Table
+	// Existing items: multi-copy needs fewer reads than single-copy.
+	if mc, cu := mustAt(t, seriesByName(t, hit, "McCuckoo"), 50),
+		mustAt(t, seriesByName(t, hit, "Cuckoo"), 50); mc >= cu {
+		t.Errorf("hit reads: McCuckoo %.3f not below Cuckoo %.3f", mc, cu)
+	}
+	// Non-existing: single-copy pays d reads, McCuckoo filters on-chip.
+	cu := mustAt(t, seriesByName(t, miss, "Cuckoo"), 50)
+	if cu < 2.9 || cu > 3.1 {
+		t.Errorf("Cuckoo miss reads %.3f, want 3", cu)
+	}
+	if mc := mustAt(t, seriesByName(t, miss, "McCuckoo"), 50); mc > 1.0 {
+		t.Errorf("McCuckoo miss reads %.3f, want far below 3", mc)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	o := smallOptions()
+	o.Queries = 500
+	res, err := Fig14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res[0].Table
+	// Multi-copy deletion must confirm every copy: more reads than
+	// single-copy at moderate load (§IV.D).
+	if mc, cu := mustAt(t, seriesByName(t, tbl, "McCuckoo"), 50),
+		mustAt(t, seriesByName(t, tbl, "Cuckoo"), 50); mc <= cu {
+		t.Errorf("delete reads: McCuckoo %.3f not above Cuckoo %.3f", mc, cu)
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	o := smallOptions()
+	res, err := TableII(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res[0].Rows
+	if len(rows) != 1+6*2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// maxloop 500 must stash no more than maxloop 200 at the same load.
+	for i := 1; i < len(rows); i += 2 {
+		var n200, n500 float64
+		if _, err := fmtSscanf(rows[i][2], &n200); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscanf(rows[i+1][2], &n500); err != nil {
+			t.Fatal(err)
+		}
+		if n500 > n200+1 {
+			t.Errorf("load %s: maxloop 500 stashed %.1f > maxloop 200 %.1f", rows[i][0], n500, n200)
+		}
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	o := smallOptions()
+	res, err := TableIII(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res[0].Rows
+	// Below 99% load the blocked scheme should need (almost) no stash.
+	var n float64
+	if _, err := fmtSscanf(rows[1][2], &n); err != nil {
+		t.Fatal(err)
+	}
+	if n > 2 {
+		t.Errorf("B-McCuckoo stashed %.1f items at 97.5%% load, want ~0", n)
+	}
+}
+
+func TestFig15Fig16Smoke(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	res15, err := Fig15(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res15) != 2 {
+		t.Fatalf("Fig15 returned %d results", len(res15))
+	}
+	// Insert latency must be positive everywhere.
+	for _, s := range res15[0].Table.Series {
+		for _, x := range s.Xs() {
+			if y, _ := s.At(x); y <= 0 {
+				t.Errorf("series %s has non-positive latency at %g", s.Name, x)
+			}
+		}
+	}
+	res16, err := Fig16(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res16) != 4 {
+		t.Fatalf("Fig16 returned %d results", len(res16))
+	}
+	// Larger records slow single-copy lookups down; throughput must fall
+	// with record size for Cuckoo (it always reads buckets).
+	tp := seriesByName(t, res16[2].Table, "Cuckoo")
+	small := mustAt(t, tp, 8)
+	big := mustAt(t, tp, 128)
+	if big >= small {
+		t.Errorf("Cuckoo hit throughput should fall with record size: %.2f -> %.2f", small, big)
+	}
+	// The pre-screen advantage grows with record size for misses: McCuckoo
+	// throughput at 128 B must beat Cuckoo's.
+	mcMiss := mustAt(t, seriesByName(t, res16[3].Table, "McCuckoo"), 128)
+	cuMiss := mustAt(t, seriesByName(t, res16[3].Table, "Cuckoo"), 128)
+	if mcMiss <= cuMiss {
+		t.Errorf("miss throughput at 128B: McCuckoo %.2f not above Cuckoo %.2f", mcMiss, cuMiss)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	if _, err := AblationResolver(o); err != nil {
+		t.Errorf("resolver ablation: %v", err)
+	}
+	res, err := AblationPrescreen(o)
+	if err != nil {
+		t.Fatalf("prescreen ablation: %v", err)
+	}
+	tbl := res[0].Table
+	// With the pre-screen off, misses cost ~3 reads; on, far fewer.
+	on := mustAt(t, seriesByName(t, tbl, "miss/prescreen-on"), 50)
+	off := mustAt(t, seriesByName(t, tbl, "miss/prescreen-off"), 50)
+	if on >= off {
+		t.Errorf("prescreen-on miss reads %.3f not below prescreen-off %.3f", on, off)
+	}
+	resDel, err := AblationDeletion(o)
+	if err != nil {
+		t.Fatalf("deletion ablation: %v", err)
+	}
+	if len(resDel[0].Rows) != 3 {
+		t.Fatalf("deletion ablation rows: %d", len(resDel[0].Rows))
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	res, err := TableI(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res[0].Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table I", "Cuckoo", "B-McCuckoo", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// fmtSscanfPercent parses "12.34%".
+func fmtSscanfPercent(cell string, v *float64) (int, error) {
+	return fmt.Sscanf(strings.TrimSuffix(cell, "%"), "%f", v)
+}
+
+func fmtSscanf(cell string, v *float64) (int, error) {
+	return fmt.Sscanf(cell, "%f", v)
+}
+
+func TestAblationBaselineResolver(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	res, err := AblationBaselineResolver(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	kicks := res[0].Table
+	bfs := mustAt(t, seriesByName(t, kicks, "Cuckoo/bfs"), 85)
+	rw := mustAt(t, seriesByName(t, kicks, "Cuckoo/random-walk"), 85)
+	if bfs > rw {
+		t.Errorf("BFS kicks %.3f exceed random walk %.3f at 85%%", bfs, rw)
+	}
+}
+
+func TestExtDistribution(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	res, err := ExtDistribution(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res[0].Rows
+	if len(rows) != 1+4*3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	parse := func(cell string) float64 {
+		var v float64
+		if _, err := fmtSscanf(cell, &v); err != nil {
+			t.Fatalf("bad cell %q: %v", cell, err)
+		}
+		return v
+	}
+	byKey := map[string][]string{}
+	for _, r := range rows[1:] {
+		byKey[r[0]+"/"+r[1]] = r
+	}
+	// Quantiles must be monotone for every row, and positive.
+	for k, r := range byKey {
+		p50, p95, p99, max := parse(r[3]), parse(r[4]), parse(r[5]), parse(r[6])
+		if !(p50 > 0 && p50 <= p95 && p95 <= p99 && p99 <= max) {
+			t.Errorf("%s: non-monotone quantiles %v", k, r)
+		}
+	}
+	// The extension's claim: single-copy insert tails dwarf multi-copy.
+	cuP99 := parse(byKey["Cuckoo/insert"][5])
+	mcP99 := parse(byKey["McCuckoo/insert"][5])
+	if mcP99 >= cuP99 {
+		t.Errorf("insert p99: McCuckoo %.1f not below Cuckoo %.1f", mcP99, cuP99)
+	}
+	// Misses: McCuckoo's pre-screen keeps even the median tiny.
+	cuMiss := parse(byKey["Cuckoo/lookup-miss"][3])
+	mcMiss := parse(byKey["McCuckoo/lookup-miss"][3])
+	if mcMiss >= cuMiss {
+		t.Errorf("miss p50: McCuckoo %.1f not below Cuckoo %.1f", mcMiss, cuMiss)
+	}
+}
+
+func TestAblationHashFunctions(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	res, err := AblationHashFunctions(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	parse := func(cell string) float64 {
+		var v float64
+		if _, err := fmtSscanfPercent(cell, &v); err != nil {
+			t.Fatalf("bad cell %q: %v", cell, err)
+		}
+		return v
+	}
+	d2, d3, d4 := parse(rows[1][2]), parse(rows[2][2]), parse(rows[3][2])
+	if !(d2 < d3 && d3 < d4) {
+		t.Errorf("first-failure loads not increasing with d: %.1f %.1f %.1f", d2, d3, d4)
+	}
+	if d3 < 85 {
+		t.Errorf("d=3 first failure at %.1f%%, paper expects >90%% territory", d3)
+	}
+	if rows[2][1] != "2" || rows[3][1] != "3" {
+		t.Errorf("counter widths wrong: d=3 %s bits, d=4 %s bits", rows[2][1], rows[3][1])
+	}
+}
+
+func TestExtOnChipBudget(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	res, err := ExtOnChipBudget(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res[0].Rows
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string][]string{}
+	for _, r := range rows[1:] {
+		byName[r[0]] = r
+	}
+	parse := func(cell string) float64 {
+		var v float64
+		if _, err := fmtSscanf(cell, &v); err != nil {
+			t.Fatalf("bad cell %q: %v", cell, err)
+		}
+		return v
+	}
+	mc := byName["McCuckoo (2-bit counters)"]
+	equal := byName["Cuckoo+CBF equal bits"]
+	plain := byName["Cuckoo (no helper)"]
+	// Contribution #2: at equal on-chip memory, McCuckoo filters misses
+	// far better than the Bloom pre-screen.
+	if parse(mc[1]) > parse(equal[1])+0.1 {
+		t.Errorf("memory budgets not equal: %s vs %s KiB", mc[1], equal[1])
+	}
+	if parse(mc[3]) >= parse(equal[3]) {
+		t.Errorf("miss reads: McCuckoo %s not below equal-memory CBF %s", mc[3], equal[3])
+	}
+	// The CBF does nothing for insertion reads; McCuckoo does.
+	if parse(mc[5]) >= parse(plain[5]) {
+		t.Errorf("insert reads: McCuckoo %s not below plain Cuckoo %s", mc[5], plain[5])
+	}
+	if parse(equal[5]) != parse(plain[5]) {
+		t.Errorf("CBF changed insertion reads: %s vs %s", equal[5], plain[5])
+	}
+}
+
+func TestExtWorkloadSensitivity(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	res, err := ExtWorkloadSensitivity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res[0].Table
+	// The substitution claim: the two workloads produce statistically
+	// indistinguishable kick curves. At this tiny size allow generous
+	// noise but require same order of magnitude at high load.
+	for _, scheme := range []string{"Cuckoo", "McCuckoo"} {
+		u := mustAt(t, seriesByName(t, tbl, scheme+"/uniform"), 85)
+		d := mustAt(t, seriesByName(t, tbl, scheme+"/docwords"), 85)
+		lo, hi := u/3, u*3
+		if u == 0 {
+			continue
+		}
+		if d < lo || d > hi {
+			t.Errorf("%s: docwords kicks %.3f vs uniform %.3f differ beyond noise", scheme, d, u)
+		}
+	}
+}
+
+func TestExtMixedWorkloads(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	res, err := ExtMixedWorkloads(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res[0].Rows
+	if len(rows) != 1+4*4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	parse := func(cell string) float64 {
+		var v float64
+		if _, err := fmtSscanf(cell, &v); err != nil {
+			t.Fatalf("bad cell %q: %v", cell, err)
+		}
+		return v
+	}
+	// In the read-only mix, reads/op must be positive and writes/op near
+	// zero (the generator seeds a handful of inserts so lookups have live
+	// targets).
+	for _, r := range rows[1:] {
+		if r[0] != "C: read-only" {
+			continue
+		}
+		if parse(r[2]) <= 0 {
+			t.Errorf("%s read-only reads/op = %s", r[1], r[2])
+		}
+		if parse(r[3]) > 0.02 {
+			t.Errorf("%s read-only writes/op = %s, want ~0", r[1], r[3])
+		}
+	}
+}
+
+func TestExtSmartCuckoo(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	res, err := ExtSmartCuckoo(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res[0].Rows
+	if len(rows) != 1+4*3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	parse := func(cell string) float64 {
+		var v float64
+		if _, err := fmtSscanf(cell, &v); err != nil {
+			t.Fatalf("bad cell %q: %v", cell, err)
+		}
+		return v
+	}
+	for _, r := range rows[1:] {
+		if r[1] != "SmartCuckoo-d2" || r[3] == "-" {
+			continue
+		}
+		if parse(r[3]) != 0 {
+			t.Errorf("SmartCuckoo at %s wasted %s kicks per stashed insert, want 0", r[0], r[3])
+		}
+	}
+	// McCuckoo's counters must reduce kicks vs plain d=2 at the 55% row.
+	var plain, mc float64
+	for _, r := range rows[1:] {
+		if r[0] != "55%" {
+			continue
+		}
+		switch r[1] {
+		case "Cuckoo-d2":
+			plain = parse(r[4])
+		case "McCuckoo-d2":
+			mc = parse(r[4])
+		}
+	}
+	if mc >= plain {
+		t.Errorf("McCuckoo-d2 kicks %.3f not below plain d=2 %.3f at 55%%", mc, plain)
+	}
+}
+
+func TestExtPipeline(t *testing.T) {
+	o := smallOptions()
+	o.Runs = 1
+	res, err := ExtPipeline(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	miss := res[0].Table
+	// Depth must never hurt, and McCuckoo's counter-bound misses must
+	// scale far better than the baseline's controller-bound ones.
+	for _, s := range []string{"Cuckoo", "McCuckoo"} {
+		d1 := mustAt(t, seriesByName(t, miss, s), 1)
+		d8 := mustAt(t, seriesByName(t, miss, s), 8)
+		if d8 < d1*0.99 {
+			t.Errorf("%s: depth 8 throughput %.2f below depth 1 %.2f", s, d8, d1)
+		}
+	}
+	cuGain := mustAt(t, seriesByName(t, miss, "Cuckoo"), 8) / mustAt(t, seriesByName(t, miss, "Cuckoo"), 1)
+	mcGain := mustAt(t, seriesByName(t, miss, "McCuckoo"), 8) / mustAt(t, seriesByName(t, miss, "McCuckoo"), 1)
+	if mcGain <= cuGain {
+		t.Errorf("pipelining gains: McCuckoo %.2fx not above Cuckoo %.2fx on misses", mcGain, cuGain)
+	}
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+
+	"mccuckoo/internal/kv"
+	"mccuckoo/internal/metrics"
+	"mccuckoo/internal/workload"
+)
+
+// Fig9 reproduces "Number of kick-outs per insertion" across load ratios for
+// the four schemes.
+func Fig9(o Options) ([]*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	series := make([]*metrics.Series, len(AllSchemes))
+	for i, s := range AllSchemes {
+		series[i] = metrics.NewSeries(s.String())
+	}
+	for i, s := range AllSchemes {
+		loads := loadsFor(s, StandardLoads)
+		for run := 0; run < o.Runs; run++ {
+			points, err := insertSweep(s, o, run, loads)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range points {
+				series[i].Add(p.load*100, p.kicks)
+			}
+		}
+	}
+	return []*Result{{
+		ID: "fig9",
+		Table: &metrics.Table{
+			Title:  "Fig. 9 — kick-outs per insertion",
+			XLabel: "load",
+			XFmt:   "%.0f%%",
+			YFmt:   "%.4f",
+			Series: series,
+		},
+	}}, nil
+}
+
+// Fig10 reproduces "Memory access per insertion": (a) off-chip reads and
+// (b) off-chip writes per insertion across load ratios.
+func Fig10(o Options) ([]*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	reads := make([]*metrics.Series, len(AllSchemes))
+	writes := make([]*metrics.Series, len(AllSchemes))
+	for i, s := range AllSchemes {
+		reads[i] = metrics.NewSeries(s.String())
+		writes[i] = metrics.NewSeries(s.String())
+	}
+	for i, s := range AllSchemes {
+		loads := loadsFor(s, StandardLoads)
+		for run := 0; run < o.Runs; run++ {
+			points, err := insertSweep(s, o, run, loads)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range points {
+				reads[i].Add(p.load*100, p.offReads)
+				writes[i].Add(p.load*100, p.offWrites)
+			}
+		}
+	}
+	return []*Result{
+		{
+			ID: "fig10a",
+			Table: &metrics.Table{
+				Title:  "Fig. 10(a) — off-chip reads per insertion",
+				XLabel: "load",
+				XFmt:   "%.0f%%",
+				YFmt:   "%.4f",
+				Series: reads,
+			},
+		},
+		{
+			ID: "fig10b",
+			Table: &metrics.Table{
+				Title:  "Fig. 10(b) — off-chip writes per insertion",
+				XLabel: "load",
+				XFmt:   "%.0f%%",
+				YFmt:   "%.4f",
+				Series: writes,
+			},
+		},
+	}, nil
+}
+
+// TableI reproduces "Load ratio when first collision occurs": the load at
+// which the first insertion needs a kick-out.
+func TableI(o Options) ([]*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"scheme", "load at first collision"}}
+	for _, s := range AllSchemes {
+		var agg metrics.Agg
+		for run := 0; run < o.Runs; run++ {
+			load, err := firstEventLoad(s, o, run, func(out kv.Outcome) bool {
+				return out.Kicks > 0
+			}, tableConfig{stash: true})
+			if err != nil {
+				return nil, err
+			}
+			agg.Add(load)
+		}
+		rows = append(rows, []string{s.String(), fmt.Sprintf("%.2f%%", agg.Mean()*100)})
+	}
+	return []*Result{{
+		ID:    "tab1",
+		Title: "Table I — load ratio when first collision occurs",
+		Rows:  rows,
+		Notes: []string{
+			"absolute values depend on table size (first collision is a birthday bound);",
+			"the paper's ordering Cuckoo < McCuckoo < BCHT < B-McCuckoo is the reproduced claim",
+		},
+	}}, nil
+}
+
+// Fig11 reproduces "Load ratio at first insertion failure" for maxloop
+// values between 50 and 500 (stash disabled so failures surface).
+func Fig11(o Options) ([]*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	maxloops := []int{50, 100, 200, 300, 400, 500}
+	series := make([]*metrics.Series, len(AllSchemes))
+	for i, s := range AllSchemes {
+		series[i] = metrics.NewSeries(s.String())
+	}
+	for i, s := range AllSchemes {
+		for _, ml := range maxloops {
+			for run := 0; run < o.Runs; run++ {
+				load, err := firstEventLoad(s, o, run, func(out kv.Outcome) bool {
+					return out.Status == kv.Failed
+				}, tableConfig{maxLoop: ml})
+				if err != nil {
+					return nil, err
+				}
+				series[i].Add(float64(ml), load*100)
+			}
+		}
+	}
+	return []*Result{{
+		ID: "fig11",
+		Table: &metrics.Table{
+			Title:  "Fig. 11 — load ratio at first insertion failure (%)",
+			XLabel: "maxloop",
+			XFmt:   "%.0f",
+			YFmt:   "%.2f",
+			Series: series,
+		},
+		Notes: []string{"a value of 100.00 means the scheme absorbed every key without failing"},
+	}}, nil
+}
+
+// firstEventLoad fills a fresh table with unique keys until pred fires and
+// returns the load ratio at that moment (1.0 if it never fires before the
+// table holds as many items as slots).
+func firstEventLoad(s Scheme, o Options, run int, pred func(kv.Outcome) bool, tc tableConfig) (float64, error) {
+	seed := o.runSeed(run)
+	tab, err := build(s, o, seed, tc)
+	if err != nil {
+		return 0, err
+	}
+	keys := workload.Unique(seed, tab.Capacity())
+	for _, k := range keys {
+		out := tab.Insert(k, k+1)
+		if pred(out) {
+			return tab.LoadRatio(), nil
+		}
+		if out.Status == kv.Failed {
+			// Failure before the predicate fired (predicate was
+			// about something else): report the failure load.
+			return tab.LoadRatio(), nil
+		}
+	}
+	return 1.0, nil
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"mccuckoo/internal/memmodel"
+	"mccuckoo/internal/metrics"
+)
+
+// RecordSizes is the record-size axis of Fig. 15(b) and Fig. 16 (bytes).
+var RecordSizes = []int{8, 16, 32, 64, 128}
+
+// platformFor returns the FPGA-derived latency model for a scheme: an
+// off-chip read fetches one record for the single-slot schemes and a whole
+// 3-slot bucket for the blocked ones.
+func platformFor(s Scheme, recordBytes int) memmodel.Platform {
+	if s.Blocked() {
+		return memmodel.DefaultPlatform(recordBytes * 3)
+	}
+	return memmodel.DefaultPlatform(recordBytes)
+}
+
+// Fig15 reproduces "Latency and throughput for insertion": (a) average
+// insertion latency across loads at 8-byte records, (b) insertion throughput
+// at 50% load across record sizes.
+func Fig15(o Options) ([]*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	latency := make([]*metrics.Series, len(AllSchemes))
+	throughput := make([]*metrics.Series, len(AllSchemes))
+	for i, s := range AllSchemes {
+		latency[i] = metrics.NewSeries(s.String())
+		throughput[i] = metrics.NewSeries(s.String())
+	}
+	for i, s := range AllSchemes {
+		loads := loadsFor(s, StandardLoads)
+		for run := 0; run < o.Runs; run++ {
+			points, err := insertSweep(s, o, run, loads)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range points {
+				latency[i].Add(p.load*100, platformFor(s, 8).LatencyNS(p.traffic, p.ops))
+				if p.load == 0.50 {
+					for _, rb := range RecordSizes {
+						throughput[i].Add(float64(rb), platformFor(s, rb).ThroughputMOPS(p.traffic, p.ops))
+					}
+				}
+			}
+		}
+	}
+	return []*Result{
+		{
+			ID: "fig15a",
+			Table: &metrics.Table{
+				Title:  "Fig. 15(a) — insertion latency (ns, platform model, 8-byte records)",
+				XLabel: "load",
+				XFmt:   "%.0f%%",
+				YFmt:   "%.1f",
+				Series: latency,
+			},
+		},
+		{
+			ID: "fig15b",
+			Table: &metrics.Table{
+				Title:  "Fig. 15(b) — insertion throughput at 50% load (Mops/s, platform model)",
+				XLabel: "record B",
+				XFmt:   "%.0f",
+				YFmt:   "%.2f",
+				Series: throughput,
+			},
+		},
+	}, nil
+}
+
+// Fig16 reproduces "Latency and throughput for lookup": latency (a existing,
+// b non-existing) and throughput (c, d) across record sizes at 50% load.
+func Fig16(o Options) ([]*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	mkSeries := func() []*metrics.Series {
+		out := make([]*metrics.Series, len(AllSchemes))
+		for i, s := range AllSchemes {
+			out[i] = metrics.NewSeries(s.String())
+		}
+		return out
+	}
+	latHit, latMiss := mkSeries(), mkSeries()
+	tpHit, tpMiss := mkSeries(), mkSeries()
+
+	for i, s := range AllSchemes {
+		for run := 0; run < o.Runs; run++ {
+			for _, positive := range []bool{true, false} {
+				points, err := lookupSweep(s, o, run, []float64{0.50}, positive)
+				if err != nil {
+					return nil, err
+				}
+				for _, p := range points {
+					for _, rb := range RecordSizes {
+						plat := platformFor(s, rb)
+						lat := plat.LatencyNS(p.traffic, p.ops)
+						tp := plat.ThroughputMOPS(p.traffic, p.ops)
+						if positive {
+							latHit[i].Add(float64(rb), lat)
+							tpHit[i].Add(float64(rb), tp)
+						} else {
+							latMiss[i].Add(float64(rb), lat)
+							tpMiss[i].Add(float64(rb), tp)
+						}
+					}
+				}
+			}
+		}
+	}
+	mkTable := func(id, title, yfmt string, series []*metrics.Series) *Result {
+		return &Result{ID: id, Table: &metrics.Table{
+			Title: title, XLabel: "record B", XFmt: "%.0f", YFmt: yfmt, Series: series,
+		}}
+	}
+	return []*Result{
+		mkTable("fig16a", "Fig. 16(a) — lookup latency, existing items (ns, 50% load)", "%.1f", latHit),
+		mkTable("fig16b", "Fig. 16(b) — lookup latency, non-existing items (ns, 50% load)", "%.1f", latMiss),
+		mkTable("fig16c", "Fig. 16(c) — lookup throughput, existing items (Mops/s)", "%.2f", tpHit),
+		mkTable("fig16d", "Fig. 16(d) — lookup throughput, non-existing items (Mops/s)", "%.2f", tpMiss),
+	}, nil
+}

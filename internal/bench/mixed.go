@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+
+	"mccuckoo/internal/kv"
+	"mccuckoo/internal/metrics"
+	"mccuckoo/internal/workload"
+)
+
+// ExtMixedWorkloads evaluates the four schemes under YCSB-style operation
+// mixes — the systems view the paper's per-operation figures compose into.
+// Tables are pre-loaded to 70%, then a mixed stream runs against them; the
+// reported numbers are off-chip reads and writes per operation and the
+// modelled throughput on the paper's platform (8-byte records).
+func ExtMixedWorkloads(o Options) ([]*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	mixes := []struct {
+		name                 string
+		insertW, readW, delW float64
+		negShare             float64
+	}{
+		{"A: 50/50 read/insert", 5, 5, 0, 0.05},
+		{"B: 95/5 read/insert", 0.5, 9.5, 0, 0.05},
+		{"C: read-only", 0, 1, 0, 0.05},
+		{"D: churn 45/45/10", 4.5, 4.5, 1, 0.20},
+	}
+	rows := [][]string{{"mix", "scheme", "reads/op", "writes/op", "Mops/s (model)"}}
+	for _, mix := range mixes {
+		for _, s := range AllSchemes {
+			var reads, writes, tput metrics.Agg
+			for run := 0; run < o.Runs; run++ {
+				r, w, tp, err := mixedPoint(s, o, run, mix.insertW, mix.readW, mix.delW, mix.negShare)
+				if err != nil {
+					return nil, err
+				}
+				reads.Add(r)
+				writes.Add(w)
+				tput.Add(tp)
+			}
+			rows = append(rows, []string{
+				mix.name, s.String(),
+				fmt.Sprintf("%.4f", reads.Mean()),
+				fmt.Sprintf("%.4f", writes.Mean()),
+				fmt.Sprintf("%.2f", tput.Mean()),
+			})
+		}
+	}
+	return []*Result{{
+		ID:    "ext-mixed",
+		Title: "Extension — YCSB-style operation mixes at 70% pre-load (8-byte records)",
+		Rows:  rows,
+		Notes: []string{"mixes name insert:read:delete weights; 5-20% of reads target absent keys"},
+	}}, nil
+}
+
+func mixedPoint(s Scheme, o Options, run int, insertW, readW, delW, negShare float64) (readsPerOp, writesPerOp, mops float64, err error) {
+	seed := o.runSeed(run)
+	tab, err := build(s, o, seed, tableConfig{stash: true, upsert: true})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Pre-load to 70% with keys outside the mixed stream's key space.
+	preload := workload.Negative(seed+99, int(0.70*float64(tab.Capacity()))-o.Queries/4, nil)
+	for _, k := range preload {
+		if tab.Insert(k, k).Status == kv.Failed {
+			return 0, 0, 0, fmt.Errorf("bench: mixed preload failed")
+		}
+	}
+	ops, err := workload.Mix(workload.MixConfig{
+		Seed: seed, Ops: o.Queries, KeySpace: o.Queries / 4,
+		InsertWeight: insertW, LookupWeight: readW, DeleteWeight: delW,
+		NegativeShare: negShare,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	before := tab.Meter().Snapshot()
+	for _, op := range ops {
+		switch op.Kind {
+		case workload.OpInsert:
+			tab.Insert(op.Key, op.Key)
+		case workload.OpLookup:
+			tab.Lookup(op.Key)
+		case workload.OpDelete:
+			tab.Delete(op.Key)
+		}
+	}
+	delta := tab.Meter().Snapshot().Sub(before)
+	n := int64(len(ops))
+	plat := platformFor(s, 8)
+	return float64(delta.OffChipReads) / float64(n),
+		float64(delta.OffChipWrites) / float64(n),
+		plat.ThroughputMOPS(delta, n), nil
+}

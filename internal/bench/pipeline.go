@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+
+	"mccuckoo/internal/fpga"
+	"mccuckoo/internal/kv"
+	"mccuckoo/internal/metrics"
+	"mccuckoo/internal/workload"
+)
+
+// ExtPipeline models the paper's declared future work — a pipelined
+// implementation ("due to the time limit, no parallelism or pipeline is
+// implemented", §IV.F) — by recording each scheme's real per-operation
+// access streams at 50% load and scheduling them with 1, 2, 4 and 8
+// operations in flight over the shared DDR controller.
+//
+// The prediction this quantifies: pipelining amplifies McCuckoo's
+// advantage, because its operations are counter-bound (cheap, overlappable
+// logic) while the baselines are controller-bound (every op occupies the
+// one DDR port), so extra depth buys the baselines almost nothing.
+func ExtPipeline(o Options) ([]*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	depths := []int{1, 2, 4, 8}
+	mkSeries := func() []*metrics.Series {
+		out := make([]*metrics.Series, len(AllSchemes))
+		for i, s := range AllSchemes {
+			out[i] = metrics.NewSeries(s.String())
+		}
+		return out
+	}
+	missTP, hitTP := mkSeries(), mkSeries()
+	for i, s := range AllSchemes {
+		for run := 0; run < o.Runs; run++ {
+			missOps, hitOps, err := recordLookupStreams(s, o, run)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range depths {
+				p := platformFor(s, 8)
+				missTP[i].Add(float64(d), fpga.PipelineThroughputMOPS(p, missOps, d))
+				hitTP[i].Add(float64(d), fpga.PipelineThroughputMOPS(p, hitOps, d))
+			}
+		}
+	}
+	return []*Result{
+		{
+			ID: "ext-pipeline-miss",
+			Table: &metrics.Table{
+				Title:  "Extension — pipelined lookup throughput, non-existing items (Mops/s, 50% load)",
+				XLabel: "depth",
+				XFmt:   "%.0f",
+				YFmt:   "%.2f",
+				Series: missTP,
+			},
+		},
+		{
+			ID: "ext-pipeline-hit",
+			Table: &metrics.Table{
+				Title:  "Extension — pipelined lookup throughput, existing items (Mops/s, 50% load)",
+				XLabel: "depth",
+				XFmt:   "%.0f",
+				YFmt:   "%.2f",
+				Series: hitTP,
+			},
+			Notes: []string{"future-work model: the paper's platform runs depth 1; deeper pipelines reward counter-bound schemes"},
+		},
+	}, nil
+}
+
+// recordLookupStreams fills a table to 50% and records the per-operation
+// access streams of o.Queries negative and positive lookups.
+func recordLookupStreams(s Scheme, o Options, run int) (missOps, hitOps [][]fpga.Access, err error) {
+	seed := o.runSeed(run)
+	tab, err := build(s, o, seed, tableConfig{stash: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	target := tab.Capacity() / 2
+	keys := workload.Unique(seed, target)
+	for _, k := range keys {
+		if tab.Insert(k, k+1).Status == kv.Failed {
+			return nil, nil, fmt.Errorf("bench: pipeline fill failed")
+		}
+	}
+	negatives := workload.Negative(seed, o.Queries, keys)
+
+	var miss fpga.Recorder
+	miss.Attach(tab.Meter())
+	for _, k := range negatives {
+		miss.BeginOp()
+		if _, ok := tab.Lookup(k); ok {
+			return nil, nil, fmt.Errorf("bench: phantom hit")
+		}
+	}
+	var hit fpga.Recorder
+	hit.Attach(tab.Meter())
+	for q := 0; q < o.Queries; q++ {
+		hit.BeginOp()
+		if _, ok := tab.Lookup(keys[(q*2654435761)%target]); !ok {
+			return nil, nil, fmt.Errorf("bench: lost key")
+		}
+	}
+	tab.Meter().Hook = nil
+	return miss.Ops(), hit.Ops(), nil
+}

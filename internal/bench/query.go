@@ -1,0 +1,81 @@
+package bench
+
+import "mccuckoo/internal/metrics"
+
+// Fig12 reproduces "Memory access per lookup for existing items".
+func Fig12(o Options) ([]*Result, error) {
+	return lookupFigure(o, "fig12", "Fig. 12 — off-chip reads per lookup, existing items", true)
+}
+
+// Fig13 reproduces "Memory access per lookup for non-existing items".
+func Fig13(o Options) ([]*Result, error) {
+	return lookupFigure(o, "fig13", "Fig. 13 — off-chip reads per lookup, non-existing items", false)
+}
+
+func lookupFigure(o Options, id, title string, positive bool) ([]*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	series := make([]*metrics.Series, len(AllSchemes))
+	for i, s := range AllSchemes {
+		series[i] = metrics.NewSeries(s.String())
+	}
+	for i, s := range AllSchemes {
+		loads := loadsFor(s, StandardLoads)
+		for run := 0; run < o.Runs; run++ {
+			points, err := lookupSweep(s, o, run, loads, positive)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range points {
+				series[i].Add(p.load*100, p.offReads)
+			}
+		}
+	}
+	return []*Result{{
+		ID: id,
+		Table: &metrics.Table{
+			Title:  title,
+			XLabel: "load",
+			XFmt:   "%.0f%%",
+			YFmt:   "%.4f",
+			Series: series,
+		},
+	}}, nil
+}
+
+// Fig14 reproduces "Memory access per deletion". Off-chip writes are not
+// plotted: they are exactly 1 for the single-copy schemes and 0 for the
+// multi-copy schemes (§IV.D), which the note records.
+func Fig14(o Options) ([]*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	series := make([]*metrics.Series, len(AllSchemes))
+	for i, s := range AllSchemes {
+		series[i] = metrics.NewSeries(s.String())
+	}
+	for i, s := range AllSchemes {
+		loads := loadsFor(s, StandardLoads)
+		for run := 0; run < o.Runs; run++ {
+			points, err := deleteSweep(s, o, run, loads)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range points {
+				series[i].Add(p.load*100, p.offReads)
+			}
+		}
+	}
+	return []*Result{{
+		ID: "fig14",
+		Table: &metrics.Table{
+			Title:  "Fig. 14 — off-chip reads per deletion",
+			XLabel: "load",
+			XFmt:   "%.0f%%",
+			YFmt:   "%.4f",
+			Series: series,
+		},
+		Notes: []string{"off-chip writes per deletion: 1 for Cuckoo/BCHT, 0 for McCuckoo/B-McCuckoo (counter-only deletion)"},
+	}}, nil
+}

@@ -1,0 +1,165 @@
+package bloom
+
+import (
+	"testing"
+
+	"mccuckoo/internal/hashutil"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := NewCounting(0, 3, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewCounting(100, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewCounting(100, 17, 1); err == nil {
+		t.Error("k=17 accepted")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := NewCounting(1<<14, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hashutil.Mix64(9)
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = hashutil.SplitMix64(&s)
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %#x", k)
+		}
+	}
+	if f.Len() != 2000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	// m/n = 8 cells per key, k = 3: classic CBF operating point, expect
+	// a low single-digit-percent false positive rate.
+	f, err := NewCounting(16000, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hashutil.Mix64(13)
+	inserted := make([]uint64, 2000)
+	for i := range inserted {
+		inserted[i] = hashutil.SplitMix64(&s)
+		f.Add(inserted[i])
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(hashutil.SplitMix64(&s)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.10 {
+		t.Errorf("false positive rate %.3f too high", rate)
+	}
+	if rate == 0 {
+		t.Error("zero false positives over 20k probes is implausible")
+	}
+}
+
+func TestRemoveRestoresNegatives(t *testing.T) {
+	f, err := NewCounting(1<<12, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hashutil.Mix64(19)
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = hashutil.SplitMix64(&s)
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		f.Remove(k)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", f.Len())
+	}
+	// With all keys removed and no saturation at this density, most
+	// removed keys should now test negative.
+	neg := 0
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			neg++
+		}
+	}
+	if neg < len(keys)/2 {
+		t.Errorf("only %d/%d removed keys test negative", neg, len(keys))
+	}
+}
+
+func TestInterleavedMembership(t *testing.T) {
+	// Keys still present must never test negative, regardless of other
+	// keys being added and removed around them.
+	f, err := NewCounting(1<<13, 4, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hashutil.Mix64(29)
+	live := map[uint64]bool{}
+	var order []uint64
+	for i := 0; i < 5000; i++ {
+		r := hashutil.SplitMix64(&s)
+		if r%3 == 0 && len(order) > 0 {
+			k := order[0]
+			order = order[1:]
+			if live[k] {
+				f.Remove(k)
+				delete(live, k)
+			}
+		} else {
+			k := r
+			f.Add(k)
+			live[k] = true
+			order = append(order, k)
+		}
+		if i%500 == 0 {
+			for k := range live {
+				if !f.MayContain(k) {
+					t.Fatalf("false negative for live key %#x at op %d", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSaturationKeepsNoFalseNegatives(t *testing.T) {
+	// Tiny filter hammered far past saturation: removal must not create
+	// false negatives for keys still present.
+	f, err := NewCounting(16, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stay := uint64(0xabcdef)
+	f.Add(stay)
+	s := hashutil.Mix64(37)
+	churn := make([]uint64, 500)
+	for i := range churn {
+		churn[i] = hashutil.SplitMix64(&s)
+		f.Add(churn[i])
+	}
+	for _, k := range churn {
+		f.Remove(k)
+	}
+	if !f.MayContain(stay) {
+		t.Fatal("saturation churn produced a false negative")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	f, _ := NewCounting(1<<16, 3, 1)
+	// 4-bit cells: 16 per word -> 4096 words -> 32 KiB.
+	if got := f.SizeBytes(); got != 1<<15 {
+		t.Fatalf("SizeBytes = %d, want %d", got, 1<<15)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"mccuckoo/internal/hashutil"
+)
+
+// CheckInvariants exhaustively validates the blocked table. Test support;
+// charges no memory traffic.
+//
+// Beyond the single-slot properties (counter consistency, copies only in
+// candidate buckets, size/copiesTotal bookkeeping, no live key in the
+// stash), it verifies that every live slot's hint vector points exactly at
+// the item's live copies: hints[j] names a slot in subtable j holding the
+// same key with the same counter, hints for absent copies are noSlot, and
+// the item's own entry names its own slot.
+func (t *BlockedTable) CheckInvariants() error {
+	d, n, l := t.cfg.D, t.cfg.BucketsPerTable, t.cfg.Slots
+	type info struct {
+		copies int
+		cnt    uint64
+	}
+	items := make(map[uint64]*info)
+	liveCopies := 0
+
+	for table := 0; table < d; table++ {
+		for bucket := 0; bucket < n; bucket++ {
+			for slot := 0; slot < l; slot++ {
+				idx := t.slotIndex(table, bucket, slot)
+				c := t.counters.Get(idx)
+				if t.isFree(c) {
+					continue
+				}
+				if c > uint64(d) {
+					return fmt.Errorf("slot (%d,%d,%d): counter %d exceeds d=%d", table, bucket, slot, c, d)
+				}
+				key := t.keys[idx]
+				var cand [hashutil.MaxD]int
+				t.family.Indexes(key, cand[:])
+				if cand[table] != bucket {
+					return fmt.Errorf("slot (%d,%d,%d): key %#x does not hash here", table, bucket, slot, key)
+				}
+				hints := t.hints[idx]
+				if hints[table] != int8(slot) {
+					return fmt.Errorf("slot (%d,%d,%d): own hint %d, want %d", table, bucket, slot, hints[table], slot)
+				}
+				hinted := 0
+				for j := 0; j < d; j++ {
+					if hints[j] == noSlot {
+						continue
+					}
+					hinted++
+					jidx := t.slotIndex(j, cand[j], int(hints[j]))
+					if t.keys[jidx] != key {
+						return fmt.Errorf("slot (%d,%d,%d): hint[%d]=%d points at key %#x, not %#x",
+							table, bucket, slot, j, hints[j], t.keys[jidx], key)
+					}
+					if jc := t.counters.Get(jidx); jc != c {
+						return fmt.Errorf("key %#x: hinted copy at table %d has counter %d, want %d", key, j, jc, c)
+					}
+				}
+				if uint64(hinted) != c {
+					return fmt.Errorf("slot (%d,%d,%d): key %#x counter %d but %d hinted copies",
+						table, bucket, slot, key, c, hinted)
+				}
+				liveCopies++
+				it := items[key]
+				if it == nil {
+					items[key] = &info{copies: 1, cnt: c}
+					continue
+				}
+				if it.cnt != c {
+					return fmt.Errorf("key %#x: copies disagree on counter (%d vs %d)", key, it.cnt, c)
+				}
+				it.copies++
+			}
+		}
+	}
+	for key, it := range items {
+		if uint64(it.copies) != it.cnt {
+			return fmt.Errorf("key %#x: %d live copies but counter says %d", key, it.copies, it.cnt)
+		}
+	}
+	// Before any deletion, no inserted item can have a candidate bucket
+	// whose slots are all empty (insertion takes one slot in every such
+	// bucket), which is what the blocked rule-1 shortcut relies on.
+	if !t.deletedAny {
+		var cand [hashutil.MaxD]int
+		for key := range items {
+			t.family.Indexes(key, cand[:])
+			for j := 0; j < d; j++ {
+				empty := true
+				base := t.slotIndex(j, cand[j], 0)
+				for s := 0; s < l; s++ {
+					if t.counters.Get(base+s) != 0 {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					return fmt.Errorf("key %#x has an all-empty candidate bucket in table %d before any deletion", key, j)
+				}
+			}
+		}
+	}
+	if len(items) != t.size {
+		return fmt.Errorf("size = %d but %d distinct live keys found", t.size, len(items))
+	}
+	if liveCopies != t.copiesTotal {
+		return fmt.Errorf("copiesTotal = %d but %d live copies found", t.copiesTotal, liveCopies)
+	}
+	if t.overflow != nil {
+		for _, e := range t.overflow.Entries() {
+			if _, dup := items[e.Key]; dup {
+				return fmt.Errorf("key %#x is both live and stashed", e.Key)
+			}
+		}
+	}
+	return nil
+}
+
+// CopyCount returns how many live copies of key the main table holds.
+// Test support; charges no memory traffic.
+func (t *BlockedTable) CopyCount(key uint64) int {
+	var cand [hashutil.MaxD]int
+	t.family.Indexes(key, cand[:])
+	copies := 0
+	for i := 0; i < t.cfg.D; i++ {
+		base := t.slotIndex(i, cand[i], 0)
+		for s := 0; s < t.cfg.Slots; s++ {
+			if !t.isFree(t.counters.Get(base+s)) && t.keys[base+s] == key {
+				copies++
+			}
+		}
+	}
+	return copies
+}

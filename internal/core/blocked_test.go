@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/kv"
+)
+
+func mustNewBlocked(t *testing.T, cfg Config) *BlockedTable {
+	t.Helper()
+	tab, err := NewBlocked(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func checkBlockedInv(t *testing.T, tab *BlockedTable) {
+	t.Helper()
+	if err := tab.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedConfigValidation(t *testing.T) {
+	bad := []Config{
+		{BucketsPerTable: 16, Slots: 1},
+		{BucketsPerTable: 16, Slots: 5},
+		{BucketsPerTable: 0},
+		{D: 5, BucketsPerTable: 16},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBlocked(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 16})
+	if tab.cfg.Slots != 3 || tab.cfg.D != 3 {
+		t.Errorf("defaults: %+v", tab.cfg)
+	}
+	if tab.Capacity() != 3*16*3 {
+		t.Errorf("Capacity = %d", tab.Capacity())
+	}
+}
+
+func TestBlockedFirstInsertTakesAllBuckets(t *testing.T) {
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 32, Seed: 1, AssumeUniqueKeys: true})
+	if out := tab.Insert(42, 9); out.Status != kv.Placed {
+		t.Fatalf("status %v", out.Status)
+	}
+	if got := tab.CopyCount(42); got != 3 {
+		t.Fatalf("CopyCount = %d, want 3 (one per candidate bucket, Fig. 5)", got)
+	}
+	checkBlockedInv(t, tab)
+}
+
+func TestBlockedLookupHitMiss(t *testing.T) {
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 128, Seed: 2, AssumeUniqueKeys: true})
+	keys := fillKeys(3, 300)
+	for _, k := range keys {
+		if tab.Insert(k, k^7).Status == kv.Failed {
+			t.Fatal("insert failed")
+		}
+	}
+	for _, k := range keys {
+		if v, ok := tab.Lookup(k); !ok || v != k^7 {
+			t.Fatalf("lookup(%#x) = %d,%v", k, v, ok)
+		}
+	}
+	for _, k := range fillKeys(99, 200) {
+		if _, ok := tab.Lookup(k); ok {
+			t.Fatalf("phantom hit %#x", k)
+		}
+	}
+	checkBlockedInv(t, tab)
+}
+
+func TestBlockedReaches97Percent(t *testing.T) {
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 1024, Seed: 5, AssumeUniqueKeys: true,
+		StashEnabled: true})
+	keys := fillKeys(7, tab.Capacity())
+	target := int(0.97 * float64(tab.Capacity()))
+	for i := 0; i < target; i++ {
+		if tab.Insert(keys[i], keys[i]).Status == kv.Failed {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	checkBlockedInv(t, tab)
+	for i := 0; i < target; i++ {
+		if _, ok := tab.Lookup(keys[i]); !ok {
+			t.Fatalf("key %d lost at 97%% load", i)
+		}
+	}
+}
+
+func TestBlockedDeleteZeroOffChipWrites(t *testing.T) {
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 64, Seed: 8, AssumeUniqueKeys: true})
+	keys := fillKeys(9, 150)
+	for _, k := range keys {
+		tab.Insert(k, k)
+	}
+	before := tab.Meter().Snapshot()
+	for _, k := range keys[:70] {
+		if !tab.Delete(k) {
+			t.Fatalf("delete %#x failed", k)
+		}
+	}
+	delta := tab.Meter().Snapshot().Sub(before)
+	if delta.OffChipWrites != 0 {
+		t.Fatalf("blocked deletions cost %d off-chip writes, want 0", delta.OffChipWrites)
+	}
+	for _, k := range keys[:70] {
+		if _, ok := tab.Lookup(k); ok {
+			t.Fatalf("deleted key %#x still found", k)
+		}
+	}
+	for _, k := range keys[70:] {
+		if _, ok := tab.Lookup(k); !ok {
+			t.Fatalf("surviving key %#x lost", k)
+		}
+	}
+	checkBlockedInv(t, tab)
+}
+
+func TestBlockedUpsert(t *testing.T) {
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 32, Seed: 10})
+	tab.Insert(5, 1)
+	if out := tab.Insert(5, 2); out.Status != kv.Updated {
+		t.Fatalf("status %v", out.Status)
+	}
+	if v, _ := tab.Lookup(5); v != 2 {
+		t.Fatalf("value %d", v)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	checkBlockedInv(t, tab)
+}
+
+func TestBlockedModelEquivalence(t *testing.T) {
+	for _, mode := range []DeletionMode{ResetCounters, Tombstone} {
+		tab := mustNewBlocked(t, Config{BucketsPerTable: 128, Seed: 11, Deletion: mode,
+			StashEnabled: true})
+		model := map[uint64]uint64{}
+		s := uint64(12)
+		for i := 0; i < 9000; i++ {
+			r := hashutil.SplitMix64(&s)
+			key := r % 900
+			switch (r >> 32) % 4 {
+			case 0, 1:
+				if tab.Insert(key, r).Status != kv.Failed {
+					model[key] = r
+				}
+			case 2:
+				got, ok := tab.Lookup(key)
+				want, wok := model[key]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("mode %v op %d: lookup(%d) = (%d,%v) want (%d,%v)",
+						mode, i, key, got, ok, want, wok)
+				}
+			case 3:
+				_, wok := model[key]
+				if got := tab.Delete(key); got != wok {
+					t.Fatalf("mode %v op %d: delete(%d) = %v want %v", mode, i, key, got, wok)
+				}
+				delete(model, key)
+			}
+		}
+		if tab.Len() != len(model) {
+			t.Fatalf("mode %v: Len=%d model=%d", mode, tab.Len(), len(model))
+		}
+		checkBlockedInv(t, tab)
+	}
+}
+
+func TestBlockedStashAtExtremLoad(t *testing.T) {
+	// Table III operates at 99-100% load; everything must stay findable.
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 256, Seed: 13, MaxLoop: 200,
+		StashEnabled: true, AssumeUniqueKeys: true})
+	keys := fillKeys(14, tab.Capacity()) // 100% load
+	for _, k := range keys {
+		if tab.Insert(k, k).Status == kv.Failed {
+			t.Fatal("failed with unbounded stash")
+		}
+	}
+	for _, k := range keys {
+		if _, ok := tab.Lookup(k); !ok {
+			t.Fatalf("key %#x lost at 100%% load", k)
+		}
+	}
+	checkBlockedInv(t, tab)
+}
+
+func TestBlockedRefreshStashFlags(t *testing.T) {
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 64, Seed: 15, MaxLoop: 100,
+		StashEnabled: true, AssumeUniqueKeys: true})
+	keys := fillKeys(16, tab.Capacity()+40) // overfill beyond 100%
+	for _, k := range keys {
+		tab.Insert(k, k)
+	}
+	if tab.StashLen() == 0 {
+		t.Skip("no stash pressure with this seed")
+	}
+	for _, k := range keys[:200] {
+		tab.Delete(k)
+	}
+	tab.RefreshStashFlags()
+	for _, k := range keys[200:] {
+		if v, ok := tab.Lookup(k); !ok || v != k {
+			t.Fatalf("key %#x lost across refresh", k)
+		}
+	}
+	checkBlockedInv(t, tab)
+}
+
+func TestBlockedRedundantWritesBound(t *testing.T) {
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 512, Seed: 17, AssumeUniqueKeys: true,
+		StashEnabled: true})
+	s := tab.Capacity()
+	for _, k := range fillKeys(18, s) {
+		tab.Insert(k, k)
+	}
+	if got := float64(tab.RedundantWrites()); got > float64(s)*(1+1.0/3) {
+		t.Fatalf("redundant writes %.0f exceed Theorem 2 bound", got)
+	}
+}
+
+func TestBlockedDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		tab := mustNewBlocked(t, Config{BucketsPerTable: 128, Seed: 19, AssumeUniqueKeys: true,
+			StashEnabled: true})
+		for _, k := range fillKeys(20, 1000) {
+			tab.Insert(k, k)
+		}
+		return tab.Stats().Kicks, tab.Meter().OffChipReads
+	}
+	k1, r1 := run()
+	k2, r2 := run()
+	if k1 != k2 || r1 != r2 {
+		t.Fatalf("runs differ: kicks %d vs %d, reads %d vs %d", k1, k2, r1, r2)
+	}
+}
+
+var _ kv.Table = (*BlockedTable)(nil)

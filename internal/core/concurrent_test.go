@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/kv"
+)
+
+// TestReadOnlyLookupAgreesWithLookup drives both lookup paths over the same
+// table states, including deletions and stash pressure, and requires
+// identical answers.
+func TestReadOnlyLookupAgreesWithLookup(t *testing.T) {
+	tab := mustNew(t, Config{BucketsPerTable: 256, Seed: 41, StashEnabled: true,
+		MaxLoop: 50})
+	s := uint64(42)
+	for i := 0; i < 5000; i++ {
+		r := hashutil.SplitMix64(&s)
+		key := r % 900
+		switch (r >> 32) % 5 {
+		case 0, 1, 2:
+			tab.Insert(key, r)
+		case 3:
+			tab.Delete(key)
+		case 4:
+			v1, ok1 := tab.LookupReadOnly(key)
+			v2, ok2 := tab.Lookup(key)
+			if ok1 != ok2 || (ok1 && v1 != v2) {
+				t.Fatalf("op %d: read-only (%d,%v) vs lookup (%d,%v)", i, v1, ok1, v2, ok2)
+			}
+		}
+	}
+}
+
+func TestBlockedReadOnlyLookupAgrees(t *testing.T) {
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 96, Seed: 43, StashEnabled: true,
+		MaxLoop: 50})
+	s := uint64(44)
+	for i := 0; i < 6000; i++ {
+		r := hashutil.SplitMix64(&s)
+		key := r % 800
+		switch (r >> 32) % 5 {
+		case 0, 1, 2:
+			tab.Insert(key, r)
+		case 3:
+			tab.Delete(key)
+		case 4:
+			v1, ok1 := tab.LookupReadOnly(key)
+			v2, ok2 := tab.Lookup(key)
+			if ok1 != ok2 || (ok1 && v1 != v2) {
+				t.Fatalf("op %d: read-only (%d,%v) vs lookup (%d,%v)", i, v1, ok1, v2, ok2)
+			}
+		}
+	}
+}
+
+// TestConcurrentReadersOneWriter exercises the §III.H mode under the race
+// detector: one writer mutating, many readers looking up.
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	inner := mustNew(t, Config{BucketsPerTable: 1024, Seed: 45, StashEnabled: true})
+	c := NewConcurrent(inner)
+	keys := fillKeys(46, 2000)
+	// Pre-load half so readers have hits from the start.
+	for _, k := range keys[:1000] {
+		c.Insert(k, k+1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s := hashutil.Mix64(uint64(r))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := keys[hashutil.SplitMix64(&s)%uint64(len(keys))]
+				if v, ok := c.Lookup(k); ok && v != k+1 {
+					t.Errorf("reader %d: wrong value %d for key %#x", r, v, k)
+					return
+				}
+			}
+		}(r)
+	}
+	for _, k := range keys[1000:] {
+		c.Insert(k, k+1)
+	}
+	for _, k := range keys[:300] {
+		c.Delete(k)
+	}
+	close(stop)
+	wg.Wait()
+
+	if c.Len() != 1700 {
+		t.Fatalf("Len = %d, want 1700", c.Len())
+	}
+	for _, k := range keys[300:] {
+		if v, ok := c.Lookup(k); !ok || v != k+1 {
+			t.Fatalf("key %#x lost after concurrent phase", k)
+		}
+	}
+	if got := c.Stats(); got.Lookups == 0 {
+		t.Fatal("concurrent lookups not counted")
+	}
+}
+
+func TestConcurrentWrapsBlocked(t *testing.T) {
+	inner := mustNewBlocked(t, Config{BucketsPerTable: 128, Seed: 47, StashEnabled: true})
+	c := NewConcurrent(inner)
+	keys := fillKeys(48, 500)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, k := range keys {
+			c.Lookup(k)
+		}
+	}()
+	for _, k := range keys {
+		if c.Insert(k, k).Status == kv.Failed {
+			t.Error("insert failed")
+			break
+		}
+	}
+	wg.Wait()
+	for _, k := range keys {
+		if _, ok := c.Lookup(k); !ok {
+			t.Fatalf("key %#x missing", k)
+		}
+	}
+	if c.LoadRatio() <= 0 || c.Capacity() == 0 || c.StashLen() < 0 {
+		t.Fatal("accessor smoke checks failed")
+	}
+}

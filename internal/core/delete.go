@@ -1,0 +1,74 @@
+package core
+
+import (
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/kv"
+)
+
+// Delete removes key. All copies are located using the lookup principles,
+// then only their on-chip counters are reset (ResetCounters) or marked
+// (Tombstone) — the paper's point: a deletion costs zero off-chip writes
+// (§III.B.3, §IV.D). A miss consults the stash subject to the pre-screen.
+func (t *Table) Delete(key uint64) bool {
+	t.stats.Deletes++
+	var cand [hashutil.MaxD]int
+	t.family.Indexes(key, cand[:])
+
+	st, tables, ok := t.locateCopies(key, cand[:t.cfg.D])
+	if ok {
+		mark := uint64(0)
+		if t.cfg.Deletion == Tombstone {
+			mark = t.tombstoneVal
+		}
+		for _, i := range tables {
+			t.setCounter(i, cand[i], mark)
+		}
+		t.copiesTotal -= len(tables)
+		t.size--
+		t.deletedAny = true
+		return true
+	}
+	if t.shouldProbeStash(st) {
+		t.stats.StashProbe++
+		if t.overflow.Delete(key) {
+			// Flags are intentionally left set (they behave like a
+			// Bloom filter and do not support deletion, §III.F);
+			// RefreshStashFlags resynchronizes them.
+			t.deletedAny = true
+			return true
+		}
+	}
+	return false
+}
+
+// RefreshStashFlags clears every stash flag and reinserts all stashed items
+// through the normal insertion path, re-stashing (and re-flagging) those
+// that still do not fit (§III.F). It returns the number of items that moved
+// from the stash into the main table.
+func (t *Table) RefreshStashFlags() int {
+	if t.overflow == nil {
+		return 0
+	}
+	// Targeted clears: one off-chip write per flag that was set.
+	for i := 0; i < t.flags.Len(); i++ {
+		if t.flags.Get(i) {
+			t.flags.Clear(i)
+			t.meter.WriteOff(1)
+		}
+	}
+	items := t.overflow.Drain()
+	moved := 0
+	for _, e := range items {
+		var cand [hashutil.MaxD]int
+		t.family.Indexes(e.Key, cand[:])
+		if copies := t.place(e, cand[:t.cfg.D]); copies > 0 {
+			t.size++
+			moved++
+			continue
+		}
+		if out := t.resolveCollision(e, cand[:t.cfg.D]); out.Status == kv.Placed {
+			moved++
+		}
+	}
+	return moved
+}

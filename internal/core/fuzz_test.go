@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mccuckoo/internal/kv"
+)
+
+// driveOps interprets a byte stream as table operations and cross-checks
+// the table against a map model, then validates invariants. Shared by the
+// fuzz targets for both table kinds.
+func driveOps(t interface {
+	Fatalf(format string, args ...any)
+}, tab kv.Table, check func() error, data []byte) {
+	model := map[uint64]uint64{}
+	for i := 0; i+2 < len(data); i += 3 {
+		op := data[i] % 4
+		key := uint64(data[i+1]) | uint64(data[i+2])<<8&0x100 // 512-key space
+		val := uint64(data[i+2])
+		switch op {
+		case 0, 1:
+			out := tab.Insert(key, val)
+			if out.Status != kv.Failed {
+				model[key] = val
+			}
+		case 2:
+			got, ok := tab.Lookup(key)
+			want, wok := model[key]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("lookup(%d) = (%d,%v), model (%d,%v)", key, got, ok, want, wok)
+			}
+		case 3:
+			_, wok := model[key]
+			if got := tab.Delete(key); got != wok {
+				t.Fatalf("delete(%d) = %v, model %v", key, got, wok)
+			}
+			delete(model, key)
+		}
+	}
+	if tab.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tab.Len(), len(model))
+	}
+	if err := check(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(bytes.Repeat([]byte{0, 42, 1}, 100)) // hammer one key
+	f.Add(bytes.Repeat([]byte{0, 1, 2, 3, 9, 8}, 200))
+	long := make([]byte, 3000)
+	for i := range long {
+		long[i] = byte(i * 131)
+	}
+	f.Add(long)
+}
+
+func FuzzTableOps(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Tiny table so the fuzzer reaches overflow and deletion-reuse
+		// states quickly.
+		tab, err := New(Config{BucketsPerTable: 32, Seed: 1, MaxLoop: 20,
+			StashEnabled: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveOps(t, tab, tab.CheckInvariants, data)
+	})
+}
+
+func FuzzTableOpsTombstone(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := New(Config{BucketsPerTable: 32, Seed: 2, MaxLoop: 20,
+			StashEnabled: true, Deletion: Tombstone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveOps(t, tab, tab.CheckInvariants, data)
+	})
+}
+
+func FuzzBlockedOps(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := NewBlocked(Config{BucketsPerTable: 16, Seed: 3, MaxLoop: 20,
+			StashEnabled: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveOps(t, tab, tab.CheckInvariants, data)
+	})
+}
+
+// FuzzLoad feeds arbitrary bytes to the snapshot loaders: they must reject
+// garbage with an error, never panic, and anything they do accept must pass
+// the invariant check (Load runs it internally).
+func FuzzLoad(f *testing.F) {
+	// Seed with a genuine snapshot so mutations explore the format.
+	tab, err := New(Config{BucketsPerTable: 16, Seed: 4, StashEnabled: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for k := uint64(1); k < 20; k++ {
+		tab.Insert(k, k)
+	}
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("MCCK"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if got, err := Load(bytes.NewReader(data)); err == nil {
+			// Accepted: must be fully operational.
+			got.Insert(999, 999)
+			if _, ok := got.Lookup(999); !ok {
+				t.Fatal("loaded table lost an insert")
+			}
+		}
+		if got, err := LoadBlocked(bytes.NewReader(data)); err == nil {
+			got.Insert(999, 999)
+			if _, ok := got.Lookup(999); !ok {
+				t.Fatal("loaded blocked table lost an insert")
+			}
+		}
+	})
+}

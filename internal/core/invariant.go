@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"mccuckoo/internal/hashutil"
+)
+
+// CheckInvariants exhaustively validates the table's internal consistency.
+// It is O(capacity · d) and meant for tests and debugging, not production
+// paths; it charges no memory traffic.
+//
+// Verified properties:
+//
+//   - every non-empty bucket's stored key hashes to that bucket (copies only
+//     live in candidate positions);
+//   - for every live item, the number of buckets holding its key equals the
+//     counter value of each of those buckets (counter consistency);
+//   - size equals the number of distinct live keys and copiesTotal the
+//     number of live copies;
+//   - no live key also sits in the stash.
+func (t *Table) CheckInvariants() error {
+	d, n := t.cfg.D, t.cfg.BucketsPerTable
+	type info struct {
+		copies int
+		cnt    uint64
+	}
+	items := make(map[uint64]*info)
+	liveCopies := 0
+
+	for table := 0; table < d; table++ {
+		for bucket := 0; bucket < n; bucket++ {
+			idx := t.bucketIndex(table, bucket)
+			c := t.counters.Get(idx)
+			if c == 0 || (t.tombstoneVal != 0 && c == t.tombstoneVal) {
+				continue
+			}
+			if c > uint64(d) {
+				return fmt.Errorf("bucket (%d,%d): counter %d exceeds d=%d", table, bucket, c, d)
+			}
+			key := t.keys[idx]
+			if t.family.Index(table, key) != bucket {
+				return fmt.Errorf("bucket (%d,%d): key %#x does not hash here", table, bucket, key)
+			}
+			liveCopies++
+			it := items[key]
+			if it == nil {
+				items[key] = &info{copies: 1, cnt: c}
+				continue
+			}
+			if it.cnt != c {
+				return fmt.Errorf("key %#x: copies disagree on counter (%d vs %d)", key, it.cnt, c)
+			}
+			it.copies++
+		}
+	}
+	for key, it := range items {
+		if uint64(it.copies) != it.cnt {
+			return fmt.Errorf("key %#x: %d live copies but counter says %d", key, it.copies, it.cnt)
+		}
+	}
+	// Before any deletion, an inserted item can never have an empty
+	// candidate bucket: insertion fills every empty candidate with a
+	// copy, and only deletion zeroes counters. Lookup rule 1 (the
+	// Bloom-filter shortcut) is sound precisely because of this.
+	if !t.deletedAny {
+		var cand [hashutil.MaxD]int
+		for key := range items {
+			t.family.Indexes(key, cand[:])
+			for j := 0; j < d; j++ {
+				if t.counters.Get(t.bucketIndex(j, cand[j])) == 0 {
+					return fmt.Errorf("key %#x has an empty candidate in table %d before any deletion", key, j)
+				}
+			}
+		}
+	}
+	if len(items) != t.size {
+		return fmt.Errorf("size = %d but %d distinct live keys found", t.size, len(items))
+	}
+	if liveCopies != t.copiesTotal {
+		return fmt.Errorf("copiesTotal = %d but %d live copies found", t.copiesTotal, liveCopies)
+	}
+	if t.overflow != nil {
+		for _, e := range t.overflow.Entries() {
+			if _, dup := items[e.Key]; dup {
+				return fmt.Errorf("key %#x is both live and stashed", e.Key)
+			}
+		}
+	}
+	return nil
+}
+
+// CopyCount returns how many live copies of key the main table holds,
+// without charging memory traffic. Test support.
+func (t *Table) CopyCount(key uint64) int {
+	var cand [hashutil.MaxD]int
+	t.family.Indexes(key, cand[:])
+	copies := 0
+	for i := 0; i < t.cfg.D; i++ {
+		idx := t.bucketIndex(i, cand[i])
+		c := t.counters.Get(idx)
+		if c != 0 && (t.tombstoneVal == 0 || c != t.tombstoneVal) && t.keys[idx] == key {
+			copies++
+		}
+	}
+	return copies
+}

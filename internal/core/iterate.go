@@ -1,0 +1,132 @@
+package core
+
+import "mccuckoo/internal/hashutil"
+
+// Range calls fn for every distinct live item (stash included) until fn
+// returns false. Each item is reported exactly once even when it has
+// multiple copies: a copy is reported only from the lowest-numbered subtable
+// holding one, determined with O(d) counter checks and no extra memory.
+// Iteration order is unspecified. Range charges no memory traffic; it is a
+// maintenance/inspection operation, not part of the paper's workload model.
+func (t *Table) Range(fn func(key, value uint64) bool) {
+	d, n := t.cfg.D, t.cfg.BucketsPerTable
+	var cand [hashutil.MaxD]int
+	for table := 0; table < d; table++ {
+		for bucket := 0; bucket < n; bucket++ {
+			idx := t.bucketIndex(table, bucket)
+			c := t.counters.Get(idx)
+			if t.isFree(c) {
+				continue
+			}
+			key := t.keys[idx]
+			if c > 1 {
+				// Skip unless this is the first subtable holding
+				// a copy of key.
+				t.family.Indexes(key, cand[:])
+				first := true
+				for j := 0; j < table; j++ {
+					jidx := t.bucketIndex(j, cand[j])
+					if t.counters.Get(jidx) == c && t.keys[jidx] == key {
+						first = false
+						break
+					}
+				}
+				if !first {
+					continue
+				}
+			}
+			if !fn(key, t.vals[idx]) {
+				return
+			}
+		}
+	}
+	if t.overflow != nil {
+		for _, e := range t.overflow.Entries() {
+			if !fn(e.Key, e.Value) {
+				return
+			}
+		}
+	}
+}
+
+// CopyHistogram returns how many live items currently have 1, 2, ..., d
+// copies (index 0 is unused). The redundancy distribution is the quantity
+// Theorems 1 and 2 reason about; watching it drain toward all-ones shows a
+// table approaching its collision regime.
+func (t *Table) CopyHistogram() []int {
+	hist := make([]int, t.cfg.D+1)
+	seen := make(map[uint64]struct{}, t.size)
+	for idx := range t.keys {
+		c := t.counters.Get(idx)
+		if t.isFree(c) || c > uint64(t.cfg.D) {
+			continue
+		}
+		key := t.keys[idx]
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		hist[c]++
+	}
+	return hist
+}
+
+// Range calls fn for every distinct live item of the blocked table, exactly
+// as Table.Range. Copies are reported from their lowest (subtable, slot)
+// position using the stored slot hints.
+func (t *BlockedTable) Range(fn func(key, value uint64) bool) {
+	d, n, l := t.cfg.D, t.cfg.BucketsPerTable, t.cfg.Slots
+	for table := 0; table < d; table++ {
+		for bucket := 0; bucket < n; bucket++ {
+			for slot := 0; slot < l; slot++ {
+				idx := t.slotIndex(table, bucket, slot)
+				c := t.counters.Get(idx)
+				if t.isFree(c) {
+					continue
+				}
+				// The hints name every copy's subtable; report
+				// only from the lowest one.
+				hints := t.hints[idx]
+				first := true
+				for j := 0; j < table; j++ {
+					if hints[j] != noSlot {
+						first = false
+						break
+					}
+				}
+				if !first {
+					continue
+				}
+				if !fn(t.keys[idx], t.vals[idx]) {
+					return
+				}
+			}
+		}
+	}
+	if t.overflow != nil {
+		for _, e := range t.overflow.Entries() {
+			if !fn(e.Key, e.Value) {
+				return
+			}
+		}
+	}
+}
+
+// CopyHistogram returns the redundancy distribution of the blocked table.
+func (t *BlockedTable) CopyHistogram() []int {
+	hist := make([]int, t.cfg.D+1)
+	seen := make(map[uint64]struct{}, t.size)
+	for idx := range t.keys {
+		c := t.counters.Get(idx)
+		if t.isFree(c) || c > uint64(t.cfg.D) {
+			continue
+		}
+		key := t.keys[idx]
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		hist[c]++
+	}
+	return hist
+}

@@ -1,0 +1,209 @@
+package core
+
+import "mccuckoo/internal/hashutil"
+
+// scanState carries what a counter-guided candidate scan learned, which the
+// stash pre-screen needs afterwards.
+type scanState struct {
+	cnt       [hashutil.MaxD]uint64 // counter snapshot
+	readMask  uint8                 // candidates read off-chip this scan
+	flagAnd   bool                  // AND of the flags of all read buckets
+	value     uint64                // value of the found item
+	found     int                   // subtable of the first found copy, -1 if none
+	foundCnt  uint64                // counter value of the found copy
+	earlyMiss bool                  // rule 1 fired: some counter was zero
+}
+
+// rule1Active reports whether a zero counter still proves "never inserted":
+// always in tombstone mode, and until the first deletion otherwise (§III.F).
+func (t *Table) rule1Active() bool {
+	return t.cfg.Deletion == Tombstone || !t.deletedAny
+}
+
+// scan applies the lookup principles (§III.B.2) to key's candidates:
+//
+//  1. any zero counter (when trustworthy) means a definite miss,
+//  2. partitions of candidates sharing counter value V with fewer than V
+//     members cannot hold the item and are skipped entirely,
+//  3. a surviving partition of size S needs at most S-V+1 bucket reads.
+//
+// Partitions are visited in decreasing counter value: items with more copies
+// are found with fewer reads.
+func (t *Table) scan(key uint64, cand []int) scanState {
+	st := scanState{found: -1, flagAnd: true}
+	d := t.cfg.D
+	anyZero := false
+	for i := 0; i < d; i++ {
+		st.cnt[i] = t.counterAt(i, cand[i])
+		if st.cnt[i] == 0 {
+			anyZero = true
+		}
+	}
+	if anyZero && t.rule1Active() {
+		st.earlyMiss = true
+		return st
+	}
+	for v := uint64(d); v >= 1; v-- {
+		var group [hashutil.MaxD]int
+		s := 0
+		for i := 0; i < d; i++ {
+			if st.cnt[i] == v {
+				group[s] = i
+				s++
+			}
+		}
+		if s == 0 || s < int(v) {
+			continue // principle 2: too few members to hold V copies
+		}
+		budget := s - int(v) + 1 // principle 3
+		for k := 0; k < s && budget > 0; k++ {
+			i := group[k]
+			budget--
+			gotKey, flag := t.readBucket(i, cand[i])
+			st.readMask |= 1 << uint(i)
+			st.flagAnd = st.flagAnd && flag
+			if gotKey == key {
+				idx := t.bucketIndex(i, cand[i])
+				st.value = t.vals[idx]
+				st.found = i
+				st.foundCnt = v
+				return st
+			}
+		}
+	}
+	return st
+}
+
+// scanAll is the traditional lookup used when the counter pre-screen is
+// disabled (§IV.F ablation): read candidates in order until found.
+func (t *Table) scanAll(key uint64, cand []int) scanState {
+	st := scanState{found: -1, flagAnd: true}
+	for i := 0; i < t.cfg.D; i++ {
+		gotKey, flag := t.readBucket(i, cand[i])
+		st.readMask |= 1 << uint(i)
+		st.flagAnd = st.flagAnd && flag
+		// Liveness comes from a valid bit that a counter-less
+		// implementation would keep inside the bucket record, so it is
+		// read with the bucket at no extra charge.
+		if gotKey == key && !t.isFree(t.counters.Get(t.bucketIndex(i, cand[i]))) {
+			idx := t.bucketIndex(i, cand[i])
+			st.value = t.vals[idx]
+			st.found = i
+			return st
+		}
+	}
+	return st
+}
+
+// shouldProbeStash decides whether a failed main-table scan needs to consult
+// the stash (§III.E–F):
+//
+//   - before any deletion, the counters are authoritative: a stashed item saw
+//     all candidates at counter 1 when it overflowed and counters never
+//     increase, so anything else skips the stash; the flags (read for free
+//     with the buckets) must all be 1 as well;
+//   - after deletions, only the flags of the buckets actually read are
+//     consulted; skipped buckets are neglected, trading a higher false
+//     positive rate for zero false negatives.
+func (t *Table) shouldProbeStash(st scanState) bool {
+	if t.overflow == nil || t.overflow.Len() == 0 {
+		return false
+	}
+	if st.earlyMiss {
+		return false // zero counter with rule 1 active: never inserted
+	}
+	if !t.cfg.DisablePrescreen && !t.deletedAny {
+		for i := 0; i < t.cfg.D; i++ {
+			if st.cnt[i] != 1 {
+				return false
+			}
+		}
+		// All counters are 1, so every candidate was read and every
+		// flag observed.
+		return st.flagAnd
+	}
+	// Deletions happened (or counters unused): rely on observed flags.
+	return st.flagAnd
+}
+
+// Lookup returns the value stored for key, checking the stash only when the
+// pre-screen cannot rule it out.
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	t.stats.Lookups++
+	var cand [hashutil.MaxD]int
+	t.family.Indexes(key, cand[:])
+
+	var st scanState
+	if t.cfg.DisablePrescreen {
+		st = t.scanAll(key, cand[:t.cfg.D])
+	} else {
+		st = t.scan(key, cand[:t.cfg.D])
+	}
+	if st.found >= 0 {
+		t.stats.Hits++
+		return st.value, true
+	}
+	if t.shouldProbeStash(st) {
+		t.stats.StashProbe++
+		if v, ok := t.overflow.Lookup(key); ok {
+			t.stats.Hits++
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// locateCopies finds every subtable holding a copy of key. It returns the
+// scan state (for the stash pre-screen) and the tables of all copies; ok is
+// false when key is not in the main table.
+//
+// After the first copy is found with counter value V, the deletion principle
+// (§III.B.3) continues reading the unread members of the same partition
+// until all V copies are found — this read-to-confirm step is why multi-copy
+// deletion costs more reads than single-copy deletion in Fig. 14.
+func (t *Table) locateCopies(key uint64, cand []int) (scanState, []int, bool) {
+	st := t.scan(key, cand)
+	if st.found < 0 {
+		return st, nil, false
+	}
+	v := st.foundCnt
+	tables := make([]int, 0, t.cfg.D)
+	tables = append(tables, st.found)
+	needed := int(v) - 1
+	if needed == 0 {
+		return st, tables, true
+	}
+	// Unread members of the found partition, in table order.
+	var rest [hashutil.MaxD]int
+	nr := 0
+	for i := 0; i < t.cfg.D; i++ {
+		if i != st.found && st.cnt[i] == v && st.readMask&(1<<uint(i)) == 0 {
+			rest[nr] = i
+			nr++
+		}
+	}
+	if nr < needed {
+		panic("core: copies of key missing from its partition")
+	}
+	for k := 0; k < nr && needed > 0; k++ {
+		i := rest[k]
+		gotKey, flag := t.readBucket(i, cand[i])
+		st.readMask |= 1 << uint(i)
+		st.flagAnd = st.flagAnd && flag
+		if gotKey == key {
+			tables = append(tables, i)
+			needed--
+		}
+	}
+	if len(tables) != int(v) {
+		panic("core: failed to locate all copies of key")
+	}
+	return st, tables, true
+}
+
+// findCopies is locateCopies without the scan state, for callers that only
+// need the copy locations.
+func (t *Table) findCopies(key uint64, cand []int) ([]int, bool) {
+	_, tables, ok := t.locateCopies(key, cand)
+	return tables, ok
+}

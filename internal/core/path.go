@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/kv"
+)
+
+// PathMove is one hop of a cuckoo path: the item currently in (FromTable,
+// FromBucket) gains a copy in (ToTable, ToBucket) — its own candidate bucket
+// in another subtable — after which its FromBucket copy becomes redundant
+// and can be overwritten by the previous hop's item.
+type PathMove struct {
+	Key        uint64
+	FromTable  int
+	FromBucket int
+	ToTable    int
+	ToBucket   int
+}
+
+// FindPath searches for a cuckoo path that frees one of key's candidate
+// buckets without mutating the table (§III.H: MemC3 introduced cuckoo-path
+// insertion but "did not develop efficient method to quickly find one";
+// McCuckoo's counters do exactly that — the walk ends at the first bucket
+// whose counter is not 1, i.e. free or redundantly occupied).
+//
+// The returned path is ordered from key's bucket outward: path[0] moves the
+// item that currently blocks key, path[len-1] ends in a usable bucket.
+// ok is false when no path within MaxLoop hops exists; the caller should
+// stash key. FindPath only reads (buckets along the path are read to learn
+// victim keys; the traffic is charged), so a concurrent wrapper may run it
+// under a read lock.
+func (t *Table) FindPath(key uint64) ([]PathMove, bool) {
+	var cand [hashutil.MaxD]int
+	t.family.Indexes(key, cand[:])
+
+	// The path only makes sense when key itself cannot place: every
+	// candidate holds a sole copy. Walk from a random candidate. Paths
+	// must be bucket-disjoint or the back-to-front execution would act
+	// on stale assumptions, so visited buckets are never re-entered —
+	// a built-in loop guard on top of MaxLoop.
+	path := make([]PathMove, 0, 8)
+	curTable := t.rng.IntN(t.cfg.D)
+	curBucket := cand[curTable]
+	visited := map[int]bool{t.bucketIndex(curTable, curBucket): true}
+	for hop := 0; hop < t.cfg.MaxLoop; hop++ {
+		victim, _ := t.readBucket(curTable, curBucket)
+		var vcand [hashutil.MaxD]int
+		t.family.Indexes(victim, vcand[:])
+
+		// Does the victim have a usable alternative bucket? Usable
+		// means counter != 1 (free, tombstone, or redundant copy).
+		dest := -1
+		for j := 0; j < t.cfg.D; j++ {
+			if j == curTable || visited[t.bucketIndex(j, vcand[j])] {
+				continue
+			}
+			if c := t.counterAt(j, vcand[j]); c != 1 {
+				dest = j
+				break
+			}
+		}
+		if dest >= 0 {
+			path = append(path, PathMove{
+				Key:       victim,
+				FromTable: curTable, FromBucket: curBucket,
+				ToTable: dest, ToBucket: vcand[dest],
+			})
+			return path, true
+		}
+		// No usable alternative: extend the walk through one of the
+		// victim's unvisited candidates, chosen at random.
+		var opts [hashutil.MaxD]int
+		nOpts := 0
+		for j := 0; j < t.cfg.D; j++ {
+			if j != curTable && !visited[t.bucketIndex(j, vcand[j])] {
+				opts[nOpts] = j
+				nOpts++
+			}
+		}
+		if nOpts == 0 {
+			return nil, false // walk boxed in by its own trail
+		}
+		next := opts[t.rng.IntN(nOpts)]
+		path = append(path, PathMove{
+			Key:       victim,
+			FromTable: curTable, FromBucket: curBucket,
+			ToTable: next, ToBucket: vcand[next],
+		})
+		curTable, curBucket = next, vcand[next]
+		visited[t.bucketIndex(curTable, curBucket)] = true
+	}
+	return nil, false
+}
+
+// ApplyMove executes one path hop, last hop first. The move copies the
+// item into its destination bucket and updates counters; the item briefly
+// has one copy more than before — a state McCuckoo represents natively, so
+// the table satisfies all invariants between moves and readers never lose
+// an item. The destination must be usable (counter != 1), which holds for
+// the final hop by construction and for earlier hops because the later
+// item's departure left a redundant copy behind.
+func (t *Table) ApplyMove(m PathMove) error {
+	destCnt := t.counterAt(m.ToTable, m.ToBucket)
+	switch {
+	case t.isFree(destCnt):
+		// Plain copy into an empty bucket.
+	case destCnt >= 2:
+		// Overwrite a redundant copy of the destination's occupant.
+		occKey, _ := t.readBucket(m.ToTable, m.ToBucket)
+		t.victimLostCopy(occKey, m.ToTable, destCnt)
+	default:
+		return fmt.Errorf("core: path move destination (%d,%d) holds a sole copy", m.ToTable, m.ToBucket)
+	}
+	// Verify the mover is still where the path found it (it must be:
+	// the single-writer contract means nothing else mutates).
+	srcKey, _ := t.readBucket(m.FromTable, m.FromBucket)
+	if srcKey != m.Key {
+		return fmt.Errorf("core: path move source changed: want key %#x, found %#x", m.Key, srcKey)
+	}
+	srcCnt := t.counterAt(m.FromTable, m.FromBucket)
+	val := t.vals[t.bucketIndex(m.FromTable, m.FromBucket)]
+	t.writeBucket(m.ToTable, m.ToBucket, kv.Entry{Key: m.Key, Value: val})
+	// The mover now has one more copy; raise the counters of all its
+	// copies. Its copies are exactly the buckets the path knows about
+	// plus any pre-existing ones — but path moves only ever displace
+	// sole copies (counter 1), so the mover's copies are FromBucket and
+	// ToBucket.
+	if srcCnt != 1 {
+		return fmt.Errorf("core: path mover %#x had counter %d, want 1", m.Key, srcCnt)
+	}
+	t.setCounter(m.FromTable, m.FromBucket, 2)
+	t.setCounter(m.ToTable, m.ToBucket, 2)
+	t.copiesTotal++
+	t.redundantWrites++
+	return nil
+}
+
+// TryPlace attempts principle-based placement (or an in-place update) of
+// key/value. done is false exactly when a real collision occurred and a
+// cuckoo path is needed. First stage of the pathwise insertion protocol.
+func (t *Table) TryPlace(key, value uint64) (out kv.Outcome, done bool) {
+	t.stats.Inserts++
+	var cand [hashutil.MaxD]int
+	t.family.Indexes(key, cand[:])
+	if !t.cfg.AssumeUniqueKeys {
+		if out, handled := t.updateExisting(key, value, cand[:t.cfg.D]); handled {
+			return out, true
+		}
+	}
+	if copies := t.place(kv.Entry{Key: key, Value: value}, cand[:t.cfg.D]); copies > 0 {
+		t.size++
+		return kv.Outcome{Status: kv.Placed}, true
+	}
+	return kv.Outcome{}, false
+}
+
+// StashOverflow sends key/value to the stash after a failed path search.
+// Final stage of the pathwise protocol on the failure branch.
+func (t *Table) StashOverflow(key, value uint64) kv.Outcome {
+	var cand [hashutil.MaxD]int
+	t.family.Indexes(key, cand[:])
+	return t.overflowInsert(kv.Entry{Key: key, Value: value}, cand[:t.cfg.D], 0)
+}
+
+// FinishPath installs key/value into the candidate bucket the path head
+// vacated (after every ApplyMove has executed, that bucket holds a
+// redundant copy of the head's item). Final stage of the pathwise protocol
+// on the success branch.
+func (t *Table) FinishPath(key, value uint64, head PathMove, pathLen int) kv.Outcome {
+	t.victimLostCopy(head.Key, head.FromTable, 2)
+	t.writeBucket(head.FromTable, head.FromBucket, kv.Entry{Key: key, Value: value})
+	t.setCounter(head.FromTable, head.FromBucket, 1)
+	t.copiesTotal++
+	t.size++
+	t.stats.Kicks += int64(pathLen)
+	return kv.Outcome{Status: kv.Placed, Kicks: pathLen}
+}
+
+// InsertPathwise inserts key/value using two-phase cuckoo-path execution:
+// the path is discovered first, then executed from its far end backwards,
+// so the table is a valid McCuckoo table after every step. Functionally
+// equivalent to Insert; the point is bounded mutation steps for concurrent
+// wrappers (Concurrent.InsertPathwise interleaves readers between steps).
+func (t *Table) InsertPathwise(key, value uint64) kv.Outcome {
+	if out, done := t.TryPlace(key, value); done {
+		return out
+	}
+	path, ok := t.FindPath(key)
+	if !ok {
+		return t.StashOverflow(key, value)
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		if err := t.ApplyMove(path[i]); err != nil {
+			// Unreachable under the single-writer contract; fail
+			// loudly rather than corrupt the table.
+			panic(err)
+		}
+	}
+	return t.FinishPath(key, value, path[0], len(path))
+}

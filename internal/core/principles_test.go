@@ -1,0 +1,308 @@
+package core
+
+// White-box conformance tests: each test brings a table into a precisely
+// characterized state using only real insertions (so every intermediate
+// state is reachable), then asserts that the next operation makes the exact
+// decision the paper's principles prescribe (§III.B.1–2) — not merely that
+// the table stays correct.
+
+import (
+	"testing"
+
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/kv"
+)
+
+// counterPattern returns the multiset of x's candidate counter values as a
+// sorted [3]uint64 (d = 3 in these tests).
+func counterPattern(tab *Table, x uint64) [3]uint64 {
+	var cand [hashutil.MaxD]int
+	tab.family.Indexes(x, cand[:])
+	var p [3]uint64
+	for i := 0; i < 3; i++ {
+		p[i] = tab.counters.Get(tab.bucketIndex(i, cand[i]))
+	}
+	// Sort the three values.
+	if p[0] > p[1] {
+		p[0], p[1] = p[1], p[0]
+	}
+	if p[1] > p[2] {
+		p[1], p[2] = p[2], p[1]
+	}
+	if p[0] > p[1] {
+		p[0], p[1] = p[1], p[0]
+	}
+	return p
+}
+
+// findKeyWithPattern fills the table with unique keys until it can find a
+// fresh key whose candidate counters form the wanted (sorted) pattern. It
+// returns the key; fill keys come from fillSeed, probe keys from probeSeed.
+func findKeyWithPattern(t *testing.T, tab *Table, want [3]uint64, fillSeed, probeSeed uint64, maxLoad float64) uint64 {
+	t.Helper()
+	fs := hashutil.Mix64(fillSeed)
+	ps := hashutil.Mix64(probeSeed)
+	inserted := map[uint64]bool{}
+	for {
+		// Probe for the pattern among keys not yet inserted.
+		for probe := 0; probe < 20000; probe++ {
+			x := hashutil.SplitMix64(&ps)
+			if inserted[x] {
+				continue
+			}
+			if counterPattern(tab, x) == want {
+				return x
+			}
+		}
+		// Pattern not found at this load: add more items.
+		if tab.LoadRatio() >= maxLoad {
+			t.Skipf("pattern %v not found up to load %.2f", want, maxLoad)
+		}
+		for i := 0; i < tab.Capacity()/50; i++ {
+			k := hashutil.SplitMix64(&fs)
+			if tab.Insert(k, k).Status == kv.Failed {
+				t.Fatal("fill failed")
+			}
+			inserted[k] = true
+		}
+	}
+}
+
+// keyAtCandidate returns the key stored in x's candidate bucket in the
+// given subtable (white-box read, no traffic).
+func keyAtCandidate(tab *Table, x uint64, table int) uint64 {
+	var cand [hashutil.MaxD]int
+	tab.family.Indexes(x, cand[:])
+	return tab.keys[tab.bucketIndex(table, cand[table])]
+}
+
+func newPrincipleTable(t *testing.T) *Table {
+	return mustNew(t, Config{BucketsPerTable: 256, Seed: 201, AssumeUniqueKeys: true,
+		StashEnabled: true})
+}
+
+// Principle 1: with counters {0,0,1} the new item occupies exactly the two
+// empty candidates and leaves the sole copy alone.
+func TestPrincipleOneOccupyAllEmpties(t *testing.T) {
+	tab := newPrincipleTable(t)
+	x := findKeyWithPattern(t, tab, [3]uint64{0, 0, 1}, 1, 2, 0.95)
+	// Identify the sole-copy occupant before the insert.
+	var blocker uint64
+	var cand [hashutil.MaxD]int
+	tab.family.Indexes(x, cand[:])
+	for i := 0; i < 3; i++ {
+		if tab.counters.Get(tab.bucketIndex(i, cand[i])) == 1 {
+			blocker = keyAtCandidate(tab, x, i)
+		}
+	}
+	blockerCopies := tab.CopyCount(blocker)
+
+	tab.Insert(x, x)
+	if got := tab.CopyCount(x); got != 2 {
+		t.Fatalf("x has %d copies, want 2 (both empty candidates)", got)
+	}
+	if got := tab.CopyCount(blocker); got != blockerCopies {
+		t.Fatalf("sole-copy occupant went %d -> %d copies", blockerCopies, got)
+	}
+	checkInv(t, tab)
+}
+
+// Principle 2: with counters {1,1,1} a real collision occurs — the insert
+// must relocate (kicks > 0) or stash, and no sole copy is destroyed.
+func TestPrincipleTwoNeverOverwriteSoleCopies(t *testing.T) {
+	tab := newPrincipleTable(t)
+	x := findKeyWithPattern(t, tab, [3]uint64{1, 1, 1}, 3, 4, 0.95)
+	occupants := make([]uint64, 3)
+	for i := 0; i < 3; i++ {
+		occupants[i] = keyAtCandidate(tab, x, i)
+	}
+	sizeBefore := tab.Len()
+
+	out := tab.Insert(x, x)
+	if out.Status == kv.Placed && out.Kicks == 0 {
+		t.Fatalf("all-sole-copy candidates placed without a kick: %+v", out)
+	}
+	for i, occ := range occupants {
+		if _, ok := tab.Lookup(occ); !ok {
+			t.Fatalf("occupant %d (%#x) lost", i, occ)
+		}
+	}
+	if _, ok := tab.Lookup(x); !ok {
+		t.Fatal("x lost")
+	}
+	if tab.Len() != sizeBefore+1 {
+		t.Fatalf("Len went %d -> %d, want +1", sizeBefore, tab.Len())
+	}
+	checkInv(t, tab)
+}
+
+// Principle 3: with counters {0,2,3} the item takes the empty candidate
+// (copies=1), claims a copy from the 3-copy victim (3 >= 1+2), and leaves
+// the 2-copy item untouched (2 < 2+2).
+func TestPrincipleThreeStopCondition(t *testing.T) {
+	tab := newPrincipleTable(t)
+	x := findKeyWithPattern(t, tab, [3]uint64{0, 2, 3}, 5, 6, 0.95)
+	var cand [hashutil.MaxD]int
+	tab.family.Indexes(x, cand[:])
+	var tri, duo uint64
+	for i := 0; i < 3; i++ {
+		switch tab.counters.Get(tab.bucketIndex(i, cand[i])) {
+		case 3:
+			tri = keyAtCandidate(tab, x, i)
+		case 2:
+			duo = keyAtCandidate(tab, x, i)
+		}
+	}
+	tab.Insert(x, x)
+	if got := tab.CopyCount(x); got != 2 {
+		t.Fatalf("x has %d copies, want 2 (empty + one claim from the 3-copy victim)", got)
+	}
+	if got := tab.CopyCount(tri); got != 2 {
+		t.Fatalf("3-copy victim has %d copies, want 2", got)
+	}
+	if got := tab.CopyCount(duo); got != 2 {
+		t.Fatalf("2-copy item has %d copies, want 2 (untouched)", got)
+	}
+	checkInv(t, tab)
+}
+
+// Principle 3, zero-empty case: with counters {2,2,2} exactly one copy is
+// claimed (after the first overwrite, 2 < 1+2 stops the loop).
+func TestPrincipleThreeSingleClaimFromTwos(t *testing.T) {
+	tab := newPrincipleTable(t)
+	x := findKeyWithPattern(t, tab, [3]uint64{2, 2, 2}, 7, 8, 0.95)
+	occupants := make([]uint64, 3)
+	for i := 0; i < 3; i++ {
+		occupants[i] = keyAtCandidate(tab, x, i)
+	}
+	tab.Insert(x, x)
+	if got := tab.CopyCount(x); got != 1 {
+		t.Fatalf("x has %d copies, want exactly 1", got)
+	}
+	demoted := 0
+	for _, occ := range occupants {
+		if tab.CopyCount(occ) == 1 {
+			demoted++
+		}
+	}
+	// The three occupants may include duplicates (the same item can hold
+	// two of x's candidates); in the common all-distinct case exactly one
+	// is demoted to a sole copy.
+	if demoted < 1 {
+		t.Fatalf("no victim demoted; occupants have %d/%d/%d copies",
+			tab.CopyCount(occupants[0]), tab.CopyCount(occupants[1]), tab.CopyCount(occupants[2]))
+	}
+	checkInv(t, tab)
+}
+
+// Lookup rule 1: a zero counter among the candidates answers a miss with
+// zero off-chip reads.
+func TestLookupRuleOneZeroCounter(t *testing.T) {
+	tab := newPrincipleTable(t)
+	x := findKeyWithPattern(t, tab, [3]uint64{0, 3, 3}, 9, 10, 0.60)
+	before := tab.Meter().Snapshot()
+	if _, ok := tab.Lookup(x); ok {
+		t.Fatal("phantom hit")
+	}
+	delta := tab.Meter().Snapshot().Sub(before)
+	if delta.OffChipReads != 0 {
+		t.Fatalf("rule-1 miss cost %d reads, want 0", delta.OffChipReads)
+	}
+}
+
+// Lookup rule 2: partitions smaller than their counter value are skipped —
+// counters {2,3,3} on a missing key cost zero reads (the v=3 partition has
+// size 2, the v=2 partition size 1).
+func TestLookupRuleTwoSkipsSmallPartitions(t *testing.T) {
+	tab := newPrincipleTable(t)
+	x := findKeyWithPattern(t, tab, [3]uint64{2, 3, 3}, 11, 12, 0.70)
+	before := tab.Meter().Snapshot()
+	if _, ok := tab.Lookup(x); ok {
+		t.Fatal("phantom hit")
+	}
+	delta := tab.Meter().Snapshot().Sub(before)
+	if delta.OffChipReads != 0 {
+		t.Fatalf("miss with impossible partitions cost %d reads, want 0", delta.OffChipReads)
+	}
+}
+
+// Lookup rule 3: a partition of size S and value V needs at most S-V+1
+// reads; for a freshly inserted 3-copy item one read suffices.
+func TestLookupRuleThreeBudget(t *testing.T) {
+	tab := newPrincipleTable(t)
+	x := findKeyWithPattern(t, tab, [3]uint64{0, 0, 0}, 13, 14, 0.10)
+	tab.Insert(x, x) // occupies all three candidates, counters 3/3/3
+	before := tab.Meter().Snapshot()
+	if _, ok := tab.Lookup(x); !ok {
+		t.Fatal("x missing")
+	}
+	delta := tab.Meter().Snapshot().Sub(before)
+	if delta.OffChipReads != 1 {
+		t.Fatalf("3-copy lookup cost %d reads, want 1 (S-V+1 = 1)", delta.OffChipReads)
+	}
+}
+
+// Deletion principle (§III.B.3): deleting an item with counters {2,2,x}
+// resets exactly its copies' counters, writes nothing off-chip, and later
+// lookups of the deleted key miss.
+func TestDeletionPrincipleCounterOnly(t *testing.T) {
+	tab := newPrincipleTable(t)
+	// Produce a 2-copy item: find a key with one sole-copy blocker and
+	// insert it (principle 1 gives it the two empties).
+	x := findKeyWithPattern(t, tab, [3]uint64{0, 0, 1}, 15, 16, 0.95)
+	tab.Insert(x, x)
+	if tab.CopyCount(x) != 2 {
+		t.Fatalf("setup failed: x has %d copies", tab.CopyCount(x))
+	}
+	before := tab.Meter().Snapshot()
+	if !tab.Delete(x) {
+		t.Fatal("delete failed")
+	}
+	delta := tab.Meter().Snapshot().Sub(before)
+	if delta.OffChipWrites != 0 {
+		t.Fatalf("deletion cost %d off-chip writes, want 0", delta.OffChipWrites)
+	}
+	if tab.CopyCount(x) != 0 {
+		t.Fatalf("x still has %d live copies", tab.CopyCount(x))
+	}
+	if _, ok := tab.Lookup(x); ok {
+		t.Fatal("deleted key still found")
+	}
+	checkInv(t, tab)
+}
+
+// Theorem 3: the lookup principles always narrow the checking scope below
+// d unless every candidate counter is exactly 1 — verified empirically over
+// thousands of lookups at many loads.
+func TestTheoremThreeAlwaysNarrows(t *testing.T) {
+	tab := mustNew(t, Config{BucketsPerTable: 1024, Seed: 211, AssumeUniqueKeys: true,
+		StashEnabled: true})
+	keys := fillKeys(212, int(0.92*float64(tab.Capacity())))
+	probes := fillKeys(213, 2000)
+	checkOne := func(x uint64) {
+		var cand [hashutil.MaxD]int
+		tab.family.Indexes(x, cand[:])
+		allOnes := true
+		for i := 0; i < 3; i++ {
+			if tab.counters.Get(tab.bucketIndex(i, cand[i])) != 1 {
+				allOnes = false
+			}
+		}
+		before := tab.Meter().Snapshot()
+		tab.Lookup(x)
+		reads := tab.Meter().Snapshot().Sub(before).OffChipReads
+		if !allOnes && reads >= 3 {
+			t.Fatalf("lookup with counters not all 1 cost %d reads (Theorem 3 violated)", reads)
+		}
+		if reads > 3 {
+			t.Fatalf("lookup cost %d main-table reads, exceeds d", reads)
+		}
+	}
+	for i, k := range keys {
+		tab.Insert(k, k)
+		if i%97 == 0 {
+			checkOne(k)                     // existing item
+			checkOne(probes[i%len(probes)]) // likely missing item
+		}
+	}
+}

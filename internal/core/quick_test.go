@@ -1,0 +1,203 @@
+package core
+
+import (
+	"io"
+	"testing"
+	"testing/quick"
+
+	"mccuckoo/internal/kv"
+)
+
+// quickOp is a generator-friendly operation description.
+type quickOp struct {
+	Kind uint8
+	Key  uint16
+	Val  uint16
+}
+
+// applyQuickOps drives a table and a model with the same operations and
+// reports the first divergence (empty string when equivalent).
+func applyQuickOps(tab kv.Table, ops []quickOp, keySpace uint64) bool {
+	model := map[uint64]uint64{}
+	for _, op := range ops {
+		key := uint64(op.Key) % keySpace
+		val := uint64(op.Val)
+		switch op.Kind % 4 {
+		case 0, 1:
+			if tab.Insert(key, val).Status != kv.Failed {
+				model[key] = val
+			}
+		case 2:
+			got, ok := tab.Lookup(key)
+			want, wok := model[key]
+			if ok != wok || (ok && got != want) {
+				return false
+			}
+		case 3:
+			_, wok := model[key]
+			if tab.Delete(key) != wok {
+				return false
+			}
+			delete(model, key)
+		}
+	}
+	return tab.Len() == len(model)
+}
+
+// Property: under arbitrary operation sequences the single-slot table is
+// observationally equivalent to a map and preserves every invariant.
+func TestQuickTableModelEquivalence(t *testing.T) {
+	f := func(ops []quickOp, seed uint16) bool {
+		tab, err := New(Config{BucketsPerTable: 48, Seed: uint64(seed), MaxLoop: 20,
+			StashEnabled: true})
+		if err != nil {
+			return false
+		}
+		if !applyQuickOps(tab, ops, 120) {
+			return false
+		}
+		return tab.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mixing pathwise and in-place insertion arbitrarily preserves
+// model equivalence and every invariant (the two insertion protocols are
+// interchangeable mid-stream).
+func TestQuickPathwiseInterleaving(t *testing.T) {
+	f := func(ops []quickOp, seed uint16) bool {
+		tab, err := New(Config{BucketsPerTable: 48, Seed: uint64(seed), MaxLoop: 20,
+			StashEnabled: true})
+		if err != nil {
+			return false
+		}
+		model := map[uint64]uint64{}
+		for _, op := range ops {
+			key := uint64(op.Key) % 120
+			val := uint64(op.Val)
+			switch op.Kind % 5 {
+			case 0:
+				if tab.Insert(key, val).Status != kv.Failed {
+					model[key] = val
+				}
+			case 1:
+				if tab.InsertPathwise(key, val).Status != kv.Failed {
+					model[key] = val
+				}
+			case 2, 3:
+				got, ok := tab.Lookup(key)
+				want, wok := model[key]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 4:
+				_, wok := model[key]
+				if tab.Delete(key) != wok {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		return tab.Len() == len(model) && tab.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: same for the blocked table, in tombstone mode for extra state
+// variety.
+func TestQuickBlockedModelEquivalence(t *testing.T) {
+	f := func(ops []quickOp, seed uint16) bool {
+		tab, err := NewBlocked(Config{BucketsPerTable: 16, Seed: uint64(seed), MaxLoop: 20,
+			StashEnabled: true, Deletion: Tombstone})
+		if err != nil {
+			return false
+		}
+		if !applyQuickOps(tab, ops, 120) {
+			return false
+		}
+		return tab.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counter consistency survives arbitrary insert-only sequences —
+// for every inserted key, its copy count equals the counter value of each
+// of its buckets, and redundant writes respect the Theorem 2 bound.
+func TestQuickCounterConsistency(t *testing.T) {
+	f := func(rawKeys []uint16, seed uint16) bool {
+		tab, err := New(Config{BucketsPerTable: 32, Seed: uint64(seed), MaxLoop: 20,
+			StashEnabled: true, AssumeUniqueKeys: false})
+		if err != nil {
+			return false
+		}
+		for _, rk := range rawKeys {
+			tab.Insert(uint64(rk), 1)
+		}
+		if tab.CheckInvariants() != nil {
+			return false
+		}
+		s := float64(tab.Capacity())
+		return float64(tab.RedundantWrites()) <= s*(1+1.0/3)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshots round-trip arbitrary table states — save/load yields
+// a table that answers every key identically.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(ops []quickOp, seed uint16) bool {
+		tab, err := New(Config{BucketsPerTable: 24, Seed: uint64(seed), MaxLoop: 16,
+			StashEnabled: true})
+		if err != nil {
+			return false
+		}
+		applyQuickOps(tab, ops, 90)
+		var buf writerBuffer
+		if _, err := tab.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		for key := uint64(0); key < 90; key++ {
+			v1, ok1 := tab.Lookup(key)
+			v2, ok2 := got.Lookup(key)
+			if ok1 != ok2 || (ok1 && v1 != v2) {
+				return false
+			}
+		}
+		return got.Len() == tab.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// writerBuffer is a minimal in-memory ReadWriter.
+type writerBuffer struct {
+	data []byte
+	off  int
+}
+
+func (b *writerBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *writerBuffer) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import "mccuckoo/internal/hashutil"
+
+// LookupReadOnly answers a lookup without mutating any table state — no
+// meter charges, no stats. It applies exactly the same principles as Lookup
+// and exists so that many readers can run in parallel under a read lock
+// (see Concurrent). Property tests assert it always agrees with Lookup.
+func (t *Table) LookupReadOnly(key uint64) (uint64, bool) {
+	var cand [hashutil.MaxD]int
+	t.family.Indexes(key, cand[:])
+	d := t.cfg.D
+
+	var cnt [hashutil.MaxD]uint64
+	anyZero := false
+	for i := 0; i < d; i++ {
+		cnt[i] = t.counters.Get(t.bucketIndex(i, cand[i]))
+		if cnt[i] == 0 {
+			anyZero = true
+		}
+	}
+	if anyZero && t.rule1Active() {
+		return 0, false
+	}
+	flagAnd := true
+	for v := uint64(d); v >= 1; v-- {
+		var group [hashutil.MaxD]int
+		s := 0
+		for i := 0; i < d; i++ {
+			if cnt[i] == v {
+				group[s] = i
+				s++
+			}
+		}
+		if s == 0 || s < int(v) {
+			continue
+		}
+		budget := s - int(v) + 1
+		for k := 0; k < s && budget > 0; k++ {
+			i := group[k]
+			budget--
+			idx := t.bucketIndex(i, cand[i])
+			flagAnd = flagAnd && t.flags.Get(idx)
+			if t.keys[idx] == key {
+				return t.vals[idx], true
+			}
+		}
+	}
+	if t.overflow == nil || t.overflow.Len() == 0 {
+		return 0, false
+	}
+	probe := false
+	if !t.deletedAny {
+		probe = flagAnd
+		for i := 0; i < d; i++ {
+			if cnt[i] != 1 {
+				probe = false
+			}
+		}
+	} else {
+		probe = flagAnd
+	}
+	if probe {
+		if v, ok := t.overflow.Peek(key); ok {
+			return v, ok
+		}
+	}
+	return 0, false
+}
+
+// LookupReadOnly is the blocked-table counterpart of Table.LookupReadOnly.
+func (t *BlockedTable) LookupReadOnly(key uint64) (uint64, bool) {
+	var cand [hashutil.MaxD]int
+	t.family.Indexes(key, cand[:])
+	d, l := t.cfg.D, t.cfg.Slots
+
+	flagAnd := true
+	for i := 0; i < d; i++ {
+		base := t.slotIndex(i, cand[i], 0)
+		live := false
+		allZero := true
+		var cnt [8]uint64
+		for s := 0; s < l; s++ {
+			cnt[s] = t.counters.Get(base + s)
+			if !t.isFree(cnt[s]) {
+				live = true
+			}
+			if cnt[s] != 0 {
+				allZero = false
+			}
+		}
+		if !live {
+			if allZero && t.rule1Active() {
+				return 0, false
+			}
+			continue
+		}
+		flagAnd = flagAnd && t.flags.Get(t.bucketFlagIndex(i, cand[i]))
+		for s := 0; s < l; s++ {
+			if !t.isFree(cnt[s]) && t.keys[base+s] == key {
+				return t.vals[base+s], true
+			}
+		}
+	}
+	if t.overflow == nil || t.overflow.Len() == 0 || !flagAnd {
+		return 0, false
+	}
+	return t.overflow.Peek(key)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"mccuckoo/internal/kv"
+)
+
+func TestGrowRecoversAllItems(t *testing.T) {
+	tab := mustNew(t, Config{BucketsPerTable: 128, Seed: 71, AssumeUniqueKeys: true,
+		StashEnabled: true, MaxLoop: 50})
+	keys := fillKeys(72, 370) // ~96% load: guarantees stash pressure
+	for _, k := range keys {
+		tab.Insert(k, k*3)
+	}
+	stashedBefore := tab.StashLen()
+	if err := tab.Grow(2); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	if tab.Capacity() != 3*256 {
+		t.Fatalf("capacity after grow = %d", tab.Capacity())
+	}
+	for _, k := range keys {
+		if v, ok := tab.Lookup(k); !ok || v != k*3 {
+			t.Fatalf("key %#x lost across Grow (ok=%v)", k, ok)
+		}
+	}
+	if tab.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(keys))
+	}
+	// At half the load, the grown table should have absorbed the stash.
+	if stashedBefore > 0 && tab.StashLen() >= stashedBefore {
+		t.Errorf("stash did not shrink across Grow: %d -> %d", stashedBefore, tab.StashLen())
+	}
+	checkInv(t, tab)
+}
+
+func TestGrowValidation(t *testing.T) {
+	tab := mustNew(t, Config{BucketsPerTable: 16, Seed: 73})
+	if err := tab.Grow(0.5); err == nil {
+		t.Error("shrinking factor accepted")
+	}
+	btab := mustNewBlocked(t, Config{BucketsPerTable: 16, Seed: 73})
+	if err := btab.Grow(0); err == nil {
+		t.Error("zero factor accepted (blocked)")
+	}
+}
+
+func TestGrowInPlaceReabsorbsStash(t *testing.T) {
+	// Grow(1) = rehash at the same size with fresh hash functions; after
+	// deletions freed space, it should pull stashed items back in.
+	tab := mustNew(t, Config{BucketsPerTable: 64, Seed: 75, AssumeUniqueKeys: true,
+		StashEnabled: true, MaxLoop: 30})
+	keys := fillKeys(76, 190)
+	for _, k := range keys {
+		tab.Insert(k, k)
+	}
+	if tab.StashLen() == 0 {
+		t.Skip("no stash pressure with this seed")
+	}
+	for _, k := range keys[:80] {
+		tab.Delete(k)
+	}
+	if err := tab.Grow(1); err != nil {
+		t.Fatalf("Grow(1): %v", err)
+	}
+	if tab.StashLen() != 0 {
+		t.Errorf("stash still holds %d items after in-place rehash at %.0f%% load",
+			tab.StashLen(), tab.LoadRatio()*100)
+	}
+	for _, k := range keys[80:] {
+		if v, ok := tab.Lookup(k); !ok || v != k {
+			t.Fatalf("key %#x lost across in-place rehash", k)
+		}
+	}
+	checkInv(t, tab)
+}
+
+func TestGrowAfterDeletionsRestoresRuleOne(t *testing.T) {
+	// A rebuild resets deletedAny: the zero-counter shortcut works again.
+	tab := mustNew(t, Config{BucketsPerTable: 1 << 10, Seed: 77, AssumeUniqueKeys: true})
+	keys := fillKeys(78, 200)
+	for _, k := range keys {
+		tab.Insert(k, k)
+	}
+	tab.Delete(keys[0])
+	if err := tab.Grow(1); err != nil {
+		t.Fatal(err)
+	}
+	before := tab.Meter().Snapshot()
+	misses := fillKeys(7979, 300)
+	for _, k := range misses {
+		tab.Lookup(k)
+	}
+	delta := tab.Meter().Snapshot().Sub(before)
+	if perMiss := float64(delta.OffChipReads) / float64(len(misses)); perMiss > 0.05 {
+		t.Errorf("misses cost %.3f reads after rebuild, want ~0 (rule 1 restored)", perMiss)
+	}
+}
+
+func TestBlockedGrowRecoversAllItems(t *testing.T) {
+	tab := mustNewBlocked(t, Config{BucketsPerTable: 64, Seed: 79, AssumeUniqueKeys: true,
+		StashEnabled: true, MaxLoop: 100})
+	keys := fillKeys(80, tab.Capacity()) // 100% load
+	for _, k := range keys {
+		if tab.Insert(k, k+5).Status == kv.Failed {
+			t.Fatal("fill failed")
+		}
+	}
+	if err := tab.Grow(1.5); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	for _, k := range keys {
+		if v, ok := tab.Lookup(k); !ok || v != k+5 {
+			t.Fatalf("key %#x lost across blocked Grow", k)
+		}
+	}
+	checkBlockedInv(t, tab)
+}
+
+func TestGrowChargesTraffic(t *testing.T) {
+	tab := mustNew(t, Config{BucketsPerTable: 64, Seed: 81, AssumeUniqueKeys: true,
+		StashEnabled: true})
+	for _, k := range fillKeys(82, 100) {
+		tab.Insert(k, k)
+	}
+	before := tab.Meter().Snapshot()
+	if err := tab.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	delta := tab.Meter().Snapshot().Sub(before)
+	if delta.OffChipReads < int64(3*64) {
+		t.Errorf("Grow charged %d reads, want at least the full-table read (192)", delta.OffChipReads)
+	}
+	if delta.OffChipWrites < 100 {
+		t.Errorf("Grow charged %d writes, want at least one per item", delta.OffChipWrites)
+	}
+}

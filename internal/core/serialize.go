@@ -1,0 +1,471 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mccuckoo/internal/memmodel"
+
+	"mccuckoo/internal/kv"
+)
+
+// Serialization: a versioned little-endian binary snapshot of a table.
+// The snapshot captures the full logical state — configuration, buckets,
+// counters, flags, hints, stash, bookkeeping and the traffic meter — so a
+// loaded table behaves identically to the saved one, with one documented
+// exception: the random-walk RNG is reseeded deterministically from the
+// configuration seed and the item count, so post-load kick sequences are
+// reproducible but not a bit-level continuation of the saved process.
+
+const (
+	snapshotMagic   = "MCCK"
+	snapshotVersion = 2
+	kindSingle      = 0
+	kindBlocked     = 1
+)
+
+type snapWriter struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+func (s *snapWriter) u8(v uint8) {
+	if s.err == nil {
+		s.err = s.w.WriteByte(v)
+		s.n++
+	}
+}
+
+func (s *snapWriter) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	s.bytes(buf[:])
+}
+
+func (s *snapWriter) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	s.bytes(buf[:])
+}
+
+func (s *snapWriter) bytes(b []byte) {
+	if s.err == nil {
+		n, err := s.w.Write(b)
+		s.n += int64(n)
+		s.err = err
+	}
+}
+
+func (s *snapWriter) u64s(vals []uint64) {
+	s.u64(uint64(len(vals)))
+	for _, v := range vals {
+		s.u64(v)
+	}
+}
+
+type snapReader struct {
+	r   *bufio.Reader
+	n   int64
+	err error
+}
+
+func (s *snapReader) u8() uint8 {
+	if s.err != nil {
+		return 0
+	}
+	b, err := s.r.ReadByte()
+	if err != nil {
+		s.err = err
+		return 0
+	}
+	s.n++
+	return b
+}
+
+func (s *snapReader) u32() uint32 {
+	var buf [4]byte
+	s.bytes(buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (s *snapReader) u64() uint64 {
+	var buf [8]byte
+	s.bytes(buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (s *snapReader) bytes(b []byte) {
+	if s.err != nil {
+		return
+	}
+	n, err := io.ReadFull(s.r, b)
+	s.n += int64(n)
+	s.err = err
+}
+
+// u64s reads a length-prefixed word array in bounded chunks: memory grows
+// with bytes actually present in the stream, so a corrupt header declaring a
+// huge length fails at the first missing chunk instead of allocating it all
+// up front (found by FuzzLoad).
+func (s *snapReader) u64s(maxLen uint64) []uint64 {
+	n := s.u64()
+	if s.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		s.err = fmt.Errorf("core: snapshot array length %d exceeds limit %d", n, maxLen)
+		return nil
+	}
+	const chunk = 1 << 14
+	out := make([]uint64, 0, min(n, chunk))
+	var buf [8 * chunk]byte
+	for remaining := n; remaining > 0; {
+		c := min(remaining, chunk)
+		s.bytes(buf[:8*c])
+		if s.err != nil {
+			return nil
+		}
+		for i := uint64(0); i < c; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		remaining -= c
+	}
+	return out
+}
+
+// maxSnapshotArray bounds any single array in a snapshot; together with the
+// chunked reader it keeps garbage input from triggering large allocations.
+const maxSnapshotArray = 1 << 32
+
+func writeConfig(s *snapWriter, cfg Config) {
+	s.u8(uint8(cfg.D))
+	s.u8(uint8(cfg.Slots))
+	s.u32(uint32(cfg.MaxLoop))
+	s.u64(cfg.Seed)
+	s.u8(uint8(cfg.Policy))
+	s.u8(uint8(cfg.Deletion))
+	s.u8(boolByte(cfg.StashEnabled))
+	s.u32(uint32(cfg.StashMax))
+	s.u8(boolByte(cfg.DisablePrescreen))
+	s.u8(boolByte(cfg.AssumeUniqueKeys))
+	s.u8(boolByte(cfg.DoubleHashing))
+	s.u64(uint64(cfg.BucketsPerTable))
+}
+
+func readConfig(s *snapReader) Config {
+	var cfg Config
+	cfg.D = int(s.u8())
+	cfg.Slots = int(s.u8())
+	cfg.MaxLoop = int(s.u32())
+	cfg.Seed = s.u64()
+	cfg.Policy = kv.KickPolicy(s.u8())
+	cfg.Deletion = DeletionMode(s.u8())
+	cfg.StashEnabled = s.u8() == 1
+	cfg.StashMax = int(s.u32())
+	cfg.DisablePrescreen = s.u8() == 1
+	cfg.AssumeUniqueKeys = s.u8() == 1
+	cfg.DoubleHashing = s.u8() == 1
+	n := s.u64()
+	if n > math.MaxInt32 {
+		s.err = fmt.Errorf("core: snapshot table length %d too large", n)
+		return cfg
+	}
+	cfg.BucketsPerTable = int(n)
+	return cfg
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func writeStash(s *snapWriter, entries []kv.Entry) {
+	s.u64(uint64(len(entries)))
+	for _, e := range entries {
+		s.u64(e.Key)
+		s.u64(e.Value)
+	}
+}
+
+func readStash(s *snapReader) []kv.Entry {
+	n := s.u64()
+	if s.err != nil {
+		return nil
+	}
+	if n > maxSnapshotArray {
+		s.err = fmt.Errorf("core: snapshot stash length %d too large", n)
+		return nil
+	}
+	entries := make([]kv.Entry, 0, min(n, 1<<14))
+	for i := uint64(0); i < n; i++ {
+		e := kv.Entry{Key: s.u64(), Value: s.u64()}
+		if s.err != nil {
+			return nil
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// WriteTo serializes the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	s := &snapWriter{w: bufio.NewWriter(w)}
+	s.bytes([]byte(snapshotMagic))
+	s.u8(snapshotVersion)
+	s.u8(kindSingle)
+	writeConfig(s, t.cfg)
+	s.u64(uint64(t.size))
+	s.u64(uint64(t.copiesTotal))
+	s.u64(uint64(t.redundantWrites))
+	s.u8(boolByte(t.deletedAny))
+	s.u64s(t.keys)
+	s.u64s(t.vals)
+	s.u64s(t.counters.Words())
+	s.u64s(t.flags.Words())
+	m := t.meter.Snapshot()
+	s.u64(uint64(m.OffChipReads))
+	s.u64(uint64(m.OffChipWrites))
+	s.u64(uint64(m.OnChipReads))
+	s.u64(uint64(m.OnChipWrites))
+	if t.kickCounts != nil {
+		s.u64s(t.kickCounts.Words())
+	} else {
+		s.u64(0)
+	}
+	if t.overflow != nil {
+		writeStash(s, t.overflow.Entries())
+	} else {
+		s.u64(0)
+	}
+	if s.err == nil {
+		s.err = s.w.Flush()
+	}
+	return s.n, s.err
+}
+
+// Load deserializes a single-slot table previously written with WriteTo.
+func Load(r io.Reader) (*Table, error) {
+	s := &snapReader{r: bufio.NewReader(r)}
+	var magic [4]byte
+	s.bytes(magic[:])
+	if s.err == nil && string(magic[:]) != snapshotMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
+	}
+	if v := s.u8(); s.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", v)
+	}
+	if k := s.u8(); s.err == nil && k != kindSingle {
+		return nil, fmt.Errorf("core: snapshot holds a blocked table; use LoadBlocked")
+	}
+	cfg := readConfig(s)
+	if s.err != nil {
+		return nil, s.err
+	}
+	size := int(s.u64())
+	copiesTotal := int(s.u64())
+	redundantWrites := int64(s.u64())
+	deletedAny := s.u8() == 1
+	keys := s.u64s(maxSnapshotArray)
+	vals := s.u64s(maxSnapshotArray)
+	counterWords := s.u64s(maxSnapshotArray)
+	flagWords := s.u64s(maxSnapshotArray)
+	var m memmodel.Meter
+	m.OffChipReads = int64(s.u64())
+	m.OffChipWrites = int64(s.u64())
+	m.OnChipReads = int64(s.u64())
+	m.OnChipWrites = int64(s.u64())
+	kickWords := s.u64s(maxSnapshotArray)
+	stashEntries := readStash(s)
+	if s.err != nil {
+		return nil, s.err
+	}
+	// Only now, with the whole payload validated against the stream,
+	// allocate the table. The array lengths must match the declared
+	// geometry first, so a header claiming a huge table with an empty
+	// payload cannot trigger the allocation.
+	if wantBuckets := cfg.D * cfg.BucketsPerTable; len(keys) != wantBuckets || len(vals) != wantBuckets {
+		return nil, fmt.Errorf("core: snapshot bucket arrays (%d/%d) do not match geometry %d",
+			len(keys), len(vals), wantBuckets)
+	}
+	t, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot config invalid: %w", err)
+	}
+	t.size = size
+	t.copiesTotal = copiesTotal
+	t.redundantWrites = redundantWrites
+	t.deletedAny = deletedAny
+	t.meter = m
+	if len(keys) != len(t.keys) || len(vals) != len(t.vals) {
+		return nil, fmt.Errorf("core: snapshot bucket arrays do not match geometry")
+	}
+	copy(t.keys, keys)
+	copy(t.vals, vals)
+	if err := t.counters.LoadWords(counterWords); err != nil {
+		return nil, err
+	}
+	if err := t.flags.LoadWords(flagWords); err != nil {
+		return nil, err
+	}
+	if t.kickCounts != nil {
+		if err := t.kickCounts.LoadWords(kickWords); err != nil {
+			return nil, err
+		}
+	} else if len(kickWords) != 0 {
+		return nil, fmt.Errorf("core: snapshot has kick counters but policy is random-walk")
+	}
+	if t.overflow != nil {
+		if err := t.overflow.Restore(stashEntries); err != nil {
+			return nil, err
+		}
+	} else if len(stashEntries) != 0 {
+		return nil, fmt.Errorf("core: snapshot has stash entries but stash is disabled")
+	}
+	t.reseedRNG()
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("core: snapshot inconsistent: %w", err)
+	}
+	return t, nil
+}
+
+// WriteTo serializes the blocked table. It implements io.WriterTo.
+func (t *BlockedTable) WriteTo(w io.Writer) (int64, error) {
+	s := &snapWriter{w: bufio.NewWriter(w)}
+	s.bytes([]byte(snapshotMagic))
+	s.u8(snapshotVersion)
+	s.u8(kindBlocked)
+	writeConfig(s, t.cfg)
+	s.u64(uint64(t.size))
+	s.u64(uint64(t.copiesTotal))
+	s.u64(uint64(t.redundantWrites))
+	s.u8(boolByte(t.deletedAny))
+	s.u64s(t.keys)
+	s.u64s(t.vals)
+	s.u64s(t.counters.Words())
+	s.u64s(t.flags.Words())
+	// Hints: 4 signed bytes per slot, packed into one u32 each.
+	s.u64(uint64(len(t.hints)))
+	for _, h := range t.hints {
+		s.u32(uint32(uint8(h[0])) | uint32(uint8(h[1]))<<8 |
+			uint32(uint8(h[2]))<<16 | uint32(uint8(h[3]))<<24)
+	}
+	m := t.meter.Snapshot()
+	s.u64(uint64(m.OffChipReads))
+	s.u64(uint64(m.OffChipWrites))
+	s.u64(uint64(m.OnChipReads))
+	s.u64(uint64(m.OnChipWrites))
+	if t.kickCounts != nil {
+		s.u64s(t.kickCounts.Words())
+	} else {
+		s.u64(0)
+	}
+	if t.overflow != nil {
+		writeStash(s, t.overflow.Entries())
+	} else {
+		s.u64(0)
+	}
+	if s.err == nil {
+		s.err = s.w.Flush()
+	}
+	return s.n, s.err
+}
+
+// LoadBlocked deserializes a blocked table previously written with WriteTo.
+func LoadBlocked(r io.Reader) (*BlockedTable, error) {
+	s := &snapReader{r: bufio.NewReader(r)}
+	var magic [4]byte
+	s.bytes(magic[:])
+	if s.err == nil && string(magic[:]) != snapshotMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
+	}
+	if v := s.u8(); s.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", v)
+	}
+	if k := s.u8(); s.err == nil && k != kindBlocked {
+		return nil, fmt.Errorf("core: snapshot holds a single-slot table; use Load")
+	}
+	cfg := readConfig(s)
+	if s.err != nil {
+		return nil, s.err
+	}
+	size := int(s.u64())
+	copiesTotal := int(s.u64())
+	redundantWrites := int64(s.u64())
+	deletedAny := s.u8() == 1
+	keys := s.u64s(maxSnapshotArray)
+	vals := s.u64s(maxSnapshotArray)
+	counterWords := s.u64s(maxSnapshotArray)
+	flagWords := s.u64s(maxSnapshotArray)
+	nHints := s.u64()
+	if s.err == nil && nHints != uint64(len(keys)) {
+		return nil, fmt.Errorf("core: snapshot hint count %d does not match slot count %d", nHints, len(keys))
+	}
+	hints := make([][4]int8, 0, min(nHints, 1<<14))
+	for i := uint64(0); i < nHints && s.err == nil; i++ {
+		packed := s.u32()
+		hints = append(hints, [4]int8{
+			int8(uint8(packed)), int8(uint8(packed >> 8)),
+			int8(uint8(packed >> 16)), int8(uint8(packed >> 24)),
+		})
+	}
+	var m memmodel.Meter
+	m.OffChipReads = int64(s.u64())
+	m.OffChipWrites = int64(s.u64())
+	m.OnChipReads = int64(s.u64())
+	m.OnChipWrites = int64(s.u64())
+	kickWords := s.u64s(maxSnapshotArray)
+	stashEntries := readStash(s)
+	if s.err != nil {
+		return nil, s.err
+	}
+	if wantSlots := cfg.D * cfg.BucketsPerTable * cfg.Slots; len(keys) != wantSlots || len(vals) != wantSlots {
+		return nil, fmt.Errorf("core: snapshot slot arrays (%d/%d) do not match geometry %d",
+			len(keys), len(vals), wantSlots)
+	}
+	t, err := NewBlocked(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot config invalid: %w", err)
+	}
+	t.size = size
+	t.copiesTotal = copiesTotal
+	t.redundantWrites = redundantWrites
+	t.deletedAny = deletedAny
+	t.meter = m
+	if len(keys) != len(t.keys) || len(vals) != len(t.vals) {
+		return nil, fmt.Errorf("core: snapshot slot arrays do not match geometry")
+	}
+	copy(t.keys, keys)
+	copy(t.vals, vals)
+	copy(t.hints, hints)
+	if err := t.counters.LoadWords(counterWords); err != nil {
+		return nil, err
+	}
+	if err := t.flags.LoadWords(flagWords); err != nil {
+		return nil, err
+	}
+	if t.kickCounts != nil {
+		if err := t.kickCounts.LoadWords(kickWords); err != nil {
+			return nil, err
+		}
+	} else if len(kickWords) != 0 {
+		return nil, fmt.Errorf("core: snapshot has kick counters but policy is random-walk")
+	}
+	if t.overflow != nil {
+		if err := t.overflow.Restore(stashEntries); err != nil {
+			return nil, err
+		}
+	} else if len(stashEntries) != 0 {
+		return nil, fmt.Errorf("core: snapshot has stash entries but stash is disabled")
+	}
+	t.reseedRNG()
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("core: snapshot inconsistent: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"mccuckoo/internal/bitpack"
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/kv"
+	"mccuckoo/internal/memmodel"
+	"mccuckoo/internal/stash"
+)
+
+// Table is the single-slot McCuckoo hash table (d hash functions, one item
+// per bucket, one 2-bit counter per bucket for d = 3).
+//
+// Storage model: the key/value arrays and the stash flags are "off-chip";
+// the counter array is "on-chip". Off-chip bucket accesses and on-chip
+// counter accesses are charged to the Meter separately. The table is not
+// safe for concurrent use; wrap it in Concurrent for one-writer-many-readers
+// access.
+type Table struct {
+	cfg    Config
+	family *hashutil.Family
+	meter  memmodel.Meter
+	rng    *rand.Rand
+
+	// Off-chip main table, flat-indexed by table*n + bucket.
+	keys []uint64
+	vals []uint64
+	// flags are the 1-bit stash flags stored alongside each bucket
+	// off-chip (§III.E). Reading a bucket returns its flag for free;
+	// setting a flag costs one off-chip write.
+	flags *bitpack.Bitset
+
+	// On-chip counter array: counters.Get(i) is the number of copies the
+	// item in bucket i has, 0 for empty, tombstoneVal for deleted marks.
+	counters     *bitpack.Counters
+	tombstoneVal uint64 // 0 when tombstones are disabled
+	// kickCounts backs the MinCounter resolver (5-bit on-chip counters,
+	// one per bucket). Nil under RandomWalk.
+	kickCounts *bitpack.Counters
+
+	overflow *stash.Stash
+	// deletedAny flips when the first ResetCounters deletion happens;
+	// from then on the zero-counter lookup shortcut and the counter-based
+	// stash pre-screen are disabled (§III.F).
+	deletedAny bool
+
+	size            int // distinct items in the main table
+	copiesTotal     int // live physical copies in the main table
+	redundantWrites int64
+	stats           kv.Stats
+}
+
+// New creates a single-slot McCuckoo table.
+func New(cfg Config) (*Table, error) {
+	if err := cfg.normalize(false); err != nil {
+		return nil, err
+	}
+	family, err := newFamily(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buckets := cfg.D * cfg.BucketsPerTable
+	counters, err := bitpack.NewCounters(buckets, cfg.counterWidth())
+	if err != nil {
+		return nil, err
+	}
+	flags, err := bitpack.NewBitset(buckets)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		cfg:      cfg,
+		family:   family,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, hashutil.Mix64(cfg.Seed+2))),
+		keys:     make([]uint64, buckets),
+		vals:     make([]uint64, buckets),
+		flags:    flags,
+		counters: counters,
+	}
+	if cfg.Deletion == Tombstone {
+		t.tombstoneVal = uint64(cfg.D) + 1
+	}
+	if cfg.Policy == kv.MinCounter {
+		t.kickCounts, err = bitpack.NewCounters(buckets, 5)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.StashEnabled {
+		t.overflow, err = stash.New(4, cfg.StashMax, cfg.Seed, &t.meter)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// pickVictimTable chooses which candidate to evict from during the random
+// walk: uniformly at random under RandomWalk, or the candidate with the
+// smallest 5-bit kick counter under MinCounter. Both avoid bouncing straight
+// back to prevTable.
+func (t *Table) pickVictimTable(cand []int, prevTable int) int {
+	if t.kickCounts != nil {
+		best, bestCount := -1, uint64(1<<62)
+		for i := range cand {
+			if i == prevTable {
+				continue
+			}
+			t.meter.ReadOn(1)
+			c := t.kickCounts.Get(t.bucketIndex(i, cand[i]))
+			if c < bestCount || (c == bestCount && t.rng.IntN(2) == 0) {
+				best, bestCount = i, c
+			}
+		}
+		bi := t.bucketIndex(best, cand[best])
+		if v := t.kickCounts.Get(bi); v < t.kickCounts.Max() {
+			t.kickCounts.Set(bi, v+1)
+			t.meter.WriteOn(1)
+		}
+		return best
+	}
+	for {
+		i := t.rng.IntN(len(cand))
+		if i != prevTable {
+			return i
+		}
+	}
+}
+
+// bucketIndex returns the flat index of bucket `bucket` in subtable `table`.
+func (t *Table) bucketIndex(table, bucket int) int {
+	return table*t.cfg.BucketsPerTable + bucket
+}
+
+// counterAt reads the on-chip counter of one candidate, charging the access.
+func (t *Table) counterAt(table, bucket int) uint64 {
+	t.meter.ReadOn(1)
+	return t.counters.Get(t.bucketIndex(table, bucket))
+}
+
+// setCounter writes an on-chip counter, charging the access.
+func (t *Table) setCounter(table, bucket int, v uint64) {
+	t.meter.WriteOn(1)
+	t.counters.Set(t.bucketIndex(table, bucket), v)
+}
+
+// isFree reports whether a counter value means the bucket may be written by
+// an insertion: empty, or marked deleted in tombstone mode.
+func (t *Table) isFree(counter uint64) bool {
+	return counter == 0 || (t.tombstoneVal != 0 && counter == t.tombstoneVal)
+}
+
+// readBucket performs one off-chip bucket read, returning the stored key and
+// the stash flag (which travels with the bucket content for free).
+func (t *Table) readBucket(table, bucket int) (key uint64, flag bool) {
+	t.meter.ReadOff(1)
+	idx := t.bucketIndex(table, bucket)
+	return t.keys[idx], t.flags.Get(idx)
+}
+
+// writeBucket performs one off-chip bucket write.
+func (t *Table) writeBucket(table, bucket int, e kv.Entry) {
+	t.meter.WriteOff(1)
+	idx := t.bucketIndex(table, bucket)
+	t.keys[idx] = e.Key
+	t.vals[idx] = e.Value
+}
+
+// Len returns the number of distinct live items, stash included.
+func (t *Table) Len() int { return t.size + t.StashLen() }
+
+// Capacity returns the total number of buckets.
+func (t *Table) Capacity() int { return t.cfg.D * t.cfg.BucketsPerTable }
+
+// LoadRatio returns distinct items over table size, the paper's load metric.
+func (t *Table) LoadRatio() float64 { return float64(t.Len()) / float64(t.Capacity()) }
+
+// Meter exposes the memory-traffic counters.
+func (t *Table) Meter() *memmodel.Meter { return &t.meter }
+
+// Stats exposes lifetime operation counts.
+func (t *Table) Stats() kv.Stats { return t.stats }
+
+// StashLen returns the current stash population.
+func (t *Table) StashLen() int {
+	if t.overflow == nil {
+		return 0
+	}
+	return t.overflow.Len()
+}
+
+// Copies returns the number of live physical copies currently stored in the
+// main table (>= Len() - StashLen(); the surplus is the redundancy).
+func (t *Table) Copies() int { return t.copiesTotal }
+
+// RedundantWrites returns the lifetime count of proactive redundant copy
+// writes (Theorem 2 bounds this by S·(1 + Σ_{t=3..d} 1/t)).
+func (t *Table) RedundantWrites() int64 { return t.redundantWrites }
+
+// OnChipBytes returns the size of the on-chip counter array.
+func (t *Table) OnChipBytes() int { return t.counters.SizeBytes() }
+
+// reseedRNG re-derives the random-walk generator after a snapshot load so
+// subsequent kick sequences are deterministic for the (seed, size) pair.
+func (t *Table) reseedRNG() {
+	t.rng = rand.New(rand.NewPCG(t.cfg.Seed, hashutil.Mix64(t.cfg.Seed+uint64(t.size)+2)))
+}

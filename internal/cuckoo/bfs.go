@@ -1,0 +1,89 @@
+package cuckoo
+
+import (
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/kv"
+)
+
+// insertBFS resolves a collision with breadth-first search over the
+// eviction graph — the original cuckoo strategy ("probe for one in BFS
+// order", paper §I). It finds the *shortest* relocation chain to a free
+// slot, at the cost of reading many buckets: every bucket examined during
+// the search is one off-chip read, which is exactly the blindness McCuckoo's
+// counters remove. The search budget is MaxLoop examined buckets; on
+// exhaustion the item overflows to the stash.
+//
+// The caller has already scanned cur's candidate buckets (finding no free
+// slot), so their occupants' keys are known.
+func (t *Table) insertBFS(cur kv.Entry) kv.Outcome {
+	type bfsNode struct {
+		slot   int // flat index of the slot whose occupant would move
+		parent int // index into nodes, -1 for the initial frontier
+	}
+	var cand [hashutil.MaxD]int
+	t.family.Indexes(cur.Key, cand[:])
+
+	nodes := make([]bfsNode, 0, 64)
+	seen := make(map[int]bool, 64)
+	for i := 0; i < t.cfg.D; i++ {
+		base := t.slotBase(i, cand[i])
+		for s := 0; s < t.cfg.Slots; s++ {
+			if !seen[base+s] {
+				seen[base+s] = true
+				nodes = append(nodes, bfsNode{slot: base + s, parent: -1})
+			}
+		}
+	}
+
+	execute := func(found int, freeSlot int) kv.Outcome {
+		// Collect the chain root→...→found, then move occupants
+		// from the free end backwards.
+		var path []int
+		for i := found; i >= 0; i = nodes[i].parent {
+			path = append(path, nodes[i].slot)
+		}
+		for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+			path[l], path[r] = path[r], path[l]
+		}
+		dst := freeSlot
+		for i := len(path) - 1; i >= 0; i-- {
+			src := path[i]
+			t.writeSlot(dst, kv.Entry{Key: t.keys[src], Value: t.vals[src]})
+			dst = src
+		}
+		t.writeSlot(dst, cur)
+		t.size++
+		t.stats.Kicks += int64(len(path))
+		return kv.Outcome{Status: kv.Placed, Kicks: len(path)}
+	}
+
+	examined := 0
+	for head := 0; head < len(nodes) && examined < t.cfg.MaxLoop; head++ {
+		n := nodes[head]
+		victim := t.keys[n.slot]
+		ownBase := n.slot / t.cfg.Slots * t.cfg.Slots
+		var vcand [hashutil.MaxD]int
+		t.family.Indexes(victim, vcand[:])
+		for j := 0; j < t.cfg.D && examined < t.cfg.MaxLoop; j++ {
+			vbase := t.slotBase(j, vcand[j])
+			if vbase == ownBase {
+				continue
+			}
+			t.meter.ReadOff(1)
+			examined++
+			for s := 0; s < t.cfg.Slots; s++ {
+				if !t.occupied[vbase+s] {
+					return execute(head, vbase+s)
+				}
+			}
+			for s := 0; s < t.cfg.Slots; s++ {
+				if idx := vbase + s; !seen[idx] {
+					seen[idx] = true
+					nodes = append(nodes, bfsNode{slot: idx, parent: head})
+				}
+			}
+		}
+	}
+	t.stats.Kicks += 0 // BFS moved nothing; the search cost is in reads
+	return t.overflowInsert(cur, 0)
+}

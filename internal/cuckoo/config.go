@@ -1,0 +1,94 @@
+// Package cuckoo implements the paper's two single-copy baselines: the
+// standard d-ary cuckoo hash table (one slot per bucket, random-walk
+// kick-outs, optional stash as in "Cuckoo hashing with a stash") and BCHT,
+// the blocked d-hash l-slot cuckoo hash table of Erlingsson et al. that the
+// evaluation compares against.
+//
+// Both report their off-chip memory traffic through a memmodel.Meter so the
+// experiment harness can reproduce Fig. 9–16.
+package cuckoo
+
+import (
+	"fmt"
+
+	"mccuckoo/internal/kv"
+)
+
+// Config parameterizes a baseline table.
+type Config struct {
+	// D is the number of hash functions / subtables. The paper uses 3.
+	D int
+	// BucketsPerTable is the length of each subtable.
+	BucketsPerTable int
+	// Slots is the number of slots per bucket: 1 for standard cuckoo,
+	// >1 for BCHT (the paper uses 3).
+	Slots int
+	// MaxLoop bounds the kick-out chain length before an insertion is
+	// declared failed.
+	MaxLoop int
+	// Seed makes hashing and the random walk reproducible.
+	Seed uint64
+	// Policy selects the kick-out victim policy.
+	Policy kv.KickPolicy
+	// StashEnabled attaches an overflow stash checked on every failed
+	// lookup (CHS). StashMax caps its size (0 = unbounded); the classic
+	// on-chip stash uses a small cap such as 4.
+	StashEnabled bool
+	StashMax     int
+	// PredetermineLoops attaches the SmartCuckoo-style pseudoforest that
+	// predicts unplaceable insertions before any kick is attempted
+	// (requires D=2, Slots=1; insertions only — the first Delete disables
+	// prediction, Rehash re-enables it).
+	PredetermineLoops bool
+	// BloomM, when positive, attaches an on-chip counting Bloom filter
+	// with BloomM 4-bit cells and BloomK hash functions that pre-screens
+	// every lookup — the DEHT/EMOMA-style helper the paper's counter
+	// array competes with (comparison scheme "Cuckoo+CBF"). BloomK
+	// defaults to 3.
+	BloomM int
+	BloomK int
+	// AssumeUniqueKeys skips the duplicate-key scan on insert. The
+	// experiment workloads guarantee unique keys, and the paper's access
+	// counts assume this; the public API leaves it off for safe upsert
+	// semantics.
+	AssumeUniqueKeys bool
+}
+
+func (c *Config) normalize() error {
+	if c.D == 0 {
+		c.D = 3
+	}
+	if c.Slots == 0 {
+		c.Slots = 1
+	}
+	if c.MaxLoop == 0 {
+		c.MaxLoop = 500
+	}
+	if c.D < 2 || c.D > 8 {
+		return fmt.Errorf("cuckoo: D must be in [2,8], got %d", c.D)
+	}
+	if c.Slots < 1 || c.Slots > 8 {
+		return fmt.Errorf("cuckoo: Slots must be in [1,8], got %d", c.Slots)
+	}
+	if c.BucketsPerTable <= 0 {
+		return fmt.Errorf("cuckoo: BucketsPerTable must be positive, got %d", c.BucketsPerTable)
+	}
+	if c.MaxLoop < 1 {
+		return fmt.Errorf("cuckoo: MaxLoop must be positive, got %d", c.MaxLoop)
+	}
+	if c.StashMax < 0 {
+		return fmt.Errorf("cuckoo: StashMax must be non-negative, got %d", c.StashMax)
+	}
+	if c.BloomM < 0 {
+		return fmt.Errorf("cuckoo: BloomM must be non-negative, got %d", c.BloomM)
+	}
+	if c.BloomM > 0 && c.BloomK == 0 {
+		c.BloomK = 3
+	}
+	if c.PredetermineLoops {
+		if err := validateSmartCuckoo(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package cuckoo
+
+import "fmt"
+
+// pseudoforest implements SmartCuckoo-style loop predetermination for d=2
+// single-slot cuckoo hashing (USENIX ATC'17, discussed in the paper's §I
+// and §II.B as the alternative family to McCuckoo's counters: "tried to
+// identify loops beforehand, so we won't run into an endless loop
+// situation in the first place"; the paper notes "it only works with 2
+// hash functions").
+//
+// The structure views each bucket as a vertex and each stored item as an
+// edge between its two candidate buckets. A connected component with v
+// vertices can host at most v items (a "maximal" component contains exactly
+// one cycle); inserting an edge whose endpoints lie in the same maximal
+// component — or in two components that are both maximal — must fail, and
+// the pseudoforest detects this before a single kick is attempted.
+//
+// Tracked with a union-find over buckets carrying a per-component cycle
+// flag. Union-find cannot un-merge, so the tracker supports insertions
+// only; it is rebuilt by Rehash and deliberately unsupported alongside
+// Delete (New rejects the combination), matching SmartCuckoo's own
+// insertion-oriented design.
+type pseudoforest struct {
+	parent []int32
+	rank   []uint8
+	cyclic []bool
+}
+
+func newPseudoforest(buckets int) *pseudoforest {
+	p := &pseudoforest{
+		parent: make([]int32, buckets),
+		rank:   make([]uint8, buckets),
+		cyclic: make([]bool, buckets),
+	}
+	for i := range p.parent {
+		p.parent[i] = int32(i)
+	}
+	return p
+}
+
+func (p *pseudoforest) find(x int) int {
+	for p.parent[x] != int32(x) {
+		p.parent[x] = p.parent[p.parent[x]] // path halving
+		x = int(p.parent[x])
+	}
+	return x
+}
+
+// wouldFail reports whether inserting an edge (u, v) must fail: both
+// endpoints in one already-cyclic component, or in two distinct cyclic
+// components.
+func (p *pseudoforest) wouldFail(u, v int) bool {
+	ru, rv := p.find(u), p.find(v)
+	if ru == rv {
+		return p.cyclic[ru]
+	}
+	return p.cyclic[ru] && p.cyclic[rv]
+}
+
+// addEdge records the edge (u, v); call only after wouldFail returned
+// false.
+func (p *pseudoforest) addEdge(u, v int) {
+	ru, rv := p.find(u), p.find(v)
+	if ru == rv {
+		p.cyclic[ru] = true
+		return
+	}
+	cyc := p.cyclic[ru] || p.cyclic[rv]
+	if p.rank[ru] < p.rank[rv] {
+		ru, rv = rv, ru
+	}
+	p.parent[rv] = int32(ru)
+	if p.rank[ru] == p.rank[rv] {
+		p.rank[ru]++
+	}
+	p.cyclic[ru] = cyc
+}
+
+// validateSmartCuckoo checks the config combination for the predetermination
+// tracker.
+func validateSmartCuckoo(c *Config) error {
+	if c.D != 2 || c.Slots != 1 {
+		return fmt.Errorf("cuckoo: SmartCuckoo predetermination requires d=2, slots=1 (got d=%d, slots=%d)", c.D, c.Slots)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"mccuckoo/internal/kv"
+)
+
+func TestSmartCuckooConfigValidation(t *testing.T) {
+	if _, err := New(Config{D: 3, BucketsPerTable: 16, PredetermineLoops: true}); err == nil {
+		t.Error("d=3 with predetermination accepted")
+	}
+	if _, err := New(Config{D: 2, Slots: 3, BucketsPerTable: 16, PredetermineLoops: true}); err == nil {
+		t.Error("slots=3 with predetermination accepted")
+	}
+	if _, err := New(Config{D: 2, BucketsPerTable: 16, PredetermineLoops: true}); err != nil {
+		t.Errorf("valid smartcuckoo config rejected: %v", err)
+	}
+}
+
+func TestPseudoforestMechanics(t *testing.T) {
+	p := newPseudoforest(6)
+	// Build a path 0-1-2: always placeable.
+	for _, e := range [][2]int{{0, 1}, {1, 2}} {
+		if p.wouldFail(e[0], e[1]) {
+			t.Fatalf("edge %v predicted to fail in a tree", e)
+		}
+		p.addEdge(e[0], e[1])
+	}
+	// Close the cycle 0-2: still placeable (one cycle per component).
+	if p.wouldFail(0, 2) {
+		t.Fatal("first cycle predicted to fail")
+	}
+	p.addEdge(0, 2)
+	// Any further edge inside the component must fail.
+	if !p.wouldFail(1, 2) || !p.wouldFail(0, 0) {
+		t.Fatal("second cycle not predicted")
+	}
+	// A separate component 3-4 with its own cycle.
+	p.addEdge(3, 4)
+	if p.wouldFail(3, 4) {
+		t.Fatal("cycle in fresh component predicted to fail")
+	}
+	p.addEdge(3, 4)
+	// Merging two cyclic components must fail; merging cyclic with a
+	// fresh vertex must not.
+	if !p.wouldFail(0, 3) {
+		t.Fatal("merge of two cyclic components not predicted to fail")
+	}
+	if p.wouldFail(0, 5) {
+		t.Fatal("attaching a fresh vertex predicted to fail")
+	}
+}
+
+// TestSmartCuckooPredictionsAreExact fills a d=2 table past its threshold
+// and checks both directions of the prediction: predetermined failures
+// waste zero kicks, and no insertion that the forest approved ever fails.
+func TestSmartCuckooPredictionsAreExact(t *testing.T) {
+	tab, err := New(Config{D: 2, BucketsPerTable: 2048, Seed: 81,
+		PredetermineLoops: true, StashEnabled: true, AssumeUniqueKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillKeys(82, int(0.55*float64(tab.Capacity())))
+	predicted := 0
+	for _, k := range keys {
+		out := tab.Insert(k, k)
+		switch out.Status {
+		case kv.Stashed:
+			if out.Kicks != 0 {
+				t.Fatalf("predetermined failure still kicked %d times", out.Kicks)
+			}
+			predicted++
+		case kv.Failed:
+			t.Fatal("failed with unbounded stash")
+		case kv.Placed:
+			// Approved inserts may relocate but must always land.
+		}
+	}
+	if predicted == 0 {
+		t.Fatal("no predetermined failures at 55% load on d=2 (threshold is 50%)")
+	}
+	for _, k := range keys {
+		if _, ok := tab.Lookup(k); !ok {
+			t.Fatalf("key %#x lost", k)
+		}
+	}
+}
+
+// TestSmartCuckooZeroWastedKicks compares wasted work on failing inserts
+// against the plain d=2 baseline.
+func TestSmartCuckooZeroWastedKicks(t *testing.T) {
+	fill := func(predetermine bool) (stashed int, kicksOnStashed int) {
+		tab, err := New(Config{D: 2, BucketsPerTable: 1024, Seed: 83, MaxLoop: 100,
+			PredetermineLoops: predetermine, StashEnabled: true, AssumeUniqueKeys: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range fillKeys(84, int(0.55*float64(tab.Capacity()))) {
+			out := tab.Insert(k, k)
+			if out.Status == kv.Stashed {
+				stashed++
+				kicksOnStashed += out.Kicks
+			}
+		}
+		return stashed, kicksOnStashed
+	}
+	sStash, sKicks := fill(true)
+	bStash, bKicks := fill(false)
+	if sKicks != 0 {
+		t.Errorf("SmartCuckoo wasted %d kicks on %d stashed inserts, want 0", sKicks, sStash)
+	}
+	if bStash > 0 && bKicks == 0 {
+		t.Errorf("baseline wasted no kicks on %d stashed inserts; expected maxloop-bounded waste", bStash)
+	}
+}
+
+func TestSmartCuckooDeleteDisablesPrediction(t *testing.T) {
+	tab, err := New(Config{D: 2, BucketsPerTable: 256, Seed: 85,
+		PredetermineLoops: true, StashEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillKeys(86, 200)
+	for _, k := range keys {
+		tab.Insert(k, k)
+	}
+	if !tab.forestValid {
+		t.Fatal("forest invalid before any delete")
+	}
+	tab.Delete(keys[0])
+	if tab.forestValid {
+		t.Fatal("forest still valid after delete")
+	}
+	// The table keeps working correctly without prediction.
+	fresh := fillKeys(87, 50)
+	for _, k := range fresh {
+		if tab.Insert(k, k).Status == kv.Failed {
+			t.Fatal("insert failed post-delete")
+		}
+	}
+	for _, k := range fresh {
+		if _, ok := tab.Lookup(k); !ok {
+			t.Fatal("key lost post-delete")
+		}
+	}
+	// Rehash restores prediction.
+	if err := tab.Rehash(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.forestValid {
+		t.Fatal("forest not restored by Rehash")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := tab.Lookup(k); !ok {
+			t.Fatal("key lost across rehash")
+		}
+	}
+}

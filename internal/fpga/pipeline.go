@@ -1,0 +1,116 @@
+package fpga
+
+import (
+	"math"
+
+	"mccuckoo/internal/memmodel"
+)
+
+// Pipelining — the paper's declared future work ("due to the time limit, no
+// parallelism or pipeline is implemented", §IV.F). This file models it:
+// several operations in flight at once, sharing the single DDR controller.
+// The win comes from overlapping one operation's off-chip read latency with
+// other operations' logic and queued work; the ceiling is controller
+// occupancy, so schemes that issue fewer off-chip reads per op (McCuckoo's
+// whole point) gain the most headroom.
+
+// Access is one recorded memory access of an operation.
+type Access struct {
+	Kind memmodel.AccessKind
+}
+
+// Recorder captures the per-operation access streams of a table by hooking
+// its meter. Use BeginOp before each table call; the recorded trace then
+// feeds PipelineSchedule.
+type Recorder struct {
+	ops [][]Access
+}
+
+// Attach wires the recorder into a meter.
+func (r *Recorder) Attach(m *memmodel.Meter) {
+	m.Hook = func(kind memmodel.AccessKind, n int64) {
+		if len(r.ops) == 0 {
+			return
+		}
+		cur := len(r.ops) - 1
+		for i := int64(0); i < n; i++ {
+			r.ops[cur] = append(r.ops[cur], Access{Kind: kind})
+		}
+	}
+}
+
+// BeginOp starts recording a new operation.
+func (r *Recorder) BeginOp() { r.ops = append(r.ops, nil) }
+
+// Ops returns the recorded per-operation access streams.
+func (r *Recorder) Ops() [][]Access { return r.ops }
+
+// PipelineSchedule replays recorded operation streams through the platform
+// with up to `depth` operations in flight and returns the total makespan in
+// nanoseconds. depth = 1 reproduces the sequential model.
+//
+// Scheduling model: each operation runs its accesses in order on its own
+// logic thread (one of `depth` contexts, each the paper's 1-CLK logic plus
+// SRAM stalls); off-chip reads block their own context until the shared
+// controller serves them in arrival order; off-chip writes are posted to
+// the shared controller. An operation starts when a context frees up.
+func PipelineSchedule(p memmodel.Platform, ops [][]Access, depth int) float64 {
+	if depth < 1 {
+		depth = 1
+	}
+	logicNS := 1e3 / p.LogicMHz
+	memNS := 1e3 / p.MemMHz
+	readCLK := p.OffChipReadCLK
+	if p.BurstBytes > 0 && p.RecordBytes > p.BurstBytes {
+		readCLK += float64((p.RecordBytes-1)/p.BurstBytes) * p.BurstExtraCLK
+	}
+	readNS := readCLK * memNS
+	writeNS := p.OffChipWriteCLK * memNS
+
+	contexts := make([]float64, depth) // time each context frees up
+	memFreeAt := 0.0
+	makespan := 0.0
+	for _, op := range ops {
+		// Claim the earliest-free context.
+		ctx := 0
+		for i := 1; i < depth; i++ {
+			if contexts[i] < contexts[ctx] {
+				ctx = i
+			}
+		}
+		now := contexts[ctx] + p.LogicCLKPerOp*logicNS
+		for _, a := range op {
+			switch a.Kind {
+			case memmodel.OnRead:
+				now += p.OnChipReadCLK * logicNS
+			case memmodel.OnWrite:
+				now += p.OnChipWriteCLK * logicNS
+			case memmodel.OffRead:
+				start := math.Max(now, memFreeAt)
+				memFreeAt = start + readNS
+				now = memFreeAt
+			case memmodel.OffWrite:
+				start := math.Max(now, memFreeAt)
+				memFreeAt = start + writeNS
+				now += logicNS // posted: logic pays the hand-off only
+			}
+		}
+		contexts[ctx] = now
+		if now > makespan {
+			makespan = now
+		}
+	}
+	return makespan
+}
+
+// PipelineThroughputMOPS converts a schedule into throughput.
+func PipelineThroughputMOPS(p memmodel.Platform, ops [][]Access, depth int) float64 {
+	if len(ops) == 0 {
+		return 0
+	}
+	span := PipelineSchedule(p, ops, depth)
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(ops)) / span * 1e3
+}

@@ -1,0 +1,124 @@
+package fpga
+
+import (
+	"testing"
+
+	"mccuckoo/internal/memmodel"
+)
+
+// readOps builds n operations of one blocking read each.
+func readOps(n int) [][]Access {
+	ops := make([][]Access, n)
+	for i := range ops {
+		ops[i] = []Access{{Kind: memmodel.OffRead}}
+	}
+	return ops
+}
+
+func TestPipelineDepthOneMatchesSequential(t *testing.T) {
+	p := memmodel.DefaultPlatform(8)
+	ops := readOps(10)
+	span := PipelineSchedule(p, ops, 1)
+	// Sequential: 10 * (1 logic CLK + 18 mem CLK).
+	want := 10 * (1e3/333 + 90)
+	if diff := span - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("depth-1 span %g, want %g", span, want)
+	}
+	if got := PipelineSchedule(p, ops, 0); got != span {
+		t.Fatal("depth 0 not clamped to 1")
+	}
+}
+
+func TestPipelineOverlapsLogicWithReads(t *testing.T) {
+	p := memmodel.DefaultPlatform(8)
+	// Operations that mix on-chip work with one read: deeper pipelines
+	// overlap the logic of one op with the read of another.
+	ops := make([][]Access, 32)
+	for i := range ops {
+		ops[i] = []Access{
+			{Kind: memmodel.OnRead}, {Kind: memmodel.OnRead}, {Kind: memmodel.OnRead},
+			{Kind: memmodel.OffRead},
+		}
+	}
+	seq := PipelineSchedule(p, ops, 1)
+	pipe := PipelineSchedule(p, ops, 4)
+	if pipe >= seq {
+		t.Fatalf("depth-4 span %g not below sequential %g", pipe, seq)
+	}
+	// The controller is the floor: the span can never beat total read
+	// service time.
+	floor := 32 * 90.0
+	if pipe < floor-1e-6 {
+		t.Fatalf("span %g beats controller occupancy floor %g", pipe, floor)
+	}
+}
+
+func TestPipelineControllerBound(t *testing.T) {
+	// Pure read streams are controller-bound: extra depth cannot help
+	// beyond hiding the first op's logic.
+	p := memmodel.DefaultPlatform(8)
+	ops := readOps(64)
+	d2 := PipelineSchedule(p, ops, 2)
+	d8 := PipelineSchedule(p, ops, 8)
+	if d8 > d2 {
+		t.Fatalf("deeper pipeline slower: %g vs %g", d8, d2)
+	}
+	if d2-d8 > 90*2 {
+		t.Fatalf("pure reads gained %g ns from depth, should be controller-bound", d2-d8)
+	}
+}
+
+func TestPipelineThroughputScalesForOnChipHeavyOps(t *testing.T) {
+	// McCuckoo-like ops (counter checks, rare reads) scale with depth;
+	// baseline-like ops (always read) do not.
+	p := memmodel.DefaultPlatform(8)
+	mcLike := make([][]Access, 64)
+	for i := range mcLike {
+		mcLike[i] = []Access{{Kind: memmodel.OnRead}, {Kind: memmodel.OnRead}, {Kind: memmodel.OnRead}}
+		if i%4 == 0 {
+			mcLike[i] = append(mcLike[i], Access{Kind: memmodel.OffRead})
+		}
+	}
+	t1 := PipelineThroughputMOPS(p, mcLike, 1)
+	t4 := PipelineThroughputMOPS(p, mcLike, 4)
+	if t4 < 1.5*t1 {
+		t.Fatalf("on-chip-heavy ops gained only %.2fx from depth 4", t4/t1)
+	}
+
+	baseLike := readOps(64)
+	b1 := PipelineThroughputMOPS(p, baseLike, 1)
+	b4 := PipelineThroughputMOPS(p, baseLike, 4)
+	if b4 > 1.3*b1 {
+		t.Fatalf("controller-bound ops gained %.2fx from depth, expected ~1x", b4/b1)
+	}
+}
+
+func TestRecorderCapturesPerOpStreams(t *testing.T) {
+	var rec Recorder
+	var m memmodel.Meter
+	rec.Attach(&m)
+	// Accesses before any BeginOp are dropped, not crashed on.
+	m.ReadOff(1)
+	rec.BeginOp()
+	m.ReadOn(2)
+	m.WriteOff(1)
+	rec.BeginOp()
+	m.ReadOff(1)
+	ops := rec.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("recorded %d ops", len(ops))
+	}
+	if len(ops[0]) != 3 || ops[0][2].Kind != memmodel.OffWrite {
+		t.Fatalf("op 0 stream wrong: %+v", ops[0])
+	}
+	if len(ops[1]) != 1 || ops[1][0].Kind != memmodel.OffRead {
+		t.Fatalf("op 1 stream wrong: %+v", ops[1])
+	}
+}
+
+func TestPipelineEmptyOps(t *testing.T) {
+	p := memmodel.DefaultPlatform(8)
+	if PipelineThroughputMOPS(p, nil, 4) != 0 {
+		t.Fatal("empty schedule should yield zero throughput")
+	}
+}

@@ -1,0 +1,205 @@
+// Package fpga is a discrete-event timing simulator for the paper's target
+// platform (§IV.F): hash/table logic in one clock domain, on-chip SRAM
+// accesses that stall the logic for a fixed cycle count, and an off-chip
+// DDR3 controller in a slower clock domain with blocking reads and posted
+// writes.
+//
+// Where memmodel.Platform turns aggregate access counts into a closed-form
+// mean, this simulator replays the *actual* access stream of each operation
+// (captured through memmodel.Meter's Hook) and produces per-operation
+// latencies, so queueing effects — a read stalling behind a burst of posted
+// writes, back-to-back operations contending for the controller — show up
+// in the distribution tails. This is the machinery behind the "ext-dist"
+// extension experiment.
+package fpga
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mccuckoo/internal/memmodel"
+)
+
+// Sim advances a virtual clock as accesses arrive. It models:
+//
+//   - logic: LogicCLKPerOp cycles per operation plus OnChip*CLK stall cycles
+//     per SRAM access, all at LogicMHz;
+//   - off-chip reads: blocking — the logic waits until the controller has
+//     drained earlier work and served the read (OffChipReadCLK plus burst
+//     cycles for large records, at MemMHz);
+//   - off-chip writes: posted — the logic hands the write to the controller
+//     queue and continues, unless the queue is full, in which case it stalls
+//     until a slot frees. The queued write still occupies controller time,
+//     delaying subsequent reads (read-after-write interference).
+type Sim struct {
+	p memmodel.Platform
+	// WriteQueueDepth is the posted-write FIFO capacity (hardware
+	// controllers have a small one; default 8).
+	writeQueueDepth int
+
+	logicNS float64 // ns per logic cycle
+	memNS   float64 // ns per controller cycle
+	readNS  float64 // controller time per read, record size included
+	writeNS float64 // controller time per write
+
+	now        float64   // logic timestamp, ns
+	memFreeAt  float64   // controller is busy until this time
+	writeQueue []float64 // completion times of queued posted writes
+
+	opStart float64
+	ops     *Dist
+}
+
+// NewSim builds a simulator for the platform. writeQueueDepth <= 0 selects
+// the default of 8 entries.
+func NewSim(p memmodel.Platform, writeQueueDepth int) *Sim {
+	if writeQueueDepth <= 0 {
+		writeQueueDepth = 8
+	}
+	s := &Sim{
+		p:               p,
+		writeQueueDepth: writeQueueDepth,
+		logicNS:         1e3 / p.LogicMHz,
+		memNS:           1e3 / p.MemMHz,
+		writeNS:         p.OffChipWriteCLK * (1e3 / p.MemMHz),
+		ops:             &Dist{},
+	}
+	readCLK := p.OffChipReadCLK
+	if p.BurstBytes > 0 && p.RecordBytes > p.BurstBytes {
+		readCLK += float64((p.RecordBytes-1)/p.BurstBytes) * p.BurstExtraCLK
+	}
+	s.readNS = readCLK * s.memNS
+	return s
+}
+
+// Attach wires the simulator into a meter: every access the table charges
+// advances the virtual clock. Detach by setting m.Hook = nil.
+func (s *Sim) Attach(m *memmodel.Meter) {
+	m.Hook = func(kind memmodel.AccessKind, n int64) {
+		for i := int64(0); i < n; i++ {
+			s.access(kind)
+		}
+	}
+}
+
+// access advances the clock for one memory access.
+func (s *Sim) access(kind memmodel.AccessKind) {
+	switch kind {
+	case memmodel.OnRead:
+		s.now += s.p.OnChipReadCLK * s.logicNS
+	case memmodel.OnWrite:
+		s.now += s.p.OnChipWriteCLK * s.logicNS
+	case memmodel.OffRead:
+		// Blocking: wait for the controller, then for the read.
+		start := math.Max(s.now, s.memFreeAt)
+		s.memFreeAt = start + s.readNS
+		s.now = s.memFreeAt
+		s.writeQueue = s.writeQueue[:0] // reads drain behind queued writes
+	case memmodel.OffWrite:
+		// Posted: stall only when the FIFO is full.
+		s.drainWriteQueue()
+		if len(s.writeQueue) >= s.writeQueueDepth {
+			// Wait until the oldest queued write completes.
+			s.now = math.Max(s.now, s.writeQueue[0])
+			s.drainWriteQueue()
+		}
+		start := math.Max(s.now, s.memFreeAt)
+		done := start + s.writeNS
+		s.memFreeAt = done
+		s.writeQueue = append(s.writeQueue, done)
+		s.now += s.logicNS // hand-off cost only
+	}
+}
+
+// drainWriteQueue discards queued writes that completed before `now`.
+func (s *Sim) drainWriteQueue() {
+	i := 0
+	for i < len(s.writeQueue) && s.writeQueue[i] <= s.now {
+		i++
+	}
+	s.writeQueue = append(s.writeQueue[:0], s.writeQueue[i:]...)
+}
+
+// BeginOp marks the start of one table operation (after charging its base
+// logic cost).
+func (s *Sim) BeginOp() {
+	s.opStart = s.now
+	s.now += s.p.LogicCLKPerOp * s.logicNS
+}
+
+// EndOp marks the end of the operation, records its latency, and returns it
+// in nanoseconds.
+func (s *Sim) EndOp() float64 {
+	lat := s.now - s.opStart
+	s.ops.Add(lat)
+	return lat
+}
+
+// Run executes op between BeginOp/EndOp and returns the latency.
+func (s *Sim) Run(op func()) float64 {
+	s.BeginOp()
+	op()
+	return s.EndOp()
+}
+
+// Latencies returns the distribution of recorded operation latencies.
+func (s *Sim) Latencies() *Dist { return s.ops }
+
+// Now returns the current virtual time in nanoseconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Dist collects samples and reports quantiles.
+type Dist struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (d *Dist) Add(x float64) {
+	d.samples = append(d.samples, x)
+	d.sorted = false
+}
+
+// N returns the sample count.
+func (d *Dist) N() int { return len(d.samples) }
+
+// Mean returns the sample mean.
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range d.samples {
+		sum += x
+	}
+	return sum / float64(len(d.samples))
+}
+
+// Quantile returns the q-th sample quantile (q in [0,1], nearest-rank).
+func (d *Dist) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[len(d.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(d.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.samples[idx]
+}
+
+// String summarizes the distribution.
+func (d *Dist) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+		d.N(), d.Mean(), d.Quantile(0.50), d.Quantile(0.95), d.Quantile(0.99), d.Quantile(1))
+}

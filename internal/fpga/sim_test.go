@@ -1,0 +1,141 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+
+	"mccuckoo/internal/memmodel"
+)
+
+const eps = 1e-9
+
+func newTestSim(depth int) (*Sim, *memmodel.Meter) {
+	p := memmodel.DefaultPlatform(8)
+	s := NewSim(p, depth)
+	var m memmodel.Meter
+	s.Attach(&m)
+	return s, &m
+}
+
+func TestSingleBlockingRead(t *testing.T) {
+	s, m := newTestSim(0)
+	lat := s.Run(func() { m.ReadOff(1) })
+	// 1 logic CLK (1000/333 ns) + 18 controller CLK (18*5 ns).
+	want := 1e3/333 + 18*5.0
+	if math.Abs(lat-want) > eps {
+		t.Fatalf("latency %g, want %g", lat, want)
+	}
+}
+
+func TestPostedWritesAreCheap(t *testing.T) {
+	s, m := newTestSim(8)
+	lat := s.Run(func() { m.WriteOff(3) })
+	// 1 op CLK + 3 hand-off CLKs of logic time; no controller wait.
+	want := 4 * (1e3 / 333)
+	if math.Abs(lat-want) > eps {
+		t.Fatalf("latency %g, want %g (posted writes must not block)", lat, want)
+	}
+}
+
+func TestReadWaitsBehindQueuedWrites(t *testing.T) {
+	s, m := newTestSim(8)
+	s.Run(func() { m.WriteOff(4) })
+	lat := s.Run(func() { m.ReadOff(1) })
+	// The controller still owes 4 writes (4*5 ns) minus the logic time
+	// already elapsed; the read then takes 90 ns. Total must exceed the
+	// uncontended read latency.
+	uncontended := 1e3/333 + 90
+	if lat <= uncontended {
+		t.Fatalf("read latency %g did not absorb write drain (uncontended %g)", lat, uncontended)
+	}
+}
+
+func TestWriteQueueBackpressure(t *testing.T) {
+	// Depth 2: a burst of writes must eventually stall the logic.
+	s2, m2 := newTestSim(2)
+	latSmall := s2.Run(func() { m2.WriteOff(20) })
+
+	sBig, mBig := newTestSim(1 << 20)
+	latBig := sBig.Run(func() { mBig.WriteOff(20) })
+	if latSmall <= latBig {
+		t.Fatalf("shallow queue (%g ns) not slower than deep queue (%g ns)", latSmall, latBig)
+	}
+}
+
+func TestOnChipStalls(t *testing.T) {
+	s, m := newTestSim(8)
+	lat := s.Run(func() {
+		m.ReadOn(3)
+		m.WriteOn(2)
+	})
+	logic := 1e3 / 333
+	want := logic*1 + 3*3*logic + 2*1*logic
+	if math.Abs(lat-want) > eps {
+		t.Fatalf("latency %g, want %g", lat, want)
+	}
+}
+
+func TestRecordSizeAffectsReads(t *testing.T) {
+	p8 := memmodel.DefaultPlatform(8)
+	p128 := memmodel.DefaultPlatform(128)
+	s8, s128 := NewSim(p8, 8), NewSim(p128, 8)
+	var m8, m128 memmodel.Meter
+	s8.Attach(&m8)
+	s128.Attach(&m128)
+	l8 := s8.Run(func() { m8.ReadOff(1) })
+	l128 := s128.Run(func() { m128.ReadOff(1) })
+	if l128 <= l8 {
+		t.Fatalf("128-byte read (%g) not slower than 8-byte (%g)", l128, l8)
+	}
+}
+
+func TestSimAccumulatesDistribution(t *testing.T) {
+	s, m := newTestSim(8)
+	for i := 0; i < 10; i++ {
+		s.Run(func() { m.ReadOff(1) })
+	}
+	d := s.Latencies()
+	if d.N() != 10 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if d.Mean() <= 0 || d.Quantile(0.5) <= 0 {
+		t.Fatal("degenerate distribution")
+	}
+	if s.Now() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestDistQuantiles(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 || d.Quantile(0.5) != 0 {
+		t.Fatal("empty dist not zero")
+	}
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		d.Add(x)
+	}
+	if d.N() != 5 || math.Abs(d.Mean()-3) > eps {
+		t.Fatalf("N=%d mean=%g", d.N(), d.Mean())
+	}
+	cases := map[float64]float64{0: 1, 0.2: 1, 0.5: 3, 0.8: 4, 0.99: 5, 1: 5}
+	for q, want := range cases {
+		if got := d.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+	// Adding after sorting must keep quantiles correct.
+	d.Add(0)
+	if got := d.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g after append, want 0", got)
+	}
+	if d.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestDefaultQueueDepth(t *testing.T) {
+	s := NewSim(memmodel.DefaultPlatform(8), 0)
+	if s.writeQueueDepth != 8 {
+		t.Fatalf("default depth = %d", s.writeQueueDepth)
+	}
+}

@@ -1,0 +1,108 @@
+// Package hashutil provides the hash primitives used throughout the
+// repository: Bob Jenkins' lookup3 ("BOB hash", the function the McCuckoo
+// paper uses for all schemes), a splitmix64 mixer used for key generation and
+// seeding, and a seeded d-way hash family that maps a key to its candidate
+// buckets.
+//
+// Everything here is deterministic: the same seed always produces the same
+// hash values, which the experiment harness relies on for reproducibility.
+package hashutil
+
+import "encoding/binary"
+
+// rot rotates x left by k bits.
+func rot(x uint32, k uint) uint32 { return x<<k | x>>(32-k) }
+
+// mix is the lookup3 mixing step for the internal state (a, b, c).
+func mix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= c
+	a ^= rot(c, 4)
+	c += b
+	b -= a
+	b ^= rot(a, 6)
+	a += c
+	c -= b
+	c ^= rot(b, 8)
+	b += a
+	a -= c
+	a ^= rot(c, 16)
+	c += b
+	b -= a
+	b ^= rot(a, 19)
+	a += c
+	c -= b
+	c ^= rot(b, 4)
+	b += a
+	return a, b, c
+}
+
+// final is the lookup3 finalization step.
+func final(a, b, c uint32) (uint32, uint32, uint32) {
+	c ^= b
+	c -= rot(b, 14)
+	a ^= c
+	a -= rot(c, 11)
+	b ^= a
+	b -= rot(a, 25)
+	c ^= b
+	c -= rot(b, 16)
+	a ^= c
+	a -= rot(c, 4)
+	b ^= a
+	b -= rot(a, 14)
+	c ^= b
+	c -= rot(b, 24)
+	return a, b, c
+}
+
+// BOB32 computes Bob Jenkins' lookup3 hashlittle() over data with the given
+// seed and returns the 32-bit hash.
+func BOB32(data []byte, seed uint32) uint32 {
+	_, c := BOB64Pair(data, seed, 0)
+	return c
+}
+
+// BOB64Pair computes lookup3 hashlittle2(), returning both 32-bit outputs
+// (b and c) so callers can assemble a 64-bit value. seedB and seedC seed the
+// two halves independently.
+func BOB64Pair(data []byte, seedC, seedB uint32) (bOut, cOut uint32) {
+	length := len(data)
+	a := 0xdeadbeef + uint32(length) + seedC
+	b := a
+	c := a + seedB
+
+	for length > 12 {
+		a += binary.LittleEndian.Uint32(data[0:4])
+		b += binary.LittleEndian.Uint32(data[4:8])
+		c += binary.LittleEndian.Uint32(data[8:12])
+		a, b, c = mix(a, b, c)
+		data = data[12:]
+		length -= 12
+	}
+
+	// Tail: lookup3 reads the remaining bytes little-endian into a, b, c.
+	var tail [12]byte
+	copy(tail[:], data)
+	if length > 0 {
+		a += binary.LittleEndian.Uint32(tail[0:4])
+		b += binary.LittleEndian.Uint32(tail[4:8])
+		c += binary.LittleEndian.Uint32(tail[8:12])
+		a, b, c = final(a, b, c)
+	}
+	return b, c
+}
+
+// BOB64 hashes data to a 64-bit value using hashlittle2 with a 64-bit seed.
+func BOB64(data []byte, seed uint64) uint64 {
+	b, c := BOB64Pair(data, uint32(seed), uint32(seed>>32))
+	return uint64(b)<<32 | uint64(c)
+}
+
+// BOB64Key hashes a fixed 64-bit key. This is the hot path used by the hash
+// tables: keys in the simulator are 64-bit (the paper combines DocID and
+// WordID into one key), so we avoid byte-slice allocation.
+func BOB64Key(key, seed uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], key)
+	return BOB64(buf[:], seed)
+}

@@ -1,0 +1,21 @@
+package hashutil
+
+// SplitMix64 advances the splitmix64 generator state and returns the next
+// pseudo-random value. It is used for deterministic key generation and for
+// deriving independent seeds for the hash family.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the splitmix64 finalizer to x, producing a well-mixed 64-bit
+// value. It is a stateless convenience used to derive per-purpose seeds.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,32 @@
+package kv
+
+import "testing"
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		Placed:      "placed",
+		Updated:     "updated",
+		Stashed:     "stashed",
+		Failed:      "failed",
+		Status(200): "unknown",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestKickPolicyString(t *testing.T) {
+	cases := map[KickPolicy]string{
+		RandomWalk:      "random-walk",
+		MinCounter:      "min-counter",
+		BFS:             "bfs",
+		KickPolicy(200): "unknown",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("KickPolicy(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package memmodel
+
+// Platform converts access counts into time, mirroring the FPGA platform of
+// §IV.F: hash calculation and scheme logic run at LogicMHz and cost
+// LogicCLKPerOp cycles per operation; the on-chip SRAM is read in
+// OnChipReadCLK and written in OnChipWriteCLK logic cycles; the off-chip
+// DDR3 controller runs at MemMHz, a read costs OffChipReadCLK memory cycles
+// on average and a write OffChipWriteCLK (writes are posted: the logic hands
+// the data to the controller and moves on, which is why the paper's write
+// latency is so much lower than its read latency).
+//
+// Larger records need more DDR bursts: every BurstBytes beyond the first adds
+// BurstExtraCLK memory cycles to a read. Writes stay cheap because they are
+// fire-and-forget into the controller's queue.
+//
+// The absolute numbers are a model, not a measurement; the paper's own
+// caveat applies ("the end-to-end measurement is very much hardware
+// specific"). What the model preserves is the relative cost structure:
+// off-chip reads dominate, on-chip counter checks are cheap but not free,
+// and bigger records make skipped bucket reads more valuable.
+type Platform struct {
+	LogicMHz        float64
+	MemMHz          float64
+	LogicCLKPerOp   float64
+	OnChipReadCLK   float64
+	OnChipWriteCLK  float64
+	OffChipReadCLK  float64
+	OffChipWriteCLK float64
+	BurstBytes      int
+	BurstExtraCLK   float64
+	RecordBytes     int
+}
+
+// DefaultPlatform returns the paper's published platform parameters
+// (Stratix V: 333 MHz logic, 200 MHz DDR3 controller, SRAM 3/1 CLK,
+// DDR3 ~18/1 CLK) with the given record size in bytes.
+func DefaultPlatform(recordBytes int) Platform {
+	if recordBytes <= 0 {
+		recordBytes = 8
+	}
+	return Platform{
+		LogicMHz:        333,
+		MemMHz:          200,
+		LogicCLKPerOp:   1,
+		OnChipReadCLK:   3,
+		OnChipWriteCLK:  1,
+		OffChipReadCLK:  18,
+		OffChipWriteCLK: 1,
+		BurstBytes:      32,
+		BurstExtraCLK:   4,
+		RecordBytes:     recordBytes,
+	}
+}
+
+// offChipReadCLK returns the memory cycles for one record read at the
+// configured record size.
+func (p Platform) offChipReadCLK() float64 {
+	clk := p.OffChipReadCLK
+	if p.BurstBytes > 0 && p.RecordBytes > p.BurstBytes {
+		extra := (p.RecordBytes - 1) / p.BurstBytes // whole extra bursts
+		clk += float64(extra) * p.BurstExtraCLK
+	}
+	return clk
+}
+
+// LatencyNS returns the modelled time in nanoseconds to execute `ops`
+// operations that generated the given memory traffic, assuming no pipelining
+// (the paper's implementation processes one request at a time).
+func (p Platform) LatencyNS(m Meter, ops int64) float64 {
+	if ops <= 0 {
+		return 0
+	}
+	logicNS := 1e3 / p.LogicMHz
+	memNS := 1e3 / p.MemMHz
+	total := float64(ops) * p.LogicCLKPerOp * logicNS
+	total += float64(m.OnChipReads) * p.OnChipReadCLK * logicNS
+	total += float64(m.OnChipWrites) * p.OnChipWriteCLK * logicNS
+	total += float64(m.OffChipReads) * p.offChipReadCLK() * memNS
+	total += float64(m.OffChipWrites) * p.OffChipWriteCLK * memNS
+	return total / float64(ops)
+}
+
+// ThroughputMOPS returns the modelled throughput in million operations per
+// second for the given traffic, the reciprocal of LatencyNS.
+func (p Platform) ThroughputMOPS(m Meter, ops int64) float64 {
+	lat := p.LatencyNS(m, ops)
+	if lat <= 0 {
+		return 0
+	}
+	return 1e3 / lat
+}

@@ -1,0 +1,241 @@
+// Package metrics holds the small statistics and tabulation helpers the
+// experiment harness uses: per-run aggregation (mean over repeated runs, as
+// the paper averages 10 runs per experiment) and aligned-text rendering of
+// series and tables.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Agg accumulates samples and reports mean and standard deviation using
+// Welford's algorithm.
+type Agg struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (a *Agg) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples.
+func (a *Agg) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Agg) Mean() float64 { return a.mean }
+
+// Std returns the sample standard deviation (0 with fewer than 2 samples).
+func (a *Agg) Std() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Series is one named curve: y values indexed by x (e.g. load ratio).
+// Multiple runs may contribute to the same x; points aggregate them.
+type Series struct {
+	Name   string
+	points map[float64]*Agg
+}
+
+// NewSeries creates an empty series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name, points: make(map[float64]*Agg)}
+}
+
+// Add records one sample of y at x.
+func (s *Series) Add(x, y float64) {
+	a := s.points[x]
+	if a == nil {
+		a = &Agg{}
+		s.points[x] = a
+	}
+	a.Add(y)
+}
+
+// Xs returns the sorted x values.
+func (s *Series) Xs() []float64 {
+	xs := make([]float64, 0, len(s.points))
+	for x := range s.points {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// At returns the mean y at x; ok is false when x has no samples.
+func (s *Series) At(x float64) (float64, bool) {
+	a, ok := s.points[x]
+	if !ok {
+		return 0, false
+	}
+	return a.Mean(), true
+}
+
+// StdAt returns the standard deviation of y at x.
+func (s *Series) StdAt(x float64) float64 {
+	if a, ok := s.points[x]; ok {
+		return a.Std()
+	}
+	return 0
+}
+
+// Table renders multiple series sharing an x axis as an aligned text table,
+// the harness's equivalent of one paper figure.
+type Table struct {
+	Title  string
+	XLabel string
+	XFmt   string // e.g. "%.0f%%"
+	YFmt   string // e.g. "%.3f"
+	Series []*Series
+}
+
+// Render writes the table to w.
+func (t Table) Render(w io.Writer) error {
+	if t.XFmt == "" {
+		t.XFmt = "%.2f"
+	}
+	if t.YFmt == "" {
+		t.YFmt = "%.3f"
+	}
+	// Union of x values across series, sorted.
+	xset := map[float64]struct{}{}
+	for _, s := range t.Series {
+		for _, x := range s.Xs() {
+			xset[x] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := make([]string, 0, len(t.Series)+1)
+	header = append(header, t.XLabel)
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{fmt.Sprintf(t.XFmt, x)}
+		for _, s := range t.Series {
+			if y, ok := s.At(x); ok {
+				row = append(row, fmt.Sprintf(t.YFmt, y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	return renderAligned(w, rows)
+}
+
+// renderAligned writes rows with columns padded to equal width.
+func renderAligned(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderRows writes a free-form aligned table (first row is the header).
+func RenderRows(w io.Writer, title string, rows [][]string) error {
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	return renderAligned(w, rows)
+}
+
+// RenderCSV writes the table as CSV (x column first, one column per
+// series), for plotting outside the CLI.
+func (t Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Series)+1)
+	header = append(header, t.XLabel)
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	xset := map[float64]struct{}{}
+	for _, s := range t.Series {
+		for _, x := range s.Xs() {
+			xset[x] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range t.Series {
+			if y, ok := s.At(x); ok {
+				row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderRowsCSV writes free-form rows as CSV.
+func RenderRowsCSV(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

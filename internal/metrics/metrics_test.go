@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggMeanStd(t *testing.T) {
+	var a Agg
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %g, want 5", a.Mean())
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(a.Std()-want) > 1e-12 {
+		t.Fatalf("Std = %g, want %g", a.Std(), want)
+	}
+}
+
+func TestAggEdgeCases(t *testing.T) {
+	var a Agg
+	if a.Mean() != 0 || a.Std() != 0 {
+		t.Fatal("empty agg not zero")
+	}
+	a.Add(3)
+	if a.Std() != 0 {
+		t.Fatal("single-sample std not zero")
+	}
+}
+
+func TestSeriesAggregation(t *testing.T) {
+	s := NewSeries("kicks")
+	s.Add(0.5, 1)
+	s.Add(0.5, 3)
+	s.Add(0.9, 10)
+	if got := s.Xs(); len(got) != 2 || got[0] != 0.5 || got[1] != 0.9 {
+		t.Fatalf("Xs = %v", got)
+	}
+	if y, ok := s.At(0.5); !ok || y != 2 {
+		t.Fatalf("At(0.5) = %g,%v", y, ok)
+	}
+	if _, ok := s.At(0.7); ok {
+		t.Fatal("phantom x")
+	}
+	if s.StdAt(0.5) == 0 {
+		t.Fatal("std should be nonzero for two samples")
+	}
+	if s.StdAt(0.7) != 0 {
+		t.Fatal("std at missing x should be 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	a := NewSeries("Cuckoo")
+	b := NewSeries("McCuckoo")
+	a.Add(50, 1.5)
+	a.Add(85, 4.25)
+	b.Add(50, 0.5)
+	// b has no sample at 85: rendered as "-".
+	var sb strings.Builder
+	tbl := Table{
+		Title:  "Fig. 9",
+		XLabel: "load",
+		XFmt:   "%.0f%%",
+		YFmt:   "%.2f",
+		Series: []*Series{a, b},
+	}
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 9", "load", "Cuckoo", "McCuckoo", "50%", "85%", "4.25", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderRows(t *testing.T) {
+	var sb strings.Builder
+	err := RenderRows(&sb, "Table I", [][]string{
+		{"scheme", "load"},
+		{"Cuckoo", "9.27%"},
+		{"B-McCuckoo", "61.42%"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "61.42%") {
+		t.Errorf("bad output:\n%s", out)
+	}
+	// Columns aligned: "scheme" padded to the width of "B-McCuckoo".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		if len(line) < len("B-McCuckoo") {
+			t.Errorf("row %q not padded", line)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	a := NewSeries("Cuckoo")
+	b := NewSeries("McCuckoo")
+	a.Add(50, 1.5)
+	a.Add(85, 4.25)
+	b.Add(50, 0.5)
+	var sb strings.Builder
+	tbl := Table{XLabel: "load", Series: []*Series{a, b}}
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "load,Cuckoo,McCuckoo\n50,1.5,0.5\n85,4.25,\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestRenderRowsCSV(t *testing.T) {
+	var sb strings.Builder
+	err := RenderRowsCSV(&sb, [][]string{{"a", "b"}, {"1", "2,x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n1,\"2,x\"\n" {
+		t.Fatalf("CSV = %q", sb.String())
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace serialization: a compact binary format for operation streams, so
+// experiments can be frozen to disk and replayed bit-identically (the role
+// the DocWords dataset file plays in the paper). Format: magic "MCTR",
+// version byte, little-endian op count, then 9 bytes per op (kind + key).
+
+const (
+	traceMagic   = "MCTR"
+	traceVersion = 1
+	// maxTraceOps bounds a trace header so corrupt files cannot trigger
+	// huge allocations (1<<31 ops = ~19 GiB on disk).
+	maxTraceOps = 1 << 31
+)
+
+// WriteTrace writes ops to w in the trace format.
+func WriteTrace(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [9]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(ops)))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	for _, op := range ops {
+		buf[0] = byte(op.Kind)
+		binary.LittleEndian.PutUint64(buf[1:], op.Key)
+		if _, err := bw.Write(buf[:9]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace reads a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	br := bufio.NewReader(r)
+	header := make([]byte, len(traceMagic)+1+8)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	if string(header[:4]) != traceMagic {
+		return nil, fmt.Errorf("workload: bad trace magic %q", header[:4])
+	}
+	if header[4] != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", header[4])
+	}
+	n := binary.LittleEndian.Uint64(header[5:])
+	if n > maxTraceOps {
+		return nil, fmt.Errorf("workload: trace claims %d ops, limit %d", n, maxTraceOps)
+	}
+	ops := make([]Op, 0, min(n, 1<<16))
+	var buf [9]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("workload: trace truncated at op %d of %d: %w", i, n, err)
+		}
+		kind := OpKind(buf[0])
+		if kind > OpDelete {
+			return nil, fmt.Errorf("workload: bad op kind %d at op %d", kind, i)
+		}
+		ops = append(ops, Op{Kind: kind, Key: binary.LittleEndian.Uint64(buf[1:])})
+	}
+	return ops, nil
+}

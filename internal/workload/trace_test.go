@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	ops, err := Mix(MixConfig{
+		Seed: 21, Ops: 5000, KeySpace: 500,
+		InsertWeight: 3, LookupWeight: 5, DeleteWeight: 2,
+		NegativeShare: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("read %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d ops", len(got))
+	}
+}
+
+func TestTraceCorruption(t *testing.T) {
+	ops := []Op{{OpInsert, 1}, {OpLookup, 2}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	bad := append([]byte{}, raw...)
+	bad[0] = 'X'
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte{}, raw...)
+	bad[4] = 9
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncation.
+	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+	// Bad op kind.
+	bad = append([]byte{}, raw...)
+	bad[13] = 99 // first op kind byte
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Error("bad op kind accepted")
+	}
+	// Huge declared count with tiny body.
+	bad = append([]byte{}, raw[:13]...)
+	for i := 5; i < 13; i++ {
+		bad[i] = 0xff
+	}
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Error("huge op count accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package workload generates the keys and query streams the experiments
+// consume. It substitutes the paper's DocWords dataset (NYTimes bag-of-words,
+// DocID‖WordID keys): cuckoo-table behaviour depends only on the hashed key
+// distribution, which BOB hash makes uniform for either source, so a
+// deterministic synthetic stream preserves every measured quantity. The
+// DocWords-shaped generator additionally reproduces the key structure
+// (docID in the high 32 bits, wordID in the low 32, Zipf-skewed document
+// popularity) for workloads where key shape matters to the caller.
+package workload
+
+import (
+	"fmt"
+	mrand "math/rand"
+
+	"mccuckoo/internal/hashutil"
+)
+
+// Unique returns n distinct 64-bit keys drawn deterministically from seed.
+func Unique(seed uint64, n int) []uint64 {
+	s := hashutil.Mix64(seed)
+	keys := make([]uint64, n)
+	seen := make(map[uint64]struct{}, n)
+	for i := 0; i < n; {
+		k := hashutil.SplitMix64(&s)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys[i] = k
+		i++
+	}
+	return keys
+}
+
+// Negative returns n keys guaranteed absent from exclude, for non-existing
+// item queries (Fig. 13, Tables II–III).
+func Negative(seed uint64, n int, exclude []uint64) []uint64 {
+	ex := make(map[uint64]struct{}, len(exclude))
+	for _, k := range exclude {
+		ex[k] = struct{}{}
+	}
+	s := hashutil.Mix64(seed ^ 0xbad5eed)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := hashutil.SplitMix64(&s)
+		if _, hit := ex[k]; hit {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// DocWords returns n distinct DocID‖WordID keys shaped like the paper's
+// dataset: docIDs Zipf-distributed over numDocs documents (news articles
+// have heavily skewed lengths), wordIDs uniform over vocabSize.
+func DocWords(seed uint64, n, numDocs, vocabSize int) ([]uint64, error) {
+	if numDocs <= 0 || vocabSize <= 0 {
+		return nil, fmt.Errorf("workload: numDocs and vocabSize must be positive")
+	}
+	if uint64(n) > uint64(numDocs)*uint64(vocabSize) {
+		return nil, fmt.Errorf("workload: cannot draw %d distinct pairs from %d x %d", n, numDocs, vocabSize)
+	}
+	rng := mrand.New(mrand.NewSource(int64(hashutil.Mix64(seed))))
+	zipf := mrand.NewZipf(rng, 1.2, 1, uint64(numDocs-1))
+	keys := make([]uint64, 0, n)
+	seen := make(map[uint64]struct{}, n)
+	for len(keys) < n {
+		doc := zipf.Uint64()
+		word := uint64(rng.Intn(vocabSize))
+		k := doc<<32 | word
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
+// OpKind labels one operation in a mixed stream.
+type OpKind uint8
+
+const (
+	OpInsert OpKind = iota
+	OpLookup
+	OpDelete
+)
+
+// Op is one operation of a mixed workload.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// MixConfig shapes a mixed operation stream. Weights need not sum to one;
+// they are normalized.
+type MixConfig struct {
+	Seed          uint64
+	Ops           int
+	InsertWeight  float64
+	LookupWeight  float64
+	DeleteWeight  float64
+	KeySpace      int     // distinct keys the stream draws from
+	NegativeShare float64 // fraction of lookups targeting absent keys
+}
+
+// Mix produces a deterministic mixed stream of operations. Lookups and
+// deletes target previously inserted keys (except the negative share of
+// lookups); inserts draw fresh keys until KeySpace is exhausted, then
+// re-insert (upsert).
+func Mix(cfg MixConfig) ([]Op, error) {
+	if cfg.Ops <= 0 || cfg.KeySpace <= 0 {
+		return nil, fmt.Errorf("workload: Ops and KeySpace must be positive")
+	}
+	total := cfg.InsertWeight + cfg.LookupWeight + cfg.DeleteWeight
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: weights must sum to a positive value")
+	}
+	if cfg.NegativeShare < 0 || cfg.NegativeShare > 1 {
+		return nil, fmt.Errorf("workload: NegativeShare must be in [0,1]")
+	}
+	keys := Unique(cfg.Seed, cfg.KeySpace)
+	negKeys := Negative(cfg.Seed+1, cfg.KeySpace, keys)
+	s := hashutil.Mix64(cfg.Seed + 2)
+
+	ops := make([]Op, 0, cfg.Ops)
+	live := make([]uint64, 0, cfg.KeySpace)
+	liveSet := make(map[uint64]int, cfg.KeySpace) // key -> index in live
+	nextFresh := 0
+	pIns := cfg.InsertWeight / total
+	pLook := cfg.LookupWeight / total
+
+	for len(ops) < cfg.Ops {
+		r := hashutil.SplitMix64(&s)
+		u := float64(r>>11) / float64(1<<53)
+		r2 := hashutil.SplitMix64(&s)
+		switch {
+		case u < pIns || len(live) == 0:
+			var k uint64
+			if nextFresh < len(keys) {
+				k = keys[nextFresh]
+				nextFresh++
+			} else {
+				k = keys[r2%uint64(len(keys))]
+			}
+			ops = append(ops, Op{Kind: OpInsert, Key: k})
+			if _, dup := liveSet[k]; !dup {
+				liveSet[k] = len(live)
+				live = append(live, k)
+			}
+		case u < pIns+pLook:
+			if float64(r2>>11)/float64(1<<53) < cfg.NegativeShare {
+				ops = append(ops, Op{Kind: OpLookup, Key: negKeys[r2%uint64(len(negKeys))]})
+			} else {
+				ops = append(ops, Op{Kind: OpLookup, Key: live[r2%uint64(len(live))]})
+			}
+		default:
+			idx := int(r2 % uint64(len(live)))
+			k := live[idx]
+			ops = append(ops, Op{Kind: OpDelete, Key: k})
+			last := len(live) - 1
+			live[idx] = live[last]
+			liveSet[live[idx]] = idx
+			live = live[:last]
+			delete(liveSet, k)
+		}
+	}
+	return ops, nil
+}

@@ -1,0 +1,136 @@
+package workload
+
+import "testing"
+
+func TestUniqueDistinctAndDeterministic(t *testing.T) {
+	a := Unique(7, 10000)
+	seen := make(map[uint64]struct{}, len(a))
+	for _, k := range a {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("duplicate key %#x", k)
+		}
+		seen[k] = struct{}{}
+	}
+	b := Unique(7, 10000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Unique not deterministic")
+		}
+	}
+	if c := Unique(8, 100); c[0] == a[0] {
+		t.Fatal("different seeds produced the same stream")
+	}
+}
+
+func TestNegativeAvoidsExcluded(t *testing.T) {
+	existing := Unique(3, 5000)
+	neg := Negative(3, 5000, existing)
+	ex := make(map[uint64]struct{}, len(existing))
+	for _, k := range existing {
+		ex[k] = struct{}{}
+	}
+	for _, k := range neg {
+		if _, hit := ex[k]; hit {
+			t.Fatalf("negative key %#x collides with existing set", k)
+		}
+	}
+}
+
+func TestDocWordsShape(t *testing.T) {
+	keys, err := DocWords(5, 20000, 1000, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]struct{})
+	docCounts := make(map[uint64]int)
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("duplicate pair %#x", k)
+		}
+		seen[k] = struct{}{}
+		doc := k >> 32
+		word := k & 0xffffffff
+		if doc >= 1000 || word >= 50000 {
+			t.Fatalf("pair %#x out of range", k)
+		}
+		docCounts[doc]++
+	}
+	// Zipf skew: the most popular document should dwarf the average.
+	max := 0
+	for _, c := range docCounts {
+		if c > max {
+			max = c
+		}
+	}
+	avg := float64(len(keys)) / float64(len(docCounts))
+	if float64(max) < 3*avg {
+		t.Errorf("max doc count %d vs avg %.1f: no visible skew", max, avg)
+	}
+}
+
+func TestDocWordsValidation(t *testing.T) {
+	if _, err := DocWords(1, 10, 0, 10); err == nil {
+		t.Error("numDocs=0 accepted")
+	}
+	if _, err := DocWords(1, 101, 10, 10); err == nil {
+		t.Error("impossible pair count accepted")
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	if _, err := Mix(MixConfig{Ops: 0, KeySpace: 10, InsertWeight: 1}); err == nil {
+		t.Error("Ops=0 accepted")
+	}
+	if _, err := Mix(MixConfig{Ops: 10, KeySpace: 10}); err == nil {
+		t.Error("zero weights accepted")
+	}
+	if _, err := Mix(MixConfig{Ops: 10, KeySpace: 10, InsertWeight: 1, NegativeShare: 2}); err == nil {
+		t.Error("NegativeShare>1 accepted")
+	}
+}
+
+func TestMixSemantics(t *testing.T) {
+	ops, err := Mix(MixConfig{
+		Seed: 11, Ops: 20000, KeySpace: 2000,
+		InsertWeight: 2, LookupWeight: 6, DeleteWeight: 1,
+		NegativeShare: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 20000 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	live := map[uint64]bool{}
+	counts := map[OpKind]int{}
+	for i, op := range ops {
+		counts[op.Kind]++
+		switch op.Kind {
+		case OpInsert:
+			live[op.Key] = true
+		case OpDelete:
+			if !live[op.Key] {
+				t.Fatalf("op %d deletes a key that is not live", i)
+			}
+			delete(live, op.Key)
+		}
+	}
+	if counts[OpInsert] == 0 || counts[OpLookup] == 0 || counts[OpDelete] == 0 {
+		t.Fatalf("op mix degenerate: %v", counts)
+	}
+	// Lookups should dominate with weight 6 of 9.
+	if counts[OpLookup] < counts[OpInsert] {
+		t.Errorf("lookups (%d) should outnumber inserts (%d)", counts[OpLookup], counts[OpInsert])
+	}
+	// Determinism.
+	ops2, _ := Mix(MixConfig{
+		Seed: 11, Ops: 20000, KeySpace: 2000,
+		InsertWeight: 2, LookupWeight: 6, DeleteWeight: 1,
+		NegativeShare: 0.25,
+	})
+	for i := range ops {
+		if ops[i] != ops2[i] {
+			t.Fatal("Mix not deterministic")
+		}
+	}
+}

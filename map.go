@@ -1,0 +1,165 @@
+package mccuckoo
+
+import (
+	"fmt"
+
+	"mccuckoo/internal/hashutil"
+)
+
+// Map adapts a McCuckoo table into a generic key/value map for arbitrary
+// comparable key types. The table stores a 64-bit fingerprint of each key
+// mapped to the index of the entry in a side arena — the "indexing structure
+// pointing to the address where the items are actually stored" pattern of
+// §III.H. Fingerprint collisions between distinct keys are handled exactly
+// (colliding keys spill into a small exact-match overflow), so Map semantics
+// are those of a plain Go map.
+type Map[K comparable, V any] struct {
+	table   *Table
+	hasher  func(K) uint64
+	entries []mapEntry[K, V]
+	free    []int
+	// spill holds keys whose fingerprint collided with a different
+	// resident key. With 64-bit fingerprints this stays empty in
+	// practice; it exists for exactness.
+	spill map[K]V
+}
+
+type mapEntry[K comparable, V any] struct {
+	key  K
+	val  V
+	live bool
+}
+
+// NewMap creates a Map with the given capacity (in table buckets) and key
+// hasher. Use StringHasher/BytesHasher/Uint64Hasher, or supply your own;
+// the hasher must be deterministic.
+func NewMap[K comparable, V any](capacity int, hasher func(K) uint64, opts ...Option) (*Map[K, V], error) {
+	if hasher == nil {
+		return nil, fmt.Errorf("mccuckoo: hasher must not be nil")
+	}
+	t, err := New(capacity, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Map[K, V]{
+		table:  t,
+		hasher: hasher,
+		spill:  make(map[K]V),
+	}, nil
+}
+
+// StringHasher fingerprints string keys with BOB hash.
+func StringHasher(s string) uint64 {
+	return hashutil.BOB64([]byte(s), 0x6d63_6375_636b_6f6f)
+}
+
+// BytesHasher fingerprints byte-slice keys with BOB hash.
+func BytesHasher(b []byte) uint64 {
+	return hashutil.BOB64(b, 0x6d63_6375_636b_6f6f)
+}
+
+// Uint64Hasher fingerprints integer keys with a splitmix64 mix.
+func Uint64Hasher(k uint64) uint64 { return hashutil.Mix64(k) }
+
+// Set stores key/value. It returns an error only when the underlying table
+// rejects the insertion outright (full table with a bounded or disabled
+// stash).
+func (m *Map[K, V]) Set(key K, value V) error {
+	if _, spilled := m.spill[key]; spilled {
+		m.spill[key] = value
+		return nil
+	}
+	fp := m.hasher(key)
+	if idx, ok := m.table.Lookup(fp); ok {
+		e := &m.entries[idx]
+		if e.key == key {
+			e.val = value
+			return nil
+		}
+		// Fingerprint collision with a different key: exact spill.
+		m.spill[key] = value
+		return nil
+	}
+	idx := m.alloc(key, value)
+	if res := m.table.Insert(fp, idx); res.Status == Failed {
+		m.dealloc(int(idx))
+		return fmt.Errorf("mccuckoo: map is full (load %.2f)", m.table.LoadRatio())
+	}
+	return nil
+}
+
+// Get returns the value stored for key.
+func (m *Map[K, V]) Get(key K) (V, bool) {
+	if v, ok := m.spill[key]; ok {
+		return v, true
+	}
+	var zero V
+	idx, ok := m.table.Lookup(m.hasher(key))
+	if !ok {
+		return zero, false
+	}
+	e := m.entries[idx]
+	if !e.live || e.key != key {
+		return zero, false
+	}
+	return e.val, true
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map[K, V]) Delete(key K) bool {
+	if _, ok := m.spill[key]; ok {
+		delete(m.spill, key)
+		return true
+	}
+	fp := m.hasher(key)
+	idx, ok := m.table.Lookup(fp)
+	if !ok || !m.entries[idx].live || m.entries[idx].key != key {
+		return false
+	}
+	m.table.Delete(fp)
+	m.dealloc(int(idx))
+	return true
+}
+
+// Len returns the number of stored keys.
+func (m *Map[K, V]) Len() int {
+	return m.table.Len() + len(m.spill)
+}
+
+// LoadRatio returns the underlying table's load ratio.
+func (m *Map[K, V]) LoadRatio() float64 { return m.table.LoadRatio() }
+
+// Traffic returns the underlying table's memory-access counts.
+func (m *Map[K, V]) Traffic() Traffic { return m.table.Traffic() }
+
+// Range calls fn for every key/value pair until fn returns false. Iteration
+// order is unspecified.
+func (m *Map[K, V]) Range(fn func(K, V) bool) {
+	for _, e := range m.entries {
+		if e.live && !fn(e.key, e.val) {
+			return
+		}
+	}
+	for k, v := range m.spill {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+func (m *Map[K, V]) alloc(key K, value V) uint64 {
+	if n := len(m.free); n > 0 {
+		idx := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.entries[idx] = mapEntry[K, V]{key: key, val: value, live: true}
+		return uint64(idx)
+	}
+	m.entries = append(m.entries, mapEntry[K, V]{key: key, val: value, live: true})
+	return uint64(len(m.entries) - 1)
+}
+
+func (m *Map[K, V]) dealloc(idx int) {
+	var zero mapEntry[K, V]
+	m.entries[idx] = zero
+	m.free = append(m.free, idx)
+}

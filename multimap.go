@@ -1,0 +1,167 @@
+package mccuckoo
+
+import "fmt"
+
+// MultiMap stores multiple values per key on top of a McCuckoo table,
+// realizing §III.H's multiset design: the table never duplicates items of
+// the same key among its copies (copies must stay identical); instead it
+// acts as an index mapping the key's fingerprint to the head of a value
+// chain stored in a side arena.
+//
+// Nodes carry the full key, so distinct keys whose fingerprints collide
+// simply share a chain and are disambiguated on access — semantics are
+// exact for any hasher.
+type MultiMap[K comparable, V any] struct {
+	table  *Table
+	hasher func(K) uint64
+	nodes  []mmNode[K, V]
+	free   []int
+	pairs  int
+}
+
+type mmNode[K comparable, V any] struct {
+	key  K
+	val  V
+	next int // arena index of the next node, -1 at chain end
+	live bool
+}
+
+// NewMultiMap creates a MultiMap with the given table capacity (in buckets)
+// and key hasher.
+func NewMultiMap[K comparable, V any](capacity int, hasher func(K) uint64, opts ...Option) (*MultiMap[K, V], error) {
+	if hasher == nil {
+		return nil, fmt.Errorf("mccuckoo: hasher must not be nil")
+	}
+	t, err := New(capacity, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiMap[K, V]{table: t, hasher: hasher}, nil
+}
+
+// Add appends value to key's values. It returns an error only when the
+// underlying table rejects a new fingerprint outright.
+func (m *MultiMap[K, V]) Add(key K, value V) error {
+	fp := m.hasher(key)
+	head, exists := m.table.Lookup(fp)
+	next := -1
+	if exists {
+		next = int(head)
+	}
+	idx := m.alloc(mmNode[K, V]{key: key, val: value, next: next, live: true})
+	res := m.table.Insert(fp, uint64(idx))
+	if res.Status == Failed {
+		m.dealloc(idx)
+		return fmt.Errorf("mccuckoo: multimap is full (load %.2f)", m.table.LoadRatio())
+	}
+	m.pairs++
+	return nil
+}
+
+// Get returns all values stored for key, in reverse insertion order
+// (newest first). It returns nil when key is absent.
+func (m *MultiMap[K, V]) Get(key K) []V {
+	head, ok := m.table.Lookup(m.hasher(key))
+	if !ok {
+		return nil
+	}
+	var out []V
+	for idx := int(head); idx >= 0; idx = m.nodes[idx].next {
+		if n := &m.nodes[idx]; n.key == key {
+			out = append(out, n.val)
+		}
+	}
+	return out
+}
+
+// Contains reports whether key has at least one value.
+func (m *MultiMap[K, V]) Contains(key K) bool {
+	head, ok := m.table.Lookup(m.hasher(key))
+	if !ok {
+		return false
+	}
+	for idx := int(head); idx >= 0; idx = m.nodes[idx].next {
+		if m.nodes[idx].key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes all values of key and returns how many were removed.
+func (m *MultiMap[K, V]) Remove(key K) int {
+	fp := m.hasher(key)
+	head, ok := m.table.Lookup(fp)
+	if !ok {
+		return 0
+	}
+	removed := 0
+	newHead := -1
+	tail := -1 // last surviving node, to relink
+	for idx := int(head); idx >= 0; {
+		next := m.nodes[idx].next
+		if m.nodes[idx].key == key {
+			m.dealloc(idx)
+			removed++
+		} else {
+			if tail >= 0 {
+				m.nodes[tail].next = idx
+			} else {
+				newHead = idx
+			}
+			tail = idx
+		}
+		idx = next
+	}
+	if tail >= 0 {
+		m.nodes[tail].next = -1
+	}
+	switch {
+	case removed == 0:
+		return 0
+	case newHead < 0:
+		m.table.Delete(fp)
+	case newHead != int(head):
+		m.table.Insert(fp, uint64(newHead))
+	}
+	m.pairs -= removed
+	return removed
+}
+
+// Len returns the total number of key/value pairs.
+func (m *MultiMap[K, V]) Len() int { return m.pairs }
+
+// LoadRatio returns the underlying table's load ratio (distinct
+// fingerprints over capacity).
+func (m *MultiMap[K, V]) LoadRatio() float64 { return m.table.LoadRatio() }
+
+// Traffic returns the underlying table's memory-access counts.
+func (m *MultiMap[K, V]) Traffic() Traffic { return m.table.Traffic() }
+
+// Range calls fn for every key/value pair until fn returns false.
+// Iteration order is unspecified.
+func (m *MultiMap[K, V]) Range(fn func(K, V) bool) {
+	for i := range m.nodes {
+		if n := &m.nodes[i]; n.live && !fn(n.key, n.val) {
+			return
+		}
+	}
+}
+
+func (m *MultiMap[K, V]) alloc(n mmNode[K, V]) int {
+	if l := len(m.free); l > 0 {
+		idx := m.free[l-1]
+		m.free = m.free[:l-1]
+		m.nodes[idx] = n
+		return idx
+	}
+	m.nodes = append(m.nodes, n)
+	return len(m.nodes) - 1
+}
+
+func (m *MultiMap[K, V]) dealloc(idx int) {
+	var zero mmNode[K, V]
+	m.nodes[idx] = zero
+	m.nodes[idx].next = -1
+	m.free = append(m.free, idx)
+}

@@ -1,0 +1,190 @@
+package mccuckoo
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"mccuckoo/internal/hashutil"
+)
+
+func TestMultiMapBasics(t *testing.T) {
+	m, err := NewMultiMap[string, int](1000, StringHasher, WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMultiMap[string, int](100, nil); err == nil {
+		t.Error("nil hasher accepted")
+	}
+	for i := 0; i < 5; i++ {
+		if err := m.Add("color", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Add("shape", 99); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 6 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	got := m.Get("color")
+	if len(got) != 5 {
+		t.Fatalf("Get(color) = %v", got)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("values %v", got)
+		}
+	}
+	if !m.Contains("shape") || m.Contains("missing") {
+		t.Fatal("Contains broken")
+	}
+	if got := m.Get("missing"); got != nil {
+		t.Fatalf("Get(missing) = %v", got)
+	}
+}
+
+func TestMultiMapRemove(t *testing.T) {
+	m, err := NewMultiMap[string, int](1000, StringHasher, WithSeed(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.Add("a", i)
+	}
+	m.Add("b", 100)
+	if n := m.Remove("a"); n != 4 {
+		t.Fatalf("Remove(a) = %d", n)
+	}
+	if m.Contains("a") || m.Len() != 1 {
+		t.Fatalf("post-remove state: contains=%v len=%d", m.Contains("a"), m.Len())
+	}
+	if n := m.Remove("a"); n != 0 {
+		t.Fatalf("double Remove = %d", n)
+	}
+	if got := m.Get("b"); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("b damaged: %v", got)
+	}
+	// Freed nodes are reused.
+	for i := 0; i < 4; i++ {
+		m.Add("c", i)
+	}
+	if len(m.Get("c")) != 4 {
+		t.Fatal("reuse broken")
+	}
+}
+
+func TestMultiMapFingerprintCollision(t *testing.T) {
+	// All keys collide on one fingerprint: chains are shared but access
+	// stays exact.
+	m, err := NewMultiMap[string, int](300, func(string) uint64 { return 7 }, WithSeed(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Add("x", 1)
+	m.Add("y", 2)
+	m.Add("x", 3)
+	if got := m.Get("x"); len(got) != 2 {
+		t.Fatalf("Get(x) = %v", got)
+	}
+	if got := m.Get("y"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Get(y) = %v", got)
+	}
+	if n := m.Remove("x"); n != 2 {
+		t.Fatalf("Remove(x) = %d", n)
+	}
+	if got := m.Get("y"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("y damaged by colliding remove: %v", got)
+	}
+	if n := m.Remove("y"); n != 1 {
+		t.Fatalf("Remove(y) = %d", n)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMultiMapModelEquivalence(t *testing.T) {
+	m, err := NewMultiMap[uint32, uint32](4000, func(k uint32) uint64 {
+		return hashutil.Mix64(uint64(k))
+	}, WithSeed(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[uint32][]uint32{}
+	s := uint64(35)
+	for i := 0; i < 8000; i++ {
+		r := hashutil.SplitMix64(&s)
+		key := uint32(r % 600)
+		switch (r >> 32) % 4 {
+		case 0, 1:
+			val := uint32(r >> 40)
+			if err := m.Add(key, val); err == nil {
+				model[key] = append(model[key], val)
+			}
+		case 2:
+			got := m.Get(key)
+			want := model[key]
+			if len(got) != len(want) {
+				t.Fatalf("op %d: Get(%d) has %d values, want %d", i, key, len(got), len(want))
+			}
+			gotSorted := append([]uint32(nil), got...)
+			wantSorted := append([]uint32(nil), want...)
+			sort.Slice(gotSorted, func(a, b int) bool { return gotSorted[a] < gotSorted[b] })
+			sort.Slice(wantSorted, func(a, b int) bool { return wantSorted[a] < wantSorted[b] })
+			for j := range gotSorted {
+				if gotSorted[j] != wantSorted[j] {
+					t.Fatalf("op %d: Get(%d) = %v, want %v", i, key, gotSorted, wantSorted)
+				}
+			}
+		case 3:
+			if got, want := m.Remove(key), len(model[key]); got != want {
+				t.Fatalf("op %d: Remove(%d) = %d, want %d", i, key, got, want)
+			}
+			delete(model, key)
+		}
+	}
+	total := 0
+	for _, vs := range model {
+		total += len(vs)
+	}
+	if m.Len() != total {
+		t.Fatalf("Len = %d, model %d", m.Len(), total)
+	}
+	// Range covers every pair.
+	counted := 0
+	m.Range(func(k uint32, v uint32) bool {
+		counted++
+		return true
+	})
+	if counted != total {
+		t.Fatalf("Range visited %d pairs, want %d", counted, total)
+	}
+}
+
+func TestMultiMapPostingsExample(t *testing.T) {
+	// The §III.H shape: a term index where each word maps to the list of
+	// documents containing it.
+	m, err := NewMultiMap[string, int](2000, StringHasher, WithSeed(36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for doc := 0; doc < 50; doc++ {
+		for w := 0; w <= doc%7; w++ {
+			if err := m.Add(fmt.Sprintf("word-%d", w), doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	postings := m.Get("word-0")
+	if len(postings) != 50 {
+		t.Fatalf("word-0 appears in %d docs, want 50", len(postings))
+	}
+	if len(m.Get("word-6")) != 7 {
+		t.Fatalf("word-6 postings = %d, want 7", len(m.Get("word-6")))
+	}
+	if m.Traffic().OffChipReads == 0 {
+		t.Fatal("traffic not accounted")
+	}
+}
