@@ -1,0 +1,14 @@
+#!/bin/sh
+# ci.sh — the repo's verification gate.
+#
+# Tier-1 (every PR must keep this green): build + vet + full test suite.
+# Race gate: the concurrency-bearing packages (internal/core's RWMutex
+# wrapper and pathwise inserts, internal/shard's partitioned table) run
+# again under the race detector, which is what actually exercises the
+# reader/writer interleavings their tests stage.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/core/... ./internal/shard/...

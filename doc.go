@@ -24,8 +24,11 @@
 // d=3 by default). NewBlocked builds the blocked variant (l slots per bucket,
 // 3×3 by default), which trades slightly weaker lookup filtering for load
 // ratios close to 100%. Both are single-writer structures; Concurrent wraps
-// either for one-writer-many-readers use. Map adapts the table into a
-// generic key/value map for arbitrary comparable key types.
+// either for one-writer-many-readers use, and NewSharded builds an N-way
+// hash-partitioned table whose shards lock independently, with batched
+// operations (InsertBatch/LookupBatch/DeleteBatch) that take each touched
+// shard's lock once per batch. Map adapts the table into a generic
+// key/value map for arbitrary comparable key types.
 //
 // # Instrumentation
 //

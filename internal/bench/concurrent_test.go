@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConcurrentSweepSmall(t *testing.T) {
+	o := ConcurrentOptions{
+		Capacity:   3 * 1024,
+		Ops:        20000,
+		Goroutines: []int{1, 2},
+		Shards:     []int{2, 4},
+		Seed:       3,
+	}
+	results, err := ConcurrentSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	tput := results[0]
+	if tput.Table == nil || len(tput.Table.Series) != 3 {
+		t.Fatalf("throughput table malformed: %+v", tput)
+	}
+	for _, s := range tput.Table.Series {
+		for _, g := range []float64{1, 2} {
+			y, ok := s.At(g)
+			if !ok || y <= 0 {
+				t.Fatalf("series %q has no positive throughput at %g goroutines", s.Name, g)
+			}
+		}
+	}
+	if tput.Table.Series[0].Name != "global-lock" ||
+		tput.Table.Series[1].Name != "sharded/2" ||
+		tput.Table.Series[2].Name != "sharded/4" {
+		t.Fatalf("unexpected series names")
+	}
+	stats := results[1]
+	if len(stats.Rows) != 1+4 { // header + 4 shards of the widest config
+		t.Fatalf("%d stat rows, want 5", len(stats.Rows))
+	}
+	if !strings.Contains(stats.Notes[0], "routing balance") {
+		t.Fatalf("stats notes missing balance line: %v", stats.Notes)
+	}
+}
+
+func TestConcurrentSweepBatched(t *testing.T) {
+	o := ConcurrentOptions{
+		Capacity:   3 * 1024,
+		Ops:        10000,
+		Goroutines: []int{2},
+		Shards:     []int{4},
+		Batch:      64,
+		Seed:       5,
+	}
+	results, err := ConcurrentSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(results[0].Table.Title, "batched<=64") {
+		t.Fatalf("title does not reflect batch mode: %q", results[0].Table.Title)
+	}
+}
+
+func TestConcurrentSweepValidation(t *testing.T) {
+	for _, bad := range []ConcurrentOptions{
+		{Shards: []int{3}},
+		{Goroutines: []int{0}},
+		{Capacity: 10},
+	} {
+		if _, err := ConcurrentSweep(bad); err == nil {
+			t.Errorf("options %+v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package shard provides an N-way hash-partitioned concurrent McCuckoo
+// table. The single global reader/writer lock of core.Concurrent serializes
+// every insertion against all traffic; partitioning the key space over N
+// independent sub-tables, each behind its own sync.RWMutex, multiplies
+// writer throughput by the shard count while keeping each shard's critical
+// sections exactly as short as McCuckoo's counter-guided kick paths make
+// them (the combination Kuszmaul's concurrent kick-out schemes argue for).
+//
+// Shard routing uses the top bits of a dedicated splitmix64 finalizer over
+// the key, salted per table. The in-shard candidate buckets come from BOB
+// hash with per-shard seeds, a different hash family entirely, so the shard
+// choice never correlates with the d candidate buckets inside a shard and
+// per-shard load stays binomially balanced.
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/kv"
+	"mccuckoo/internal/memmodel"
+)
+
+// Inner is the table one shard wraps: a single-writer table exposing the
+// pure read-only lookup path (so readers can run under the shard's read
+// lock) and exactly-once iteration. Both core.Table and core.BlockedTable
+// satisfy it.
+type Inner interface {
+	kv.Table
+	LookupReadOnly(key uint64) (uint64, bool)
+	Range(fn func(key, value uint64) bool)
+}
+
+// MaxShards bounds the shard count; beyond this the per-shard fixed
+// overhead (locks, stashes, hash families) dominates any contention win.
+const MaxShards = 1 << 16
+
+// state is one shard: an inner table, its lock, and its contention
+// counters. The trailing padding keeps neighbouring shards' locks on
+// separate cache lines so lock traffic on one shard does not false-share
+// with its neighbours.
+type state struct {
+	mu  sync.RWMutex
+	tab Inner
+
+	// Read-path counters, updated atomically so readers need no extra
+	// synchronization. The single-op mutation path needs no counters at
+	// all: every Insert/Delete call bumps the inner table's stats exactly
+	// once, so its write-lock acquisitions are derivable (see ShardStats).
+	// Keeping the hot paths down to the same one-or-two atomics the
+	// global-lock wrapper pays is what lets sharding win even when lock
+	// contention is absent.
+	singleLookups atomic.Int64 // per-op Lookup calls; each is one read-lock acquisition
+	hits          atomic.Int64 // read-path hits, single and batched
+
+	// Batch-path bookkeeping (off the per-key hot path: one update per
+	// touched shard per batch).
+	batchLookups   atomic.Int64 // keys answered through LookupBatch
+	batchReadAcqs  atomic.Int64 // read-lock acquisitions by LookupBatch
+	batchWriteOps  atomic.Int64 // keys mutated through InsertBatch/DeleteBatch
+	batchWriteAcqs atomic.Int64 // write-lock acquisitions by InsertBatch/DeleteBatch
+
+	_ [40]byte
+}
+
+// Sharded is the partitioned table. All methods are safe for concurrent
+// use by any number of goroutines.
+type Sharded struct {
+	shift  uint   // 64 - log2(len(shards)); top bits of the route hash
+	salt   uint64 // routing salt, derived from the seed
+	shards []state
+
+	// agg backs Meter(): the element-wise sum of the shard meters,
+	// refreshed on each call.
+	agg memmodel.Meter
+
+	// scratchPool recycles the int32 working buffers of the batched
+	// operations (see groupByShard) so steady-state batching allocates
+	// nothing.
+	scratchPool sync.Pool
+}
+
+// New builds a table of `shards` partitions (a power of two), each wrapping
+// the table returned by build. The seed salts the shard routing hash; build
+// receives the shard index so it can derive independent per-shard seeds.
+func New(shards int, seed uint64, build func(shard int) (Inner, error)) (*Sharded, error) {
+	if shards < 1 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("shard: shard count must be a power of two >= 1, got %d", shards)
+	}
+	if shards > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d exceeds limit %d", shards, MaxShards)
+	}
+	s := &Sharded{
+		shift:  uint(64 - bits.TrailingZeros(uint(shards))),
+		salt:   hashutil.Mix64(seed ^ 0x5ca1ab1e_0ddba11),
+		shards: make([]state, shards),
+	}
+	for i := range s.shards {
+		tab, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		if tab == nil {
+			return nil, fmt.Errorf("shard: build returned nil table for shard %d", i)
+		}
+		s.shards[i].tab = tab
+	}
+	return s, nil
+}
+
+// NumShards returns the partition count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// shardIndex routes a key to its shard: the top bits of a salted splitmix64
+// finalizer. For a single shard the shift is 64 and the index is always 0
+// (Go defines over-wide unsigned shifts as zero).
+func (s *Sharded) shardIndex(key uint64) int {
+	return int(hashutil.Mix64(key^s.salt) >> s.shift)
+}
+
+// shardFor returns the shard owning key.
+func (s *Sharded) shardFor(key uint64) *state {
+	return &s.shards[s.shardIndex(key)]
+}
+
+// Insert stores key/value under the owning shard's write lock.
+func (s *Sharded) Insert(key, value uint64) kv.Outcome {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	out := sh.tab.Insert(key, value)
+	sh.mu.Unlock()
+	return out
+}
+
+// Lookup runs under the owning shard's read lock via the pure read-only
+// path; lookups on different shards never contend, and lookups on the same
+// shard share the lock.
+func (s *Sharded) Lookup(key uint64) (uint64, bool) {
+	sh := s.shardFor(key)
+	sh.singleLookups.Add(1)
+	sh.mu.RLock()
+	v, ok := sh.tab.LookupReadOnly(key)
+	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
+	}
+	return v, ok
+}
+
+// Delete removes key under the owning shard's write lock.
+func (s *Sharded) Delete(key uint64) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	ok := sh.tab.Delete(key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the total number of live items across shards. Each shard is
+// read under its lock; the sum is not a single atomic cross-shard snapshot.
+func (s *Sharded) Len() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += sh.tab.Len()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Capacity returns the summed bucket capacity of all shards.
+func (s *Sharded) Capacity() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += sh.tab.Capacity()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// LoadRatio returns Len()/Capacity() across all shards.
+func (s *Sharded) LoadRatio() float64 {
+	c := s.Capacity()
+	if c == 0 {
+		return 0
+	}
+	return float64(s.Len()) / float64(c)
+}
+
+// StashLen returns the summed stash population of all shards.
+func (s *Sharded) StashLen() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += sh.tab.StashLen()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Stats merges the writer-side stats of every shard with the atomically
+// counted concurrent lookups (the read path goes through LookupReadOnly,
+// which by design charges no inner stats).
+func (s *Sharded) Stats() kv.Stats {
+	var total kv.Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st := sh.tab.Stats()
+		sh.mu.RUnlock()
+		total.Inserts += st.Inserts
+		total.Updates += st.Updates
+		total.Kicks += st.Kicks
+		total.Stashed += st.Stashed
+		total.Failures += st.Failures
+		total.Lookups += st.Lookups
+		total.Hits += st.Hits
+		total.Deletes += st.Deletes
+		total.StashProbe += st.StashProbe
+		total.Lookups += sh.singleLookups.Load() + sh.batchLookups.Load()
+		total.Hits += sh.hits.Load()
+	}
+	return total
+}
+
+// Meter returns the element-wise sum of all shard meters, refreshed at call
+// time. Quiesce writers (or accept a racy snapshot) before reading it; the
+// returned pointer stays valid and is overwritten by the next call.
+func (s *Sharded) Meter() *memmodel.Meter {
+	var sum memmodel.Meter
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sum = sum.Add(sh.tab.Meter().Snapshot())
+		sh.mu.RUnlock()
+	}
+	s.agg = sum
+	return &s.agg
+}
+
+// Range calls fn for every distinct live item until fn returns false. Each
+// shard is iterated under its read lock, so the view of every individual
+// shard is consistent; the iteration is not an atomic snapshot across
+// shards (items moving between calls may be seen in neither or both shards'
+// windows — within one shard, exactly-once reporting holds).
+func (s *Sharded) Range(fn func(key, value uint64) bool) {
+	stopped := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sh.tab.Range(func(k, v uint64) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		sh.mu.RUnlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+var _ kv.Table = (*Sharded)(nil)

@@ -1,0 +1,173 @@
+package workload
+
+import "testing"
+
+func TestSplitByKeyPreservesPerKeyOrder(t *testing.T) {
+	ops, err := Mix(MixConfig{
+		Seed: 3, Ops: 20000, KeySpace: 500,
+		InsertWeight: 3, LookupWeight: 5, DeleteWeight: 2, NegativeShare: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := SplitByKey(ops, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	owner := make(map[uint64]int)
+	for i, st := range streams {
+		total += len(st)
+		for _, op := range st {
+			if prev, ok := owner[op.Key]; ok && prev != i {
+				t.Fatalf("key %#x appears in streams %d and %d", op.Key, prev, i)
+			}
+			owner[op.Key] = i
+		}
+	}
+	if total != len(ops) {
+		t.Fatalf("streams hold %d ops, input had %d", total, len(ops))
+	}
+	// Per-key order: the subsequence of ops for any key equals that key's
+	// subsequence in its stream.
+	perKeyIn := make(map[uint64][]OpKind)
+	for _, op := range ops {
+		perKeyIn[op.Key] = append(perKeyIn[op.Key], op.Kind)
+	}
+	perKeyOut := make(map[uint64][]OpKind)
+	for _, st := range streams {
+		for _, op := range st {
+			perKeyOut[op.Key] = append(perKeyOut[op.Key], op.Kind)
+		}
+	}
+	for k, in := range perKeyIn {
+		out := perKeyOut[k]
+		if len(in) != len(out) {
+			t.Fatalf("key %#x: %d ops in, %d out", k, len(in), len(out))
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("key %#x: op %d reordered (%d vs %d)", k, i, in[i], out[i])
+			}
+		}
+	}
+}
+
+func TestSplitByKeySingleStreamAndErrors(t *testing.T) {
+	ops := []Op{{OpInsert, 1}, {OpLookup, 2}}
+	streams, err := SplitByKey(ops, 1, 5)
+	if err != nil || len(streams) != 1 || len(streams[0]) != 2 {
+		t.Fatalf("single stream split broken: %v %v", streams, err)
+	}
+	if _, err := SplitByKey(ops, 0, 5); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestCoalesceBatches(t *testing.T) {
+	ops := []Op{
+		{OpInsert, 1}, {OpInsert, 2}, {OpInsert, 3},
+		{OpLookup, 4}, {OpLookup, 5},
+		{OpDelete, 6},
+		{OpInsert, 7},
+	}
+	batches := CoalesceBatches(ops, 0)
+	wantKinds := []OpKind{OpInsert, OpLookup, OpDelete, OpInsert}
+	wantLens := []int{3, 2, 1, 1}
+	if len(batches) != len(wantKinds) {
+		t.Fatalf("%d batches, want %d", len(batches), len(wantKinds))
+	}
+	flat := make([]Op, 0, len(ops))
+	for i, b := range batches {
+		if b.Kind != wantKinds[i] || len(b.Keys) != wantLens[i] {
+			t.Fatalf("batch %d: kind %d len %d, want %d/%d", i, b.Kind, len(b.Keys), wantKinds[i], wantLens[i])
+		}
+		for _, k := range b.Keys {
+			flat = append(flat, Op{Kind: b.Kind, Key: k})
+		}
+	}
+	for i := range ops {
+		if flat[i] != ops[i] {
+			t.Fatalf("op %d reordered by coalescing", i)
+		}
+	}
+	// maxBatch splits long runs without reordering.
+	capped := CoalesceBatches(ops, 2)
+	if len(capped) != 5 || len(capped[0].Keys) != 2 || len(capped[1].Keys) != 1 {
+		t.Fatalf("maxBatch=2 gave %v", capped)
+	}
+	if CoalesceBatches(nil, 4) != nil {
+		t.Fatal("empty input must give no batches")
+	}
+}
+
+func TestGroupBatchesPreservesPerKeyOrder(t *testing.T) {
+	ops, err := Mix(MixConfig{
+		Seed: 11, Ops: 30000, KeySpace: 2000,
+		InsertWeight: 2.5, LookupWeight: 6.5, DeleteWeight: 1, NegativeShare: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxBatch = 64
+	batches := GroupBatches(ops, maxBatch)
+	total := 0
+	perKeyOut := make(map[uint64][]OpKind)
+	for _, b := range batches {
+		if len(b.Keys) == 0 || len(b.Keys) > maxBatch {
+			t.Fatalf("batch size %d outside (0,%d]", len(b.Keys), maxBatch)
+		}
+		total += len(b.Keys)
+		for _, k := range b.Keys {
+			perKeyOut[k] = append(perKeyOut[k], b.Kind)
+		}
+	}
+	if total != len(ops) {
+		t.Fatalf("batches hold %d ops, input had %d", total, len(ops))
+	}
+	perKeyIn := make(map[uint64][]OpKind)
+	for _, op := range ops {
+		perKeyIn[op.Key] = append(perKeyIn[op.Key], op.Kind)
+	}
+	for k, in := range perKeyIn {
+		out := perKeyOut[k]
+		if len(in) != len(out) {
+			t.Fatalf("key %#x: %d ops in, %d out", k, len(in), len(out))
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("key %#x: op %d reordered across kinds (%d vs %d)", k, i, in[i], out[i])
+			}
+		}
+	}
+	// In a well-mixed trace over a wide keyspace, cross-kind key conflicts
+	// are rare, so batches should actually fill up — the whole point of
+	// reordering over order-preserving coalescing.
+	if avg := float64(total) / float64(len(batches)); avg < float64(maxBatch)/4 {
+		t.Fatalf("average batch size %.1f; reordering is not amortizing", avg)
+	}
+}
+
+func TestGroupBatchesEdgeCases(t *testing.T) {
+	if GroupBatches(nil, 8) != nil {
+		t.Fatal("empty input must give no batches")
+	}
+	// Alternating ops on one key can never merge: every op conflicts with
+	// the pending batch of the other kind.
+	ops := []Op{{OpInsert, 7}, {OpLookup, 7}, {OpInsert, 7}, {OpLookup, 7}}
+	batches := GroupBatches(ops, 8)
+	if len(batches) != 4 {
+		t.Fatalf("single-key alternation gave %d batches, want 4", len(batches))
+	}
+	for i, b := range batches {
+		if b.Kind != ops[i].Kind || len(b.Keys) != 1 || b.Keys[0] != 7 {
+			t.Fatalf("batch %d = %+v, want singleton %v", i, b, ops[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxBatch=0 must panic")
+		}
+	}()
+	GroupBatches(ops, 0)
+}

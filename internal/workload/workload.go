@@ -85,6 +85,8 @@ const (
 	OpInsert OpKind = iota
 	OpLookup
 	OpDelete
+
+	nOpKinds = iota
 )
 
 // Op is one operation of a mixed workload.

@@ -1,0 +1,181 @@
+package mccuckoo
+
+import (
+	"fmt"
+
+	"mccuckoo/internal/core"
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/shard"
+)
+
+// Sharded is an N-way hash-partitioned McCuckoo table, safe for concurrent
+// use by any number of goroutines. Where Concurrent serializes every
+// mutation behind one global lock, Sharded routes each key to one of N
+// independent sub-tables (N a power of two), each behind its own
+// reader/writer lock: writers on different shards proceed in parallel, and
+// McCuckoo's counter-guided kick paths keep each shard's critical sections
+// short. This is the table to use when multiple goroutines insert and
+// delete under load; use Concurrent when a single writer feeds many
+// readers.
+//
+// Shard routing hashes the key with a dedicated salted finalizer and takes
+// the top bits, while the d candidate buckets inside a shard come from the
+// BOB hash family — so the shard choice never correlates with in-shard
+// placement and shards stay binomially balanced.
+type Sharded struct {
+	inner *shard.Sharded
+}
+
+// NewSharded creates a partitioned table of `shards` sub-tables (a power of
+// two) with roughly `capacity` buckets in total. Options apply to every
+// sub-table; each gets an independently derived hash seed.
+func NewSharded(capacity, shards int, opts ...Option) (*Sharded, error) {
+	if shards < 1 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("mccuckoo: shard count must be a power of two >= 1, got %d", shards)
+	}
+	if capacity < 8*shards {
+		return nil, fmt.Errorf("mccuckoo: capacity %d too small for %d shards (need >= %d)",
+			capacity, shards, 8*shards)
+	}
+	cfg, err := buildConfig((capacity+shards-1)/shards, false, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Slots = 1
+	baseSeed := cfg.Seed
+	inner, err := shard.New(shards, baseSeed, func(i int) (shard.Inner, error) {
+		scfg := cfg
+		scfg.Seed = hashutil.Mix64(baseSeed + uint64(i)*0x9e3779b97f4a7c15)
+		return core.New(scfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{inner: inner}, nil
+}
+
+// Shards returns the partition count.
+func (s *Sharded) Shards() int { return s.inner.NumShards() }
+
+// Insert stores key/value under the owning shard's write lock, replacing
+// the value if key is already present (unless WithUniqueKeys was set).
+func (s *Sharded) Insert(key, value uint64) InsertResult {
+	return fromOutcome(s.inner.Insert(key, value))
+}
+
+// Lookup returns the value stored for key. Lookups on different shards
+// never contend; lookups on the same shard share its read lock.
+func (s *Sharded) Lookup(key uint64) (uint64, bool) { return s.inner.Lookup(key) }
+
+// Delete removes key under the owning shard's write lock.
+func (s *Sharded) Delete(key uint64) bool { return s.inner.Delete(key) }
+
+// InsertBatch stores every keys[i]/values[i] pair, grouping keys by shard
+// and taking each touched shard's write lock once for the whole batch.
+// Results come back in input order. len(values) must equal len(keys).
+func (s *Sharded) InsertBatch(keys, values []uint64) []InsertResult {
+	outcomes := s.inner.InsertBatch(keys, values)
+	res := make([]InsertResult, len(outcomes))
+	for i, o := range outcomes {
+		res[i] = fromOutcome(o)
+	}
+	return res
+}
+
+// LookupBatch answers every key, taking each touched shard's read lock
+// once. values[i], found[i] correspond to keys[i].
+func (s *Sharded) LookupBatch(keys []uint64) (values []uint64, found []bool) {
+	return s.inner.LookupBatch(keys)
+}
+
+// DeleteBatch removes every key, taking each touched shard's write lock
+// once. removed[i] reports whether keys[i] was present.
+func (s *Sharded) DeleteBatch(keys []uint64) (removed []bool) {
+	return s.inner.DeleteBatch(keys)
+}
+
+// Len returns the total number of live items across all shards.
+func (s *Sharded) Len() int { return s.inner.Len() }
+
+// Capacity returns the summed bucket capacity of all shards.
+func (s *Sharded) Capacity() int { return s.inner.Capacity() }
+
+// LoadRatio returns Len()/Capacity().
+func (s *Sharded) LoadRatio() float64 { return s.inner.LoadRatio() }
+
+// StashLen returns the summed stash population of all shards.
+func (s *Sharded) StashLen() int { return s.inner.StashLen() }
+
+// Stats returns operation counts aggregated over all shards.
+func (s *Sharded) Stats() Stats { return fromStats(s.inner.Stats()) }
+
+// Range calls fn for every distinct live item until fn returns false. Each
+// shard is iterated under its read lock, so every shard's view is
+// internally consistent; the iteration is not an atomic snapshot across
+// shards.
+func (s *Sharded) Range(fn func(key, value uint64) bool) { s.inner.Range(fn) }
+
+// ShardStat describes one shard: population, load, stash depth, kick-path
+// work, read-path traffic, and lock-acquisition counts.
+type ShardStat struct {
+	Shard      int
+	Items      int
+	Capacity   int
+	LoadRatio  float64
+	StashLen   int
+	Kicks      int64
+	Lookups    int64
+	Hits       int64
+	ReadLocks  int64
+	WriteLocks int64
+}
+
+// ShardStats aggregates per-shard statistics. MinLoad/MaxLoad expose the
+// routing balance across shards.
+type ShardStats struct {
+	Shards     []ShardStat
+	Items      int
+	Capacity   int
+	LoadRatio  float64
+	MinLoad    float64
+	MaxLoad    float64
+	StashLen   int
+	Kicks      int64
+	Lookups    int64
+	Hits       int64
+	ReadLocks  int64
+	WriteLocks int64
+}
+
+// ShardStats captures a per-shard statistics snapshot (consistent per
+// shard, not atomically consistent across shards).
+func (s *Sharded) ShardStats() ShardStats {
+	st := s.inner.ShardStats()
+	out := ShardStats{
+		Shards:    make([]ShardStat, len(st.Shards)),
+		Items:     st.Items,
+		Capacity:  st.Capacity,
+		LoadRatio: st.LoadRatio,
+		MinLoad:   st.MinLoad,
+		MaxLoad:   st.MaxLoad,
+		StashLen:  st.StashLen,
+		Kicks:     st.Kicks,
+		Lookups:   st.Lookups,
+		Hits:      st.Hits,
+		ReadLocks: st.ReadLocks, WriteLocks: st.WriteLocks,
+	}
+	for i, sh := range st.Shards {
+		out.Shards[i] = ShardStat{
+			Shard:     sh.Shard,
+			Items:     sh.Items,
+			Capacity:  sh.Capacity,
+			LoadRatio: sh.LoadRatio,
+			StashLen:  sh.StashLen,
+			Kicks:     sh.Ops.Kicks,
+			Lookups:   sh.Ops.Lookups + sh.Lookups,
+			Hits:      sh.Ops.Hits + sh.Hits,
+			ReadLocks: sh.ReadLocks, WriteLocks: sh.WriteLocks,
+		}
+	}
+	return out
+}
