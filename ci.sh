@@ -3,12 +3,17 @@
 #
 # Tier-1 (every PR must keep this green): build + vet + full test suite.
 # Race gate: the concurrency-bearing packages (internal/core's RWMutex
-# wrapper and pathwise inserts, internal/shard's partitioned table) run
-# again under the race detector, which is what actually exercises the
-# reader/writer interleavings their tests stage.
+# wrapper and pathwise inserts, internal/shard's partitioned table, and
+# internal/faultinject which drives both) run again under the race
+# detector, which is what actually exercises the reader/writer
+# interleavings their tests stage.
+# Fuzz smoke: a short bounded run of the snapshot-loader fuzzer so format
+# changes that break the rejection paths fail in CI, not in a long
+# background fuzz.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/core/... ./internal/shard/...
+go test -race ./internal/core/... ./internal/shard/... ./internal/faultinject/...
+go test -run='^$' -fuzz=FuzzLoad -fuzztime=5s ./internal/core

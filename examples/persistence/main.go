@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -34,29 +35,24 @@ func main() {
 	fmt.Printf("built table: %d items at %.1f%% load, %d stashed\n",
 		table.Len(), table.LoadRatio()*100, table.StashLen())
 
-	// Save.
+	// Save crash-safely: SaveFile writes to a temp file, fsyncs, and
+	// atomically renames it over path, so a crash mid-save leaves the
+	// previous snapshot intact — never a torn file.
 	path := filepath.Join(os.TempDir(), "mccuckoo-example.snap")
-	f, err := os.Create(path)
-	if err != nil {
+	if err := table.SaveFile(path); err != nil {
 		log.Fatal(err)
 	}
-	written, err := table.WriteTo(f)
+	info, err := os.Stat(path)
 	if err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("snapshot: %d bytes (%.1f bytes/item) at %s\n",
-		written, float64(written)/float64(table.Len()), path)
+		info.Size(), float64(info.Size())/float64(table.Len()), path)
 
-	// Restore and verify.
-	f, err = os.Open(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	restored, err := mccuckoo.Load(f)
-	f.Close()
+	// Restore and verify. LoadFile checks the per-section and whole-file
+	// CRC32C checksums and the table invariants before handing anything
+	// back.
+	restored, err := mccuckoo.LoadFile(path)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,4 +80,23 @@ func main() {
 		}
 	}
 	fmt.Printf("post-restore inserts OK, final load %.1f%%\n", restored.LoadRatio()*100)
+
+	// Corruption is detected, not absorbed: flip one bit in the file and
+	// the load fails with a typed *CorruptError naming the bad section.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x04
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mccuckoo.LoadFile(path); err == nil {
+		log.Fatal("corrupted snapshot was accepted")
+	} else {
+		var ce *mccuckoo.CorruptError
+		if errors.As(err, &ce) {
+			fmt.Printf("bit-flipped snapshot rejected: %v\n", ce)
+		}
+	}
 }

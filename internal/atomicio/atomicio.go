@@ -1,0 +1,61 @@
+// Package atomicio provides crash-safe whole-file writes: the content goes
+// to a temporary file in the destination directory, is fsynced, and is then
+// atomically renamed over the destination, so a crash at any point leaves
+// either the old file or the new file — never a torn mixture. Combined with
+// the snapshot format's checksums this gives the persistence layer its
+// guarantee: a snapshot file either loads as written or is rejected.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The temporary file lives in path's directory (rename is only atomic within
+// a filesystem) and is removed on any failure. After the rename the
+// directory is fsynced best-effort so the new directory entry itself is
+// durable.
+func WriteFile(path string, write func(f *os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: fsync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		tmpName = ""
+		return fmt.Errorf("atomicio: rename into place: %w", err)
+	}
+	tmpName = "" // renamed away; nothing to clean up
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Best effort: some filesystems (and platforms) reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -50,6 +50,9 @@ type BlockedTable struct {
 	copiesTotal     int
 	redundantWrites int64
 	stats           kv.Stats
+	// growing guards the auto-grow policy against re-entry while Grow's
+	// own reinsertions stash items.
+	growing bool
 }
 
 // NewBlocked creates a blocked McCuckoo table. cfg.Slots defaults to 3.
@@ -428,6 +431,7 @@ func (t *BlockedTable) overflowInsert(cur kv.Entry, cand []int, kicks int) kv.Ou
 		}
 	}
 	t.stats.Stashed++
+	t.maybeAutoGrow()
 	return kv.Outcome{Status: kv.Stashed, Kicks: kicks}
 }
 

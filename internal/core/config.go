@@ -82,6 +82,32 @@ type Config struct {
 	// experiment workloads guarantee uniqueness. Leave off for safe
 	// upsert semantics.
 	AssumeUniqueKeys bool
+	// AutoGrow triggers automatic table growth under stash pressure:
+	// graceful degradation instead of a filling stash when the load
+	// climbs past what the configured geometry can absorb.
+	AutoGrow AutoGrowPolicy
+}
+
+// AutoGrowPolicy configures automatic growth under stash pressure. When
+// enabled, an insert that lands in the stash while the stash holds more than
+// StashThreshold items triggers Grow(Factor); if the stash is still over the
+// threshold afterwards the factor is multiplied by Backoff and growth retries,
+// up to MaxAttempts attempts per trigger. Attempts and outcomes are surfaced
+// in Stats (GrowAttempts, Grows, GrowFailures).
+type AutoGrowPolicy struct {
+	// Enabled turns the policy on.
+	Enabled bool
+	// StashThreshold is the stash population above which growth triggers.
+	// 0 means grow on the first stashed item.
+	StashThreshold int
+	// Factor is the initial multiplier applied to BucketsPerTable
+	// (default 2.0; must be > 1).
+	Factor float64
+	// MaxAttempts bounds growth retries per trigger (default 3).
+	MaxAttempts int
+	// Backoff multiplies the factor after an attempt that leaves the
+	// stash over the threshold (default 1.5; must be >= 1).
+	Backoff float64
 }
 
 func (c *Config) normalize(blocked bool) error {
@@ -115,6 +141,32 @@ func (c *Config) normalize(blocked bool) error {
 	}
 	if c.StashMax < 0 {
 		return fmt.Errorf("core: StashMax must be non-negative, got %d", c.StashMax)
+	}
+	if c.AutoGrow.Enabled {
+		if !c.StashEnabled {
+			return fmt.Errorf("core: AutoGrow requires StashEnabled (growth triggers on stash pressure)")
+		}
+		if c.AutoGrow.Factor == 0 {
+			c.AutoGrow.Factor = 2.0
+		}
+		if c.AutoGrow.MaxAttempts == 0 {
+			c.AutoGrow.MaxAttempts = 3
+		}
+		if c.AutoGrow.Backoff == 0 {
+			c.AutoGrow.Backoff = 1.5
+		}
+		if c.AutoGrow.Factor <= 1 {
+			return fmt.Errorf("core: AutoGrow.Factor must be > 1, got %g", c.AutoGrow.Factor)
+		}
+		if c.AutoGrow.Backoff < 1 {
+			return fmt.Errorf("core: AutoGrow.Backoff must be >= 1, got %g", c.AutoGrow.Backoff)
+		}
+		if c.AutoGrow.StashThreshold < 0 {
+			return fmt.Errorf("core: AutoGrow.StashThreshold must be non-negative, got %d", c.AutoGrow.StashThreshold)
+		}
+		if c.AutoGrow.MaxAttempts < 1 {
+			return fmt.Errorf("core: AutoGrow.MaxAttempts must be positive, got %d", c.AutoGrow.MaxAttempts)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,48 @@
+package core
+
+import "fmt"
+
+// CorruptError is the typed rejection every snapshot loader returns when the
+// input is truncated, bit-flipped, internally inconsistent, or out of the
+// format's bounds. A loader never panics on garbage and never hands back a
+// silently-wrong table: any anomaly surfaces as one of these.
+//
+// Use errors.As to detect it:
+//
+//	var ce *core.CorruptError
+//	if errors.As(err, &ce) { log.Printf("snapshot bad at %s+%d: %s", ce.Section, ce.Offset, ce.Reason) }
+type CorruptError struct {
+	// Kind names the snapshot flavour being loaded: "table", "blocked",
+	// or "sharded".
+	Kind string
+	// Section names the region of the snapshot that failed: "header",
+	// "bookkeeping", "buckets", "hints", "onchip", "stash", "trailer",
+	// "frame", or "consistency" for post-load invariant failures.
+	Section string
+	// Offset is the byte position in the input stream where the problem
+	// was established (best effort; 0 when unknown).
+	Offset int64
+	// Reason is a human-readable description of the defect.
+	Reason string
+	// Err is the underlying error, if any (io errors, invariant
+	// violations). It is exposed via Unwrap.
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	msg := fmt.Sprintf("core: corrupt %s snapshot (%s @%d): %s", e.Kind, e.Section, e.Offset, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap returns the underlying error, if any.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// corruptf builds a *CorruptError with a formatted reason.
+func corruptf(kind, section string, offset int64, format string, args ...any) *CorruptError {
+	return &CorruptError{Kind: kind, Section: section, Offset: offset,
+		Reason: fmt.Sprintf(format, args...)}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"mccuckoo/internal/kv"
@@ -100,19 +101,53 @@ func FuzzBlockedOps(f *testing.F) {
 // garbage with an error, never panic, and anything they do accept must pass
 // the invariant check (Load runs it internally).
 func FuzzLoad(f *testing.F) {
-	// Seed with a genuine snapshot so mutations explore the format.
-	tab, err := New(Config{BucketsPerTable: 16, Seed: 4, StashEnabled: true})
-	if err != nil {
-		f.Fatal(err)
+	// Seed with genuine snapshots covering the config space — every section
+	// layout the loaders can meet — so mutations explore the format rather
+	// than bouncing off the magic check.
+	seedSnapshot := func(blocked bool, cfg Config, nKeys uint64, deletions bool) {
+		var tab interface {
+			kv.Table
+			io.WriterTo
+		}
+		var err error
+		if blocked {
+			tab, err = NewBlocked(cfg)
+		} else {
+			tab, err = New(cfg)
+		}
+		if err != nil {
+			f.Fatal(err)
+		}
+		for k := uint64(1); k < nKeys; k++ {
+			tab.Insert(k*0x9e37, k)
+		}
+		if deletions {
+			for k := uint64(1); k < nKeys; k += 3 {
+				tab.Delete(k * 0x9e37)
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := tab.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// A few bit-flipped variants start the corpus inside the rejection
+		// paths of each section.
+		for _, off := range []int{2, len(buf.Bytes()) / 3, len(buf.Bytes()) - 2} {
+			bad := append([]byte{}, buf.Bytes()...)
+			bad[off] ^= 0x20
+			f.Add(bad)
+		}
 	}
-	for k := uint64(1); k < 20; k++ {
-		tab.Insert(k, k)
-	}
-	var buf bytes.Buffer
-	if _, err := tab.WriteTo(&buf); err != nil {
-		f.Fatal(err)
-	}
-	f.Add(buf.Bytes())
+	seedSnapshot(false, Config{BucketsPerTable: 16, Seed: 4, StashEnabled: true}, 20, false)
+	seedSnapshot(false, Config{BucketsPerTable: 16, Seed: 5, StashEnabled: true,
+		Deletion: Tombstone}, 30, true)
+	seedSnapshot(false, Config{BucketsPerTable: 16, Seed: 6, StashEnabled: true,
+		Policy: kv.MinCounter, MaxLoop: 15,
+		AutoGrow: AutoGrowPolicy{Enabled: true, StashThreshold: 2}}, 40, false)
+	seedSnapshot(true, Config{BucketsPerTable: 8, Seed: 7, StashEnabled: true}, 25, false)
+	seedSnapshot(true, Config{BucketsPerTable: 8, Seed: 8, StashEnabled: true,
+		Deletion: Tombstone}, 25, true)
 	f.Add([]byte{})
 	f.Add([]byte("MCCK"))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -225,5 +225,6 @@ func (t *Table) overflowInsert(cur kv.Entry, cand []int, kicks int) kv.Outcome {
 		}
 	}
 	t.stats.Stashed++
+	t.maybeAutoGrow()
 	return kv.Outcome{Status: kv.Stashed, Kicks: kicks}
 }

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"mccuckoo/internal/bitpack"
+	"mccuckoo/internal/hashutil"
+)
+
+// Repair rebuilds all derived state from the authoritative off-chip content.
+//
+// McCuckoo's design splits the table into authoritative off-chip state (the
+// bucket keys/values, the blocked tables' slot hints, and the stash) and
+// derived on-chip state (the copy counters, the stash flags, and the
+// size/copiesTotal bookkeeping). The derived state is exactly what a power
+// loss or SRAM fault wipes — and, because deletion is an on-chip-only
+// operation (§III.B.3), it is also the only record that a deletion ever
+// happened. Repair is the recovery story for that split: a full off-chip
+// scan that reconstitutes counters, flags, hints, and bookkeeping, clearing
+// anything the buckets cannot corroborate.
+//
+// Liveness rule. A key K found in its own candidate bucket is live iff
+// either (a) at least one of its candidate copies still has a non-free
+// counter — corroborating evidence that some of the on-chip record survived
+// — or (b) the table has never processed a deletion and K != 0, in which
+// case stale bucket content cannot exist and every stored key is live (K = 0
+// is excluded because an all-zero bucket is indistinguishable from a
+// never-written one; key 0 survives repair only through counter evidence).
+//
+// Consequences, documented rather than hidden:
+//
+//   - Deletions may roll back. A deletion writes nothing off-chip, so if
+//     every counter of a deleted key is simultaneously lost AND corrupted
+//     back to non-free, Repair resurrects the key with its pre-deletion
+//     value. Conversely a key whose every copy counter was zeroed on a
+//     table that has deleted is indistinguishable from a deleted key and
+//     stays dead.
+//   - Aliens are cleared. A bucket whose stored key does not hash there
+//     (off-chip corruption) cannot be a copy of anything; its counter is
+//     zeroed and the item survives through its sibling copies — the
+//     multi-copy redundancy doubling as fault tolerance.
+//   - Stash flags are resynchronized to the stash's current content,
+//     subsuming stale Bloom bits left by stash deletions.
+//   - In Tombstone mode every non-live slot still holding a key is re-marked
+//     with the tombstone value: after on-chip loss it is unknowable which
+//     dead slots carried deletion marks, and under-marking would let the
+//     rule-1 lookup shortcut miss live keys whose candidate buckets filled
+//     up and later emptied.
+//
+// Repair charges the meter like the rebuild it is: one off-chip read per
+// bucket scanned, one on-chip write per counter changed, one off-chip write
+// per flag, hint, or value fixed.
+func (t *Table) Repair() RepairReport {
+	d, n := t.cfg.D, t.cfg.BucketsPerTable
+	rep := RepairReport{SizeBefore: t.size, CopiesBefore: t.copiesTotal}
+	t.meter.ReadOff(int64(d * n))
+
+	// Pass 1: group valid-position bucket content by key, noting which
+	// copies the surviving counters corroborate.
+	type keyState struct {
+		tables   []int8 // subtables whose candidate bucket stores the key
+		evidence bool   // any of them has a non-free counter
+	}
+	found := make(map[uint64]*keyState, t.size)
+	for j := 0; j < d; j++ {
+		for b := 0; b < n; b++ {
+			idx := t.bucketIndex(j, b)
+			key := t.keys[idx]
+			c := t.counters.Get(idx)
+			if t.family.Index(j, key) != b {
+				if !t.isFree(c) {
+					rep.AliensCleared++
+				}
+				continue
+			}
+			if key == 0 && t.isFree(c) {
+				continue // indistinguishable from a never-written bucket
+			}
+			ks := found[key]
+			if ks == nil {
+				ks = &keyState{}
+				found[key] = ks
+			}
+			ks.tables = append(ks.tables, int8(j))
+			if !t.isFree(c) {
+				ks.evidence = true
+			}
+		}
+	}
+
+	// Pass 2: rebuild counters for every live key; repair divergent values
+	// from an evidenced copy.
+	newCounters, err := bitpack.NewCounters(d*n, t.cfg.counterWidth())
+	if err != nil {
+		panic(err) // geometry already validated at construction
+	}
+	live := make(map[uint64]struct{}, len(found))
+	newSize, newCopies := 0, 0
+	var cand [hashutil.MaxD]int
+	for key, ks := range found {
+		if !ks.evidence && (t.deletedAny || key == 0) {
+			continue // stale (or unknowable) content stays dead
+		}
+		t.family.Indexes(key, cand[:])
+		// Value consensus: majority vote over all copies, evidenced copies
+		// breaking ties — so a single corrupted value among three copies is
+		// outvoted, not propagated.
+		val := t.vals[t.bucketIndex(int(ks.tables[0]), cand[ks.tables[0]])]
+		if len(ks.tables) > 1 {
+			votes := make(map[uint64]int, len(ks.tables))
+			best := -1
+			for _, j := range ks.tables {
+				idx := t.bucketIndex(int(j), cand[j])
+				w := 2
+				if !t.isFree(t.counters.Get(idx)) {
+					w = 3 // evidenced copies outrank equally-split others
+				}
+				votes[t.vals[idx]] += w
+				if votes[t.vals[idx]] > best {
+					best = votes[t.vals[idx]]
+					val = t.vals[idx]
+				}
+			}
+		}
+		copies := len(ks.tables)
+		for _, j := range ks.tables {
+			idx := t.bucketIndex(int(j), cand[j])
+			newCounters.Set(idx, uint64(copies))
+			if t.vals[idx] != val {
+				t.vals[idx] = val
+				t.meter.WriteOff(1)
+				rep.ValuesFixed++
+			}
+		}
+		live[key] = struct{}{}
+		newSize++
+		newCopies += copies
+	}
+
+	// In Tombstone mode, re-mark every dead slot that still holds a key:
+	// conservative deletion marks keep the rule-1 shortcut sound (see the
+	// function comment).
+	if t.tombstoneVal != 0 {
+		for idx := range t.keys {
+			if t.keys[idx] != 0 && newCounters.Get(idx) == 0 {
+				newCounters.Set(idx, t.tombstoneVal)
+			}
+		}
+	}
+
+	rep.CountersFixed = installCounters(t.counters, newCounters, &t.meter)
+	t.counters = newCounters
+	rep.FlagsFixed, rep.StashDropped = t.rebuildStashState(live, cand[:])
+	t.size, t.copiesTotal = newSize, newCopies
+	rep.SizeAfter, rep.CopiesAfter = newSize, newCopies
+	if rep.AliensCleared > 0 {
+		// Clearing an alien frees a bucket a live key may have had a copy
+		// in — the same hole a deletion leaves, so the never-deleted
+		// shortcuts no longer hold.
+		t.deletedAny = true
+	}
+	return rep
+}
+
+// rebuildStashState drops stash entries shadowed by a live main-table copy
+// and resynchronizes the per-bucket stash flags to the surviving entries.
+func (t *Table) rebuildStashState(live map[uint64]struct{}, cand []int) (flagsFixed, stashDropped int) {
+	newFlags, err := bitpack.NewBitset(t.flags.Len())
+	if err != nil {
+		panic(err)
+	}
+	if t.overflow != nil {
+		for _, e := range t.overflow.Entries() {
+			if _, dup := live[e.Key]; dup {
+				t.overflow.Delete(e.Key)
+				stashDropped++
+				continue
+			}
+			t.family.Indexes(e.Key, cand)
+			for j := 0; j < t.cfg.D; j++ {
+				newFlags.Set(t.bucketIndex(j, cand[j]))
+			}
+		}
+	}
+	flagsFixed = installFlags(t.flags, newFlags, &t.meter)
+	t.flags = newFlags
+	return flagsFixed, stashDropped
+}
+
+// Repair rebuilds the blocked table's derived state from the off-chip slots,
+// hints, and stash, with the same liveness rule and documented semantics as
+// Table.Repair.
+//
+// The blocked layout adds one ambiguity the single-slot table cannot have: a
+// candidate bucket may hold both a live copy of a key and a stale one (a
+// reinsertion after deletion may land in a different slot of the same
+// bucket). Per subtable the copy is resolved in order of trust: a single
+// counter-corroborated slot wins outright; among several, the hint vectors
+// of the key's corroborated copies in other subtables vote (hints are stored
+// off-chip with the items and survive on-chip loss); with no corroboration
+// at all, the hint vote alone decides, except on a never-deleted table where
+// stale slots cannot exist and the stored slot is taken as-is. Hint vectors
+// of all chosen copies are then rewritten to point exactly at each other.
+func (t *BlockedTable) Repair() RepairReport {
+	d, n, l := t.cfg.D, t.cfg.BucketsPerTable, t.cfg.Slots
+	rep := RepairReport{SizeBefore: t.size, CopiesBefore: t.copiesTotal}
+	t.meter.ReadOff(int64(d * n))
+
+	type keyState struct {
+		slots    [hashutil.MaxD][]int8 // candidate-bucket slots holding the key
+		evid     [hashutil.MaxD][]int8 // the counter-corroborated subset
+		evidence bool
+	}
+	found := make(map[uint64]*keyState, t.size)
+	for j := 0; j < d; j++ {
+		for b := 0; b < n; b++ {
+			for s := 0; s < l; s++ {
+				idx := t.slotIndex(j, b, s)
+				key := t.keys[idx]
+				c := t.counters.Get(idx)
+				if t.family.Index(j, key) != b {
+					if !t.isFree(c) {
+						rep.AliensCleared++
+					}
+					continue
+				}
+				if key == 0 && t.isFree(c) {
+					continue
+				}
+				ks := found[key]
+				if ks == nil {
+					ks = &keyState{}
+					found[key] = ks
+				}
+				ks.slots[j] = append(ks.slots[j], int8(s))
+				if !t.isFree(c) {
+					ks.evid[j] = append(ks.evid[j], int8(s))
+					ks.evidence = true
+				}
+			}
+		}
+	}
+
+	newCounters, err := bitpack.NewCounters(d*n*l, t.cfg.counterWidth())
+	if err != nil {
+		panic(err)
+	}
+	live := make(map[uint64]struct{}, len(found))
+	newSize, newCopies := 0, 0
+	var cand [hashutil.MaxD]int
+	for key, ks := range found {
+		if !ks.evidence && (t.deletedAny || key == 0) {
+			continue
+		}
+		t.family.Indexes(key, cand[:])
+
+		// Resolve the copy slot per subtable: evidence, then hint vote,
+		// then (never-deleted tables only) the stored slot. Lanes beyond d
+		// stay noSlot, matching the stored hint-vector convention.
+		sel := [4]int8{noSlot, noSlot, noSlot, noSlot}
+		for j := 0; j < d; j++ {
+			slots, evid := ks.slots[j], ks.evid[j]
+			switch {
+			case len(evid) == 1:
+				sel[j] = evid[0]
+			case len(evid) > 1:
+				if v := t.hintVote(ks.evid[:], cand[:], j, evid); v != noSlot {
+					sel[j] = v
+				} else {
+					sel[j] = evid[0]
+				}
+			case len(slots) == 0:
+				// no copy in this subtable
+			case !t.deletedAny:
+				sel[j] = slots[0] // stale slots cannot exist
+			default:
+				sel[j] = t.hintVote(ks.evid[:], cand[:], j, slots)
+			}
+		}
+		copies := 0
+		for j := 0; j < d; j++ {
+			if sel[j] != noSlot {
+				copies++
+			}
+		}
+		if copies == 0 {
+			continue // hint vote rejected every uncorroborated slot
+		}
+
+		// Value consensus: majority vote over the chosen copies, evidenced
+		// copies breaking ties — a single corrupted value among three
+		// copies is outvoted, not propagated.
+		var val uint64
+		{
+			votes := make(map[uint64]int, copies)
+			best := -1
+			for j := 0; j < d; j++ {
+				if sel[j] == noSlot {
+					continue
+				}
+				idx := t.slotIndex(j, cand[j], int(sel[j]))
+				w := 2
+				if !t.isFree(t.counters.Get(idx)) {
+					w = 3
+				}
+				votes[t.vals[idx]] += w
+				if votes[t.vals[idx]] > best {
+					best = votes[t.vals[idx]]
+					val = t.vals[idx]
+				}
+			}
+		}
+		for j := 0; j < d; j++ {
+			if sel[j] == noSlot {
+				continue
+			}
+			idx := t.slotIndex(j, cand[j], int(sel[j]))
+			newCounters.Set(idx, uint64(copies))
+			if t.vals[idx] != val {
+				t.vals[idx] = val
+				t.meter.WriteOff(1)
+				rep.ValuesFixed++
+			}
+			want := [4]int8{sel[0], sel[1], sel[2], sel[3]}
+			if t.hints[idx] != want {
+				t.hints[idx] = want
+				t.meter.WriteOff(1)
+				rep.HintsFixed++
+			}
+		}
+		live[key] = struct{}{}
+		newSize++
+		newCopies += copies
+	}
+
+	if t.tombstoneVal != 0 {
+		for idx := range t.keys {
+			if t.keys[idx] != 0 && newCounters.Get(idx) == 0 {
+				newCounters.Set(idx, t.tombstoneVal)
+			}
+		}
+	}
+
+	rep.CountersFixed = installCounters(t.counters, newCounters, &t.meter)
+	t.counters = newCounters
+	rep.FlagsFixed, rep.StashDropped = t.rebuildStashState(live, cand[:])
+	t.size, t.copiesTotal = newSize, newCopies
+	rep.SizeAfter, rep.CopiesAfter = newSize, newCopies
+	if rep.AliensCleared > 0 {
+		// As in Table.Repair: a cleared alien leaves the hole a deletion
+		// would, so the never-deleted shortcuts no longer hold.
+		t.deletedAny = true
+	}
+	return rep
+}
+
+// hintVote tallies, among the key's counter-corroborated copies in subtables
+// other than j, what slot their stored hint vectors name for subtable j, and
+// returns the majority choice provided it is one of the allowed slots (ties
+// break to the lowest slot). noSlot means no usable vote.
+func (t *BlockedTable) hintVote(evid [][]int8, cand []int, j int, allowed []int8) int8 {
+	var votes [4]int
+	any := false
+	for k := 0; k < t.cfg.D; k++ {
+		if k == j {
+			continue
+		}
+		for _, s := range evid[k] {
+			h := t.hints[t.slotIndex(k, cand[k], int(s))][j]
+			if h == noSlot {
+				continue
+			}
+			for _, a := range allowed {
+				if a == h {
+					votes[h]++
+					any = true
+					break
+				}
+			}
+		}
+	}
+	if !any {
+		return noSlot
+	}
+	best := noSlot
+	for s := len(votes) - 1; s >= 0; s-- {
+		if votes[s] > 0 && (best == noSlot || votes[s] >= votes[best]) {
+			best = int8(s)
+		}
+	}
+	return best
+}
+
+// rebuildStashState is the blocked-table variant: flags are per bucket.
+func (t *BlockedTable) rebuildStashState(live map[uint64]struct{}, cand []int) (flagsFixed, stashDropped int) {
+	newFlags, err := bitpack.NewBitset(t.flags.Len())
+	if err != nil {
+		panic(err)
+	}
+	if t.overflow != nil {
+		for _, e := range t.overflow.Entries() {
+			if _, dup := live[e.Key]; dup {
+				t.overflow.Delete(e.Key)
+				stashDropped++
+				continue
+			}
+			t.family.Indexes(e.Key, cand)
+			for j := 0; j < t.cfg.D; j++ {
+				newFlags.Set(t.bucketFlagIndex(j, cand[j]))
+			}
+		}
+	}
+	flagsFixed = installFlags(t.flags, newFlags, &t.meter)
+	t.flags = newFlags
+	return flagsFixed, stashDropped
+}

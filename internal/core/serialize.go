@@ -3,13 +3,14 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
-	"mccuckoo/internal/memmodel"
-
+	"mccuckoo/internal/bitpack"
 	"mccuckoo/internal/kv"
+	"mccuckoo/internal/memmodel"
+	"mccuckoo/internal/stash"
 )
 
 // Serialization: a versioned little-endian binary snapshot of a table.
@@ -19,26 +20,50 @@ import (
 // exception: the random-walk RNG is reseeded deterministically from the
 // configuration seed and the item count, so post-load kick sequences are
 // reproducible but not a bit-level continuation of the saved process.
+//
+// Format v3 (crash-safety revision): the stream is divided into five
+// sections — header (magic, version, kind, config), bookkeeping (size,
+// copies, deletion state, meter), buckets (keys, values, and for blocked
+// tables the packed slot hints), onchip (counter words, flag words, kick
+// words), stash — each followed by its own CRC32C, and the whole file ends
+// with a CRC32C trailer over every preceding byte (section checksums
+// included). Array lengths are implied by the configuration, so a header
+// claiming one geometry cannot smuggle differently-sized payloads, and no
+// allocation is sized by attacker-controlled fields beyond the bytes
+// actually present in the stream. Every rejection — truncation, checksum
+// mismatch, out-of-range counter, geometry mismatch, failed invariant —
+// is reported as a *CorruptError; loaders never panic on garbage.
 
 const (
 	snapshotMagic   = "MCCK"
-	snapshotVersion = 2
+	snapshotVersion = 3
 	kindSingle      = 0
 	kindBlocked     = 1
 )
 
+// castagnoli is the CRC32C polynomial table shared by writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 type snapWriter struct {
-	w   *bufio.Writer
-	n   int64
-	err error
+	w       *bufio.Writer
+	n       int64
+	err     error
+	fileCRC uint32
+	sectCRC uint32
 }
 
-func (s *snapWriter) u8(v uint8) {
-	if s.err == nil {
-		s.err = s.w.WriteByte(v)
-		s.n++
+func (s *snapWriter) bytes(b []byte) {
+	if s.err != nil {
+		return
 	}
+	n, err := s.w.Write(b)
+	s.n += int64(n)
+	s.err = err
+	s.fileCRC = crc32.Update(s.fileCRC, castagnoli, b[:n])
+	s.sectCRC = crc32.Update(s.sectCRC, castagnoli, b[:n])
 }
+
+func (s *snapWriter) u8(v uint8) { s.bytes([]byte{v}) }
 
 func (s *snapWriter) u32(v uint32) {
 	var buf [4]byte
@@ -52,14 +77,6 @@ func (s *snapWriter) u64(v uint64) {
 	s.bytes(buf[:])
 }
 
-func (s *snapWriter) bytes(b []byte) {
-	if s.err == nil {
-		n, err := s.w.Write(b)
-		s.n += int64(n)
-		s.err = err
-	}
-}
-
 func (s *snapWriter) u64s(vals []uint64) {
 	s.u64(uint64(len(vals)))
 	for _, v := range vals {
@@ -67,23 +84,64 @@ func (s *snapWriter) u64s(vals []uint64) {
 	}
 }
 
+// beginSection starts a new checksummed region.
+func (s *snapWriter) beginSection() { s.sectCRC = 0 }
+
+// endSection appends the CRC32C of the bytes written since beginSection.
+// The checksum bytes themselves are covered by the file trailer only.
+func (s *snapWriter) endSection() {
+	crc := s.sectCRC
+	s.u32(crc)
+}
+
+// trailer appends the whole-file CRC32C over every byte written so far.
+func (s *snapWriter) trailer() {
+	crc := s.fileCRC
+	s.u32(crc)
+}
+
 type snapReader struct {
-	r   *bufio.Reader
-	n   int64
-	err error
+	r       *bufio.Reader
+	n       int64
+	err     error
+	fileCRC uint32
+	sectCRC uint32
+	kind    string // "table" or "blocked", for error reports
+	section string // current section name, for error reports
+}
+
+// fail records the first error as a *CorruptError tagged with the current
+// section and offset.
+func (s *snapReader) fail(reason string, err error) {
+	if s.err == nil {
+		s.err = &CorruptError{Kind: s.kind, Section: s.section, Offset: s.n,
+			Reason: reason, Err: err}
+	}
+}
+
+func (s *snapReader) failf(format string, args ...any) {
+	if s.err == nil {
+		s.err = corruptf(s.kind, s.section, s.n, format, args...)
+	}
+}
+
+func (s *snapReader) bytes(b []byte) {
+	if s.err != nil {
+		return
+	}
+	n, err := io.ReadFull(s.r, b)
+	s.n += int64(n)
+	s.fileCRC = crc32.Update(s.fileCRC, castagnoli, b[:n])
+	s.sectCRC = crc32.Update(s.sectCRC, castagnoli, b[:n])
+	if err != nil {
+		s.fail("truncated input", err)
+	}
 }
 
 func (s *snapReader) u8() uint8 {
-	if s.err != nil {
-		return 0
-	}
-	b, err := s.r.ReadByte()
-	if err != nil {
-		s.err = err
-		return 0
-	}
-	s.n++
-	return b
+	var buf [1]byte
+	s.bytes(buf[:])
+	return buf[0]
 }
 
 func (s *snapReader) u32() uint32 {
@@ -98,26 +156,18 @@ func (s *snapReader) u64() uint64 {
 	return binary.LittleEndian.Uint64(buf[:])
 }
 
-func (s *snapReader) bytes(b []byte) {
-	if s.err != nil {
-		return
-	}
-	n, err := io.ReadFull(s.r, b)
-	s.n += int64(n)
-	s.err = err
-}
-
-// u64s reads a length-prefixed word array in bounded chunks: memory grows
-// with bytes actually present in the stream, so a corrupt header declaring a
-// huge length fails at the first missing chunk instead of allocating it all
-// up front (found by FuzzLoad).
-func (s *snapReader) u64s(maxLen uint64) []uint64 {
+// u64sExact reads a length-prefixed word array whose length must equal want
+// (implied by the configuration), in bounded chunks: memory grows with bytes
+// actually present in the stream, so a corrupt header declaring a huge
+// length fails at the first missing chunk instead of allocating it all up
+// front.
+func (s *snapReader) u64sExact(want uint64, what string) []uint64 {
 	n := s.u64()
 	if s.err != nil {
 		return nil
 	}
-	if n > maxLen {
-		s.err = fmt.Errorf("core: snapshot array length %d exceeds limit %d", n, maxLen)
+	if n != want {
+		s.failf("%s length %d does not match geometry %d", what, n, want)
 		return nil
 	}
 	const chunk = 1 << 14
@@ -137,9 +187,38 @@ func (s *snapReader) u64s(maxLen uint64) []uint64 {
 	return out
 }
 
-// maxSnapshotArray bounds any single array in a snapshot; together with the
-// chunked reader it keeps garbage input from triggering large allocations.
-const maxSnapshotArray = 1 << 32
+// beginSection starts verifying a new checksummed region.
+func (s *snapReader) beginSection(name string) {
+	s.section = name
+	s.sectCRC = 0
+}
+
+// endSection reads the stored section CRC32C and compares it with the bytes
+// consumed since beginSection.
+func (s *snapReader) endSection() {
+	if s.err != nil {
+		return
+	}
+	want := s.sectCRC
+	got := s.u32()
+	if s.err == nil && got != want {
+		s.failf("section checksum mismatch (stored %#08x, computed %#08x)", got, want)
+	}
+}
+
+// trailer reads the whole-file CRC32C and compares it with every byte
+// consumed before it.
+func (s *snapReader) trailer() {
+	s.section = "trailer"
+	if s.err != nil {
+		return
+	}
+	want := s.fileCRC
+	got := s.u32()
+	if s.err == nil && got != want {
+		s.failf("file checksum mismatch (stored %#08x, computed %#08x)", got, want)
+	}
+}
 
 func writeConfig(s *snapWriter, cfg Config) {
 	s.u8(uint8(cfg.D))
@@ -154,6 +233,11 @@ func writeConfig(s *snapWriter, cfg Config) {
 	s.u8(boolByte(cfg.AssumeUniqueKeys))
 	s.u8(boolByte(cfg.DoubleHashing))
 	s.u64(uint64(cfg.BucketsPerTable))
+	s.u8(boolByte(cfg.AutoGrow.Enabled))
+	s.u32(uint32(cfg.AutoGrow.StashThreshold))
+	s.u64(math.Float64bits(cfg.AutoGrow.Factor))
+	s.u32(uint32(cfg.AutoGrow.MaxAttempts))
+	s.u64(math.Float64bits(cfg.AutoGrow.Backoff))
 }
 
 func readConfig(s *snapReader) Config {
@@ -170,11 +254,16 @@ func readConfig(s *snapReader) Config {
 	cfg.AssumeUniqueKeys = s.u8() == 1
 	cfg.DoubleHashing = s.u8() == 1
 	n := s.u64()
-	if n > math.MaxInt32 {
-		s.err = fmt.Errorf("core: snapshot table length %d too large", n)
+	if s.err == nil && n > math.MaxInt32 {
+		s.failf("table length %d too large", n)
 		return cfg
 	}
 	cfg.BucketsPerTable = int(n)
+	cfg.AutoGrow.Enabled = s.u8() == 1
+	cfg.AutoGrow.StashThreshold = int(s.u32())
+	cfg.AutoGrow.Factor = math.Float64frombits(s.u64())
+	cfg.AutoGrow.MaxAttempts = int(s.u32())
+	cfg.AutoGrow.Backoff = math.Float64frombits(s.u64())
 	return cfg
 }
 
@@ -193,13 +282,16 @@ func writeStash(s *snapWriter, entries []kv.Entry) {
 	}
 }
 
-func readStash(s *snapReader) []kv.Entry {
+// readStash reads the stash entries, rejecting any count above maxLen (the
+// configured stash limit, or the global array bound for unbounded stashes;
+// 0 when the configuration has no stash at all).
+func readStash(s *snapReader, maxLen uint64) []kv.Entry {
 	n := s.u64()
 	if s.err != nil {
 		return nil
 	}
-	if n > maxSnapshotArray {
-		s.err = fmt.Errorf("core: snapshot stash length %d too large", n)
+	if n > maxLen {
+		s.failf("stash length %d exceeds limit %d", n, maxLen)
 		return nil
 	}
 	entries := make([]kv.Entry, 0, min(n, 1<<14))
@@ -213,259 +305,385 @@ func readStash(s *snapReader) []kv.Entry {
 	return entries
 }
 
-// WriteTo serializes the table. It implements io.WriterTo.
-func (t *Table) WriteTo(w io.Writer) (int64, error) {
+// maxSnapshotArray bounds any single array in a snapshot; together with the
+// chunked reader it keeps garbage input from triggering large allocations.
+const maxSnapshotArray = 1 << 32
+
+// snapshotState is the complete logical content of a snapshot, shared by the
+// single-slot and blocked writers and loaders.
+type snapshotState struct {
+	kind            uint8
+	cfg             Config
+	size            int
+	copiesTotal     int
+	redundantWrites int64
+	deletedAny      bool
+	meter           memmodel.Meter
+	keys            []uint64
+	vals            []uint64
+	hints           [][4]int8 // blocked only
+	counterWords    []uint64
+	flagWords       []uint64
+	kickWords       []uint64
+	stash           []kv.Entry
+}
+
+// geometry derives the array sizes a configuration implies. cells is the
+// number of counter cells (buckets for single-slot, slots for blocked);
+// flagBits is always the bucket count.
+func snapshotGeometry(cfg *Config, blocked bool) (cells, flagBits, counterWords, flagWords, kickWords uint64) {
+	buckets := uint64(cfg.D) * uint64(cfg.BucketsPerTable)
+	cells = buckets
+	if blocked {
+		cells *= uint64(cfg.Slots)
+	}
+	flagBits = buckets
+	perWord := 64 / uint64(cfg.counterWidth())
+	counterWords = (cells + perWord - 1) / perWord
+	flagWords = (flagBits + 63) / 64
+	if cfg.Policy == kv.MinCounter {
+		kickWords = (buckets + 12 - 1) / 12 // 5-bit counters, 12 per word
+	}
+	return
+}
+
+// writeSnapshot emits the v3 checksummed stream.
+func writeSnapshot(w io.Writer, st *snapshotState) (int64, error) {
 	s := &snapWriter{w: bufio.NewWriter(w)}
+
+	s.beginSection()
 	s.bytes([]byte(snapshotMagic))
 	s.u8(snapshotVersion)
-	s.u8(kindSingle)
-	writeConfig(s, t.cfg)
-	s.u64(uint64(t.size))
-	s.u64(uint64(t.copiesTotal))
-	s.u64(uint64(t.redundantWrites))
-	s.u8(boolByte(t.deletedAny))
-	s.u64s(t.keys)
-	s.u64s(t.vals)
-	s.u64s(t.counters.Words())
-	s.u64s(t.flags.Words())
-	m := t.meter.Snapshot()
-	s.u64(uint64(m.OffChipReads))
-	s.u64(uint64(m.OffChipWrites))
-	s.u64(uint64(m.OnChipReads))
-	s.u64(uint64(m.OnChipWrites))
-	if t.kickCounts != nil {
-		s.u64s(t.kickCounts.Words())
-	} else {
-		s.u64(0)
+	s.u8(st.kind)
+	writeConfig(s, st.cfg)
+	s.endSection()
+
+	s.beginSection()
+	s.u64(uint64(st.size))
+	s.u64(uint64(st.copiesTotal))
+	s.u64(uint64(st.redundantWrites))
+	s.u8(boolByte(st.deletedAny))
+	s.u64(uint64(st.meter.OffChipReads))
+	s.u64(uint64(st.meter.OffChipWrites))
+	s.u64(uint64(st.meter.OnChipReads))
+	s.u64(uint64(st.meter.OnChipWrites))
+	s.endSection()
+
+	s.beginSection()
+	s.u64s(st.keys)
+	s.u64s(st.vals)
+	if st.kind == kindBlocked {
+		s.u64(uint64(len(st.hints)))
+		for _, h := range st.hints {
+			s.u32(uint32(uint8(h[0])) | uint32(uint8(h[1]))<<8 |
+				uint32(uint8(h[2]))<<16 | uint32(uint8(h[3]))<<24)
+		}
 	}
-	if t.overflow != nil {
-		writeStash(s, t.overflow.Entries())
-	} else {
-		s.u64(0)
-	}
+	s.endSection()
+
+	s.beginSection()
+	s.u64s(st.counterWords)
+	s.u64s(st.flagWords)
+	s.u64s(st.kickWords)
+	s.endSection()
+
+	s.beginSection()
+	writeStash(s, st.stash)
+	s.endSection()
+
+	s.trailer()
 	if s.err == nil {
 		s.err = s.w.Flush()
 	}
 	return s.n, s.err
 }
 
-// Load deserializes a single-slot table previously written with WriteTo.
-func Load(r io.Reader) (*Table, error) {
-	s := &snapReader{r: bufio.NewReader(r)}
+// readSnapshot parses and fully validates a v3 stream of the wanted kind.
+// Everything is checked against the configuration-implied geometry before
+// any geometry-sized allocation happens, and every section must pass its
+// checksum. It returns the bytes consumed so file loaders can reject
+// trailing garbage.
+func readSnapshot(r io.Reader, kindName string, wantKind uint8, blocked bool) (*snapshotState, int64, error) {
+	s := &snapReader{r: bufio.NewReader(r), kind: kindName}
+	st := &snapshotState{kind: wantKind}
+
+	s.beginSection("header")
 	var magic [4]byte
 	s.bytes(magic[:])
 	if s.err == nil && string(magic[:]) != snapshotMagic {
-		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
+		s.failf("bad magic %q", magic)
 	}
 	if v := s.u8(); s.err == nil && v != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", v)
+		s.failf("unsupported snapshot version %d (want %d)", v, snapshotVersion)
 	}
-	if k := s.u8(); s.err == nil && k != kindSingle {
-		return nil, fmt.Errorf("core: snapshot holds a blocked table; use LoadBlocked")
+	if k := s.u8(); s.err == nil && k != wantKind {
+		other := "Load"
+		if wantKind == kindSingle {
+			other = "LoadBlocked"
+		}
+		s.failf("snapshot kind %d is not a %s snapshot; use %s", k, kindName, other)
 	}
 	cfg := readConfig(s)
+	s.endSection()
 	if s.err != nil {
-		return nil, s.err
+		return nil, s.n, s.err
 	}
-	size := int(s.u64())
-	copiesTotal := int(s.u64())
-	redundantWrites := int64(s.u64())
-	deletedAny := s.u8() == 1
-	keys := s.u64s(maxSnapshotArray)
-	vals := s.u64s(maxSnapshotArray)
-	counterWords := s.u64s(maxSnapshotArray)
-	flagWords := s.u64s(maxSnapshotArray)
-	var m memmodel.Meter
-	m.OffChipReads = int64(s.u64())
-	m.OffChipWrites = int64(s.u64())
-	m.OnChipReads = int64(s.u64())
-	m.OnChipWrites = int64(s.u64())
-	kickWords := s.u64s(maxSnapshotArray)
-	stashEntries := readStash(s)
+	if err := cfg.normalize(blocked); err != nil {
+		return nil, s.n, &CorruptError{Kind: kindName, Section: "header", Offset: s.n,
+			Reason: "invalid configuration", Err: err}
+	}
+	st.cfg = cfg
+	cells, _, counterWords, flagWords, kickWords := snapshotGeometry(&cfg, blocked)
+
+	s.beginSection("bookkeeping")
+	size := s.u64()
+	copiesTotal := s.u64()
+	redundantWrites := s.u64()
+	st.deletedAny = s.u8() == 1
+	offR, offW, onR, onW := s.u64(), s.u64(), s.u64(), s.u64()
+	s.endSection()
 	if s.err != nil {
-		return nil, s.err
+		return nil, s.n, s.err
 	}
-	// Only now, with the whole payload validated against the stream,
-	// allocate the table. The array lengths must match the declared
-	// geometry first, so a header claiming a huge table with an empty
-	// payload cannot trigger the allocation.
-	if wantBuckets := cfg.D * cfg.BucketsPerTable; len(keys) != wantBuckets || len(vals) != wantBuckets {
-		return nil, fmt.Errorf("core: snapshot bucket arrays (%d/%d) do not match geometry %d",
-			len(keys), len(vals), wantBuckets)
+	if size > cells || copiesTotal > cells || size > copiesTotal {
+		return nil, s.n, corruptf(kindName, "bookkeeping", s.n,
+			"size %d / copies %d out of range for %d cells", size, copiesTotal, cells)
 	}
-	t, err := New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: snapshot config invalid: %w", err)
-	}
-	t.size = size
-	t.copiesTotal = copiesTotal
-	t.redundantWrites = redundantWrites
-	t.deletedAny = deletedAny
-	t.meter = m
-	if len(keys) != len(t.keys) || len(vals) != len(t.vals) {
-		return nil, fmt.Errorf("core: snapshot bucket arrays do not match geometry")
-	}
-	copy(t.keys, keys)
-	copy(t.vals, vals)
-	if err := t.counters.LoadWords(counterWords); err != nil {
-		return nil, err
-	}
-	if err := t.flags.LoadWords(flagWords); err != nil {
-		return nil, err
-	}
-	if t.kickCounts != nil {
-		if err := t.kickCounts.LoadWords(kickWords); err != nil {
-			return nil, err
+	for _, v := range []uint64{redundantWrites, offR, offW, onR, onW} {
+		if v > math.MaxInt64 {
+			return nil, s.n, corruptf(kindName, "bookkeeping", s.n, "negative lifetime counter %#x", v)
 		}
-	} else if len(kickWords) != 0 {
-		return nil, fmt.Errorf("core: snapshot has kick counters but policy is random-walk")
+	}
+	st.size = int(size)
+	st.copiesTotal = int(copiesTotal)
+	st.redundantWrites = int64(redundantWrites)
+	st.meter = memmodel.Meter{OffChipReads: int64(offR), OffChipWrites: int64(offW),
+		OnChipReads: int64(onR), OnChipWrites: int64(onW)}
+
+	s.beginSection("buckets")
+	st.keys = s.u64sExact(cells, "bucket keys")
+	st.vals = s.u64sExact(cells, "bucket values")
+	if blocked {
+		nHints := s.u64()
+		if s.err == nil && nHints != cells {
+			s.failf("hint count %d does not match slot count %d", nHints, cells)
+		}
+		if s.err == nil {
+			st.hints = make([][4]int8, 0, min(nHints, 1<<14))
+			for i := uint64(0); i < nHints && s.err == nil; i++ {
+				packed := s.u32()
+				h := [4]int8{
+					int8(uint8(packed)), int8(uint8(packed >> 8)),
+					int8(uint8(packed >> 16)), int8(uint8(packed >> 24)),
+				}
+				for _, hv := range h {
+					if hv != noSlot && (hv < 0 || int(hv) >= cfg.Slots) {
+						s.failf("slot hint %d out of range for %d slots", hv, cfg.Slots)
+					}
+				}
+				st.hints = append(st.hints, h)
+			}
+		}
+	}
+	s.endSection()
+
+	s.beginSection("onchip")
+	st.counterWords = s.u64sExact(counterWords, "counter words")
+	st.flagWords = s.u64sExact(flagWords, "flag words")
+	st.kickWords = s.u64sExact(kickWords, "kick-counter words")
+	s.endSection()
+
+	s.beginSection("stash")
+	maxStash := uint64(0)
+	if cfg.StashEnabled {
+		maxStash = maxSnapshotArray
+		if cfg.StashMax > 0 {
+			maxStash = uint64(cfg.StashMax)
+		}
+	}
+	st.stash = readStash(s, maxStash)
+	s.endSection()
+
+	s.trailer()
+	if s.err != nil {
+		return nil, s.n, s.err
+	}
+	return st, s.n, nil
+}
+
+// snapshot captures the table's complete logical state.
+func (t *Table) snapshot() *snapshotState {
+	return &snapshotState{
+		kind:            kindSingle,
+		cfg:             t.cfg,
+		size:            t.size,
+		copiesTotal:     t.copiesTotal,
+		redundantWrites: t.redundantWrites,
+		deletedAny:      t.deletedAny,
+		meter:           t.meter.Snapshot(),
+		keys:            t.keys,
+		vals:            t.vals,
+		counterWords:    t.counters.Words(),
+		flagWords:       t.flags.Words(),
+		kickWords:       kickWordsOf(t.kickCounts),
+		stash:           stashEntriesOf(t.overflow),
+	}
+}
+
+// WriteTo serializes the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	return writeSnapshot(w, t.snapshot())
+}
+
+// Load deserializes a single-slot table previously written with WriteTo.
+// Any truncated, bit-flipped, or internally inconsistent input is rejected
+// with a *CorruptError; Load never panics on garbage and never returns a
+// table that fails CheckInvariants.
+func Load(r io.Reader) (*Table, error) {
+	t, _, err := loadTable(r)
+	return t, err
+}
+
+func loadTable(r io.Reader) (*Table, int64, error) {
+	st, n, err := readSnapshot(r, "table", kindSingle, false)
+	if err != nil {
+		return nil, n, err
+	}
+	t, err := New(st.cfg)
+	if err != nil {
+		return nil, n, &CorruptError{Kind: "table", Section: "header", Offset: n,
+			Reason: "configuration rejected", Err: err}
+	}
+	t.size = st.size
+	t.copiesTotal = st.copiesTotal
+	t.redundantWrites = st.redundantWrites
+	t.deletedAny = st.deletedAny
+	t.meter = st.meter
+	copy(t.keys, st.keys)
+	copy(t.vals, st.vals)
+	if err := restoreOnChip(st, t.counters, t.flags, t.kickCounts, uint64(t.cfg.D), t.tombstoneVal); err != nil {
+		return nil, n, &CorruptError{Kind: "table", Section: "onchip", Offset: n,
+			Reason: "on-chip state invalid", Err: err}
 	}
 	if t.overflow != nil {
-		if err := t.overflow.Restore(stashEntries); err != nil {
-			return nil, err
+		if err := t.overflow.Restore(st.stash); err != nil {
+			return nil, n, &CorruptError{Kind: "table", Section: "stash", Offset: n,
+				Reason: "stash rejected", Err: err}
 		}
-	} else if len(stashEntries) != 0 {
-		return nil, fmt.Errorf("core: snapshot has stash entries but stash is disabled")
 	}
 	t.reseedRNG()
 	if err := t.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("core: snapshot inconsistent: %w", err)
+		return nil, n, &CorruptError{Kind: "table", Section: "consistency", Offset: n,
+			Reason: "snapshot inconsistent", Err: err}
 	}
-	return t, nil
+	return t, n, nil
+}
+
+// snapshot captures the blocked table's complete logical state.
+func (t *BlockedTable) snapshot() *snapshotState {
+	return &snapshotState{
+		kind:            kindBlocked,
+		cfg:             t.cfg,
+		size:            t.size,
+		copiesTotal:     t.copiesTotal,
+		redundantWrites: t.redundantWrites,
+		deletedAny:      t.deletedAny,
+		meter:           t.meter.Snapshot(),
+		keys:            t.keys,
+		vals:            t.vals,
+		hints:           t.hints,
+		counterWords:    t.counters.Words(),
+		flagWords:       t.flags.Words(),
+		kickWords:       kickWordsOf(t.kickCounts),
+		stash:           stashEntriesOf(t.overflow),
+	}
 }
 
 // WriteTo serializes the blocked table. It implements io.WriterTo.
 func (t *BlockedTable) WriteTo(w io.Writer) (int64, error) {
-	s := &snapWriter{w: bufio.NewWriter(w)}
-	s.bytes([]byte(snapshotMagic))
-	s.u8(snapshotVersion)
-	s.u8(kindBlocked)
-	writeConfig(s, t.cfg)
-	s.u64(uint64(t.size))
-	s.u64(uint64(t.copiesTotal))
-	s.u64(uint64(t.redundantWrites))
-	s.u8(boolByte(t.deletedAny))
-	s.u64s(t.keys)
-	s.u64s(t.vals)
-	s.u64s(t.counters.Words())
-	s.u64s(t.flags.Words())
-	// Hints: 4 signed bytes per slot, packed into one u32 each.
-	s.u64(uint64(len(t.hints)))
-	for _, h := range t.hints {
-		s.u32(uint32(uint8(h[0])) | uint32(uint8(h[1]))<<8 |
-			uint32(uint8(h[2]))<<16 | uint32(uint8(h[3]))<<24)
-	}
-	m := t.meter.Snapshot()
-	s.u64(uint64(m.OffChipReads))
-	s.u64(uint64(m.OffChipWrites))
-	s.u64(uint64(m.OnChipReads))
-	s.u64(uint64(m.OnChipWrites))
-	if t.kickCounts != nil {
-		s.u64s(t.kickCounts.Words())
-	} else {
-		s.u64(0)
-	}
-	if t.overflow != nil {
-		writeStash(s, t.overflow.Entries())
-	} else {
-		s.u64(0)
-	}
-	if s.err == nil {
-		s.err = s.w.Flush()
-	}
-	return s.n, s.err
+	return writeSnapshot(w, t.snapshot())
 }
 
-// LoadBlocked deserializes a blocked table previously written with WriteTo.
+// LoadBlocked deserializes a blocked table previously written with WriteTo,
+// with the same rejection guarantees as Load.
 func LoadBlocked(r io.Reader) (*BlockedTable, error) {
-	s := &snapReader{r: bufio.NewReader(r)}
-	var magic [4]byte
-	s.bytes(magic[:])
-	if s.err == nil && string(magic[:]) != snapshotMagic {
-		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
-	}
-	if v := s.u8(); s.err == nil && v != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", v)
-	}
-	if k := s.u8(); s.err == nil && k != kindBlocked {
-		return nil, fmt.Errorf("core: snapshot holds a single-slot table; use Load")
-	}
-	cfg := readConfig(s)
-	if s.err != nil {
-		return nil, s.err
-	}
-	size := int(s.u64())
-	copiesTotal := int(s.u64())
-	redundantWrites := int64(s.u64())
-	deletedAny := s.u8() == 1
-	keys := s.u64s(maxSnapshotArray)
-	vals := s.u64s(maxSnapshotArray)
-	counterWords := s.u64s(maxSnapshotArray)
-	flagWords := s.u64s(maxSnapshotArray)
-	nHints := s.u64()
-	if s.err == nil && nHints != uint64(len(keys)) {
-		return nil, fmt.Errorf("core: snapshot hint count %d does not match slot count %d", nHints, len(keys))
-	}
-	hints := make([][4]int8, 0, min(nHints, 1<<14))
-	for i := uint64(0); i < nHints && s.err == nil; i++ {
-		packed := s.u32()
-		hints = append(hints, [4]int8{
-			int8(uint8(packed)), int8(uint8(packed >> 8)),
-			int8(uint8(packed >> 16)), int8(uint8(packed >> 24)),
-		})
-	}
-	var m memmodel.Meter
-	m.OffChipReads = int64(s.u64())
-	m.OffChipWrites = int64(s.u64())
-	m.OnChipReads = int64(s.u64())
-	m.OnChipWrites = int64(s.u64())
-	kickWords := s.u64s(maxSnapshotArray)
-	stashEntries := readStash(s)
-	if s.err != nil {
-		return nil, s.err
-	}
-	if wantSlots := cfg.D * cfg.BucketsPerTable * cfg.Slots; len(keys) != wantSlots || len(vals) != wantSlots {
-		return nil, fmt.Errorf("core: snapshot slot arrays (%d/%d) do not match geometry %d",
-			len(keys), len(vals), wantSlots)
-	}
-	t, err := NewBlocked(cfg)
+	t, _, err := loadBlockedTable(r)
+	return t, err
+}
+
+func loadBlockedTable(r io.Reader) (*BlockedTable, int64, error) {
+	st, n, err := readSnapshot(r, "blocked", kindBlocked, true)
 	if err != nil {
-		return nil, fmt.Errorf("core: snapshot config invalid: %w", err)
+		return nil, n, err
 	}
-	t.size = size
-	t.copiesTotal = copiesTotal
-	t.redundantWrites = redundantWrites
-	t.deletedAny = deletedAny
-	t.meter = m
-	if len(keys) != len(t.keys) || len(vals) != len(t.vals) {
-		return nil, fmt.Errorf("core: snapshot slot arrays do not match geometry")
+	t, err := NewBlocked(st.cfg)
+	if err != nil {
+		return nil, n, &CorruptError{Kind: "blocked", Section: "header", Offset: n,
+			Reason: "configuration rejected", Err: err}
 	}
-	copy(t.keys, keys)
-	copy(t.vals, vals)
-	copy(t.hints, hints)
-	if err := t.counters.LoadWords(counterWords); err != nil {
-		return nil, err
-	}
-	if err := t.flags.LoadWords(flagWords); err != nil {
-		return nil, err
-	}
-	if t.kickCounts != nil {
-		if err := t.kickCounts.LoadWords(kickWords); err != nil {
-			return nil, err
-		}
-	} else if len(kickWords) != 0 {
-		return nil, fmt.Errorf("core: snapshot has kick counters but policy is random-walk")
+	t.size = st.size
+	t.copiesTotal = st.copiesTotal
+	t.redundantWrites = st.redundantWrites
+	t.deletedAny = st.deletedAny
+	t.meter = st.meter
+	copy(t.keys, st.keys)
+	copy(t.vals, st.vals)
+	copy(t.hints, st.hints)
+	if err := restoreOnChip(st, t.counters, t.flags, t.kickCounts, uint64(t.cfg.D), t.tombstoneVal); err != nil {
+		return nil, n, &CorruptError{Kind: "blocked", Section: "onchip", Offset: n,
+			Reason: "on-chip state invalid", Err: err}
 	}
 	if t.overflow != nil {
-		if err := t.overflow.Restore(stashEntries); err != nil {
-			return nil, err
+		if err := t.overflow.Restore(st.stash); err != nil {
+			return nil, n, &CorruptError{Kind: "blocked", Section: "stash", Offset: n,
+				Reason: "stash rejected", Err: err}
 		}
-	} else if len(stashEntries) != 0 {
-		return nil, fmt.Errorf("core: snapshot has stash entries but stash is disabled")
 	}
 	t.reseedRNG()
 	if err := t.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("core: snapshot inconsistent: %w", err)
+		return nil, n, &CorruptError{Kind: "blocked", Section: "consistency", Offset: n,
+			Reason: "snapshot inconsistent", Err: err}
 	}
-	return t, nil
+	return t, n, nil
+}
+
+// restoreOnChip loads the packed counter/flag/kick words into a freshly
+// allocated table and bounds-checks every counter value against d (plus the
+// tombstone mark when enabled) — a snapshot cannot smuggle counter values
+// the insertion and lookup logic would never produce.
+func restoreOnChip(st *snapshotState, counters interface {
+	LoadWords([]uint64) error
+	Len() int
+	Get(int) uint64
+}, flags interface{ LoadWords([]uint64) error }, kick interface{ LoadWords([]uint64) error },
+	d, tombstoneVal uint64) error {
+	if err := counters.LoadWords(st.counterWords); err != nil {
+		return err
+	}
+	for i := 0; i < counters.Len(); i++ {
+		if v := counters.Get(i); v > d && (tombstoneVal == 0 || v != tombstoneVal) {
+			return corruptf("", "onchip", 0, "counter %d holds %d, above d=%d", i, v, d)
+		}
+	}
+	if err := flags.LoadWords(st.flagWords); err != nil {
+		return err
+	}
+	if kick != nil && len(st.kickWords) > 0 {
+		return kick.LoadWords(st.kickWords)
+	}
+	return nil
+}
+
+func kickWordsOf(c *bitpack.Counters) []uint64 {
+	if c == nil {
+		return nil
+	}
+	return c.Words()
+}
+
+func stashEntriesOf(s *stash.Stash) []kv.Entry {
+	if s == nil {
+		return nil
+	}
+	return s.Entries()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"mccuckoo/internal/kv"
@@ -153,13 +154,27 @@ func TestSnapshotCorruption(t *testing.T) {
 			t.Errorf("truncated snapshot (%d bytes) accepted", cut)
 		}
 	}
-	// Corrupting the size field must be caught by the invariant check
-	// (size no longer matches the number of distinct live keys). Offset:
-	// magic(4) + version(1) + kind(1) + config(32) = 38.
+	// In format v3 every byte is covered by a section CRC and the file
+	// trailer, so flipping any single bit must be rejected — spot-check a
+	// spread of offsets here (the fault-injection suite does it
+	// exhaustively).
+	for off := 5; off < len(raw); off += 97 {
+		bad = append([]byte{}, raw...)
+		bad[off] ^= 1
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Errorf("bit flip at offset %d accepted", off)
+		}
+	}
+	// The rejection must be a typed *CorruptError carrying the section.
 	bad = append([]byte{}, raw...)
-	bad[38] ^= 1
-	if _, err := Load(bytes.NewReader(bad)); err == nil {
-		t.Error("corrupted size field accepted")
+	bad[len(bad)/2] ^= 0x10
+	_, err := Load(bytes.NewReader(bad))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corruption error is %T (%v), want *CorruptError", err, err)
+	}
+	if ce.Kind != "table" || ce.Section == "" {
+		t.Errorf("CorruptError missing context: %+v", ce)
 	}
 }
 

@@ -50,6 +50,9 @@ type Table struct {
 	copiesTotal     int // live physical copies in the main table
 	redundantWrites int64
 	stats           kv.Stats
+	// growing guards the auto-grow policy against re-entry while Grow's
+	// own reinsertions stash items.
+	growing bool
 }
 
 // New creates a single-slot McCuckoo table.

@@ -99,6 +99,14 @@ type Stats struct {
 	Hits       int64
 	Deletes    int64
 	StashProbe int64 // lookups/deletes that had to consult the stash
+
+	// Auto-grow outcomes (core.AutoGrowPolicy): GrowAttempts counts
+	// individual Grow calls made by the policy, Grows the triggers that
+	// ended with the stash back under threshold, GrowFailures the Grow
+	// calls that returned an error.
+	GrowAttempts int64
+	Grows        int64
+	GrowFailures int64
 }
 
 // Table is the interface every scheme implements: the two baselines

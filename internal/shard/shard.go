@@ -15,10 +15,12 @@ package shard
 
 import (
 	"fmt"
+	"io"
 	"math/bits"
 	"sync"
 	"sync/atomic"
 
+	"mccuckoo/internal/core"
 	"mccuckoo/internal/hashutil"
 	"mccuckoo/internal/kv"
 	"mccuckoo/internal/memmodel"
@@ -26,12 +28,15 @@ import (
 
 // Inner is the table one shard wraps: a single-writer table exposing the
 // pure read-only lookup path (so readers can run under the shard's read
-// lock) and exactly-once iteration. Both core.Table and core.BlockedTable
-// satisfy it.
+// lock), exactly-once iteration, capacity growth, derived-state repair, and
+// snapshot serialization. Both core.Table and core.BlockedTable satisfy it.
 type Inner interface {
 	kv.Table
 	LookupReadOnly(key uint64) (uint64, bool)
 	Range(fn func(key, value uint64) bool)
+	Grow(growFactor float64) error
+	Repair() core.RepairReport
+	io.WriterTo
 }
 
 // MaxShards bounds the shard count; beyond this the per-shard fixed
@@ -71,6 +76,7 @@ type state struct {
 type Sharded struct {
 	shift  uint   // 64 - log2(len(shards)); top bits of the route hash
 	salt   uint64 // routing salt, derived from the seed
+	seed   uint64 // the seed New was given, recorded for snapshots
 	shards []state
 
 	// agg backs Meter(): the element-wise sum of the shard meters,
@@ -96,6 +102,7 @@ func New(shards int, seed uint64, build func(shard int) (Inner, error)) (*Sharde
 	s := &Sharded{
 		shift:  uint(64 - bits.TrailingZeros(uint(shards))),
 		salt:   hashutil.Mix64(seed ^ 0x5ca1ab1e_0ddba11),
+		seed:   seed,
 		shards: make([]state, shards),
 	}
 	for i := range s.shards {
@@ -224,10 +231,45 @@ func (s *Sharded) Stats() kv.Stats {
 		total.Hits += st.Hits
 		total.Deletes += st.Deletes
 		total.StashProbe += st.StashProbe
+		total.GrowAttempts += st.GrowAttempts
+		total.Grows += st.Grows
+		total.GrowFailures += st.GrowFailures
 		total.Lookups += sh.singleLookups.Load() + sh.batchLookups.Load()
 		total.Hits += sh.hits.Load()
 	}
 	return total
+}
+
+// Grow grows every shard by growFactor, each under its own write lock.
+// Shards grow independently — a failure in one shard stops the sweep and is
+// returned, with earlier shards already grown (each shard is individually
+// consistent throughout).
+func (s *Sharded) Grow(growFactor float64) error {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := sh.tab.Grow(growFactor)
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard: growing shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Repair runs core repair on every shard under its write lock and returns
+// the merged report. Shards are repaired one at a time; the table stays
+// serving on all other shards throughout.
+func (s *Sharded) Repair() core.RepairReport {
+	var rep core.RepairReport
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		r := sh.tab.Repair()
+		sh.mu.Unlock()
+		rep = rep.Merge(r)
+	}
+	return rep
 }
 
 // Meter returns the element-wise sum of all shard meters, refreshed at call

@@ -57,6 +57,14 @@ type Stats struct {
 	Hits        int64
 	Deletes     int64
 	StashProbes int64
+
+	// Auto-grow activity (see WithAutoGrow). GrowAttempts counts individual
+	// Grow calls made by the policy, Grows counts auto-grow episodes that
+	// brought the stash back under the threshold, GrowFailures counts Grow
+	// calls that returned an error.
+	GrowAttempts int64
+	Grows        int64
+	GrowFailures int64
 }
 
 func fromStats(s kv.Stats) Stats {
@@ -64,6 +72,7 @@ func fromStats(s kv.Stats) Stats {
 		Inserts: s.Inserts, Updates: s.Updates, Kicks: s.Kicks,
 		Stashed: s.Stashed, Failures: s.Failures, Lookups: s.Lookups,
 		Hits: s.Hits, Deletes: s.Deletes, StashProbes: s.StashProbe,
+		GrowAttempts: s.GrowAttempts, Grows: s.Grows, GrowFailures: s.GrowFailures,
 	}
 }
 
@@ -80,6 +89,7 @@ type config struct {
 	noPre      bool
 	unique     bool
 	doubleHash bool
+	autoGrow   core.AutoGrowPolicy
 }
 
 // Option customizes a table.
@@ -170,6 +180,43 @@ func WithDoubleHashing() Option {
 	return func(c *config) error { c.doubleHash = true; return nil }
 }
 
+// AutoGrowPolicy configures graceful degradation under stash pressure; see
+// WithAutoGrow.
+type AutoGrowPolicy struct {
+	// StashThreshold is the stash population above which an insertion that
+	// lands in the stash triggers a grow. 0 means grow on any stashed insert.
+	StashThreshold int
+	// Factor is the capacity multiplier of the first grow attempt
+	// (default 2.0; must be > 1).
+	Factor float64
+	// MaxAttempts bounds the Grow calls of one auto-grow episode
+	// (default 3).
+	MaxAttempts int
+	// Backoff multiplies Factor between attempts when a grow did not bring
+	// the stash back under the threshold (default 1.5; must be >= 1).
+	Backoff float64
+}
+
+// WithAutoGrow enables automatic capacity growth: when an insertion lands in
+// the stash and the stash population exceeds policy.StashThreshold, the table
+// grows by policy.Factor (retrying up to policy.MaxAttempts times with
+// multiplicative policy.Backoff) until the stash drains back under the
+// threshold. Zero-valued policy fields take the documented defaults.
+// Requires the stash (incompatible with WithoutStash); attempts and outcomes
+// are surfaced in Stats.
+func WithAutoGrow(policy AutoGrowPolicy) Option {
+	return func(c *config) error {
+		c.autoGrow = core.AutoGrowPolicy{
+			Enabled:        true,
+			StashThreshold: policy.StashThreshold,
+			Factor:         policy.Factor,
+			MaxAttempts:    policy.MaxAttempts,
+			Backoff:        policy.Backoff,
+		}
+		return nil
+	}
+}
+
 // WithUniqueKeys promises that every inserted key is new, skipping the
 // duplicate-key scan on insert. Inserting an existing key with this option
 // corrupts the table; use it only for bulk loads of deduplicated data.
@@ -206,5 +253,6 @@ func buildConfig(capacity int, blocked bool, opts []Option) (core.Config, error)
 		DisablePrescreen: c.noPre,
 		AssumeUniqueKeys: c.unique,
 		DoubleHashing:    c.doubleHash,
+		AutoGrow:         c.autoGrow,
 	}, nil
 }

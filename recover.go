@@ -1,0 +1,105 @@
+package mccuckoo
+
+import (
+	"io"
+
+	"mccuckoo/internal/core"
+	"mccuckoo/internal/shard"
+)
+
+// This file is the public fault-tolerance surface: typed snapshot rejection,
+// crash-safe file persistence, and online repair of the derived on-chip
+// state. See DESIGN.md "Failure model & recovery" for the model behind it.
+
+// CorruptError is the typed error every snapshot loader returns when the
+// input is truncated, bit-flipped, internally inconsistent, or out of the
+// format's bounds. Loaders never panic on garbage and never return a
+// silently-wrong table. Detect it with errors.As.
+type CorruptError = core.CorruptError
+
+// RepairReport summarizes what a Repair pass rebuilt; see the field docs on
+// the underlying type.
+type RepairReport = core.RepairReport
+
+// Repair rebuilds the table's derived state — copy counters, stash flags,
+// size/copies bookkeeping — purely from the authoritative off-chip buckets
+// and stash. It is the recovery path for on-chip state loss (the counters
+// are the only record a deletion leaves, so deletions whose counters are
+// corrupted back to live may roll back; see DESIGN.md). The report says what
+// changed; an all-zero report means the table was already consistent.
+func (t *Table) Repair() RepairReport { return t.inner.Repair() }
+
+// Repair rebuilds the blocked table's derived state, additionally rebuilding
+// the per-copy slot-hint vectors. Semantics as Table.Repair.
+func (t *Blocked) Repair() RepairReport { return t.inner.Repair() }
+
+// SaveFile writes a crash-safe snapshot to path: the bytes go to a temp file
+// in the same directory, are fsynced, and are atomically renamed over path.
+// A crash mid-save leaves the previous file intact, never a torn snapshot.
+func (t *Table) SaveFile(path string) error { return t.inner.SaveFile(path) }
+
+// SaveFile writes a crash-safe snapshot of the blocked table to path.
+func (t *Blocked) SaveFile(path string) error { return t.inner.SaveFile(path) }
+
+// LoadFile restores a single-slot table from a SaveFile snapshot. On top of
+// Load's checksum and bounds validation it rejects trailing bytes after the
+// snapshot end. Any rejection is a *CorruptError.
+func LoadFile(path string) (*Table, error) {
+	inner, err := core.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{inner: inner}, nil
+}
+
+// LoadBlockedFile restores a blocked table from a SaveFile snapshot.
+func LoadBlockedFile(path string) (*Blocked, error) {
+	inner, err := core.LoadBlockedFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Blocked{inner: inner}, nil
+}
+
+// Grow grows every shard by growFactor, each under its own write lock.
+// Shards grow independently; the table keeps serving on all other shards
+// while one rebuilds.
+func (s *Sharded) Grow(growFactor float64) error { return s.inner.Grow(growFactor) }
+
+// Repair runs Repair on every shard under its write lock and returns the
+// merged report.
+func (s *Sharded) Repair() RepairReport { return s.inner.Repair() }
+
+// WriteTo serializes all shards as one snapshot (implements io.WriterTo).
+// Each shard is serialized under its read lock, so every shard's content is
+// individually consistent; quiesce writers for a cross-shard-consistent
+// snapshot.
+func (s *Sharded) WriteTo(w io.Writer) (int64, error) { return s.inner.WriteTo(w) }
+
+// SaveFile writes a crash-safe snapshot of all shards to path, with the same
+// temp-file + fsync + atomic-rename guarantee as Table.SaveFile.
+func (s *Sharded) SaveFile(path string) error { return s.inner.SaveFile(path) }
+
+// LoadSharded restores a sharded table from a snapshot written by
+// Sharded.WriteTo. Shard count, routing seed, and every shard's full state
+// travel with the snapshot.
+func LoadSharded(r io.Reader) (*Sharded, error) {
+	inner, err := shard.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{inner: inner}, nil
+}
+
+// LoadShardedFile restores a sharded table from a SaveFile snapshot,
+// rejecting trailing bytes after the snapshot end.
+func LoadShardedFile(path string) (*Sharded, error) {
+	inner, err := shard.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{inner: inner}, nil
+}
+
+// Ensure the io import stays honest about what this file exposes.
+var _ io.WriterTo = (*Sharded)(nil)
