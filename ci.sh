@@ -10,10 +10,14 @@
 # Fuzz smoke: a short bounded run of the snapshot-loader fuzzer so format
 # changes that break the rejection paths fail in CI, not in a long
 # background fuzz.
+# Benchmark smoke: the telemetry benchmarks run once so the disabled-path
+# zero-allocation claim and the enabled-path overhead stay measurable (the
+# hard allocation assertion lives in TestDisabledPathZeroAlloc).
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/core/... ./internal/shard/... ./internal/faultinject/...
+go test -race ./internal/core/... ./internal/shard/... ./internal/faultinject/... ./internal/telemetry/...
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=5s ./internal/core
+go test -run='^$' -bench=Telemetry -benchtime=1x ./internal/telemetry

@@ -18,13 +18,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"mccuckoo/internal/core"
 	"mccuckoo/internal/cuckoo"
+	"mccuckoo/internal/hashutil"
 	"mccuckoo/internal/kv"
+	"mccuckoo/internal/memmodel"
+	"mccuckoo/internal/telemetry"
 	"mccuckoo/internal/workload"
 )
 
@@ -97,6 +102,10 @@ func runGen(args []string, out io.Writer) error {
 	return nil
 }
 
+// gaugeSampleEvery is how often (in replayed ops) the telemetry gauges are
+// refreshed when -metrics is serving.
+const gaugeSampleEvery = 1 << 16
+
 func runReplay(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mctrace replay", flag.ContinueOnError)
 	var (
@@ -105,6 +114,9 @@ func runReplay(args []string, out io.Writer) error {
 		capacity = fs.Int("capacity", 300_000, "table capacity in slots")
 		maxloop  = fs.Int("maxloop", 500, "kick chain bound")
 		seed     = fs.Uint64("seed", 1, "table seed")
+		stashMax = fs.Int("stashmax", 0, "cap the stash population (0 = unbounded); inserts beyond the cap fail and make the replay exit non-zero")
+		metrics  = fs.String("metrics", "", "serve telemetry on this address (/metrics, /debug/mccuckoo/*) during the replay")
+		linger   = fs.Duration("linger", 0, "keep serving -metrics this long after the replay finishes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,30 +133,80 @@ func runReplay(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	tab, err := buildScheme(*scheme, *capacity, *maxloop, *seed)
+	tab, err := buildScheme(*scheme, *capacity, *maxloop, *seed, *stashMax)
 	if err != nil {
 		return err
 	}
 
+	var sink *telemetry.Sink
+	if *metrics != "" {
+		sink = telemetry.New(telemetry.Options{})
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return fmt.Errorf("replay: -metrics: %w", err)
+		}
+		srv := &http.Server{Handler: sink.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(out, "serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	// The meter is snapshotted around every operation and the delta is
+	// credited to that operation's phase, so the summary can report the
+	// paper's per-op access counts separately for the insert and the query
+	// (lookup/delete) phases of the trace.
+	meter := tab.Meter()
+	var phases [3]memmodel.Meter
+	var counts [3]int
+	prev := meter.Snapshot()
+
 	start := time.Now()
 	var hits, misses, failed int64
-	for _, op := range stream {
+	for i, op := range stream {
+		var (
+			opStart time.Time
+			ev      telemetry.Event
+		)
+		if sink != nil {
+			opStart = time.Now()
+			ev = telemetry.Event{Shard: -1, KeyHash: hashutil.Mix64(op.Key)}
+		}
 		switch op.Kind {
 		case workload.OpInsert:
-			if tab.Insert(op.Key, op.Key).Status == kv.Failed {
+			o := tab.Insert(op.Key, op.Key)
+			if o.Status == kv.Failed {
 				failed++
 			}
+			ev.Op, ev.Status, ev.Kicks = telemetry.OpInsert, uint8(o.Status), int32(o.Kicks)
 		case workload.OpLookup:
-			if _, ok := tab.Lookup(op.Key); ok {
+			_, ok := tab.Lookup(op.Key)
+			if ok {
 				hits++
 			} else {
 				misses++
 			}
+			ev.Op, ev.Hit = telemetry.OpLookup, ok
 		case workload.OpDelete:
-			tab.Delete(op.Key)
+			ev.Op, ev.Hit = telemetry.OpDelete, tab.Delete(op.Key)
+		}
+		cur := meter.Snapshot()
+		d := cur.Sub(prev)
+		prev = cur
+		phases[op.Kind] = phases[op.Kind].Add(d)
+		counts[op.Kind]++
+		if sink != nil {
+			ev.OffChip = d.OffChipReads + d.OffChipWrites
+			ev.Nanos = time.Since(opStart).Nanoseconds()
+			sink.Record(ev)
+			if (i+1)%gaugeSampleEvery == 0 {
+				sink.StoreGauges(replayGauges(tab))
+			}
 		}
 	}
 	elapsed := time.Since(start)
+	if sink != nil {
+		sink.StoreGauges(replayGauges(tab))
+	}
 
 	st := tab.Stats()
 	m := tab.Meter().Snapshot()
@@ -158,7 +220,49 @@ func runReplay(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "traffic: %.3f off-chip reads/op, %.3f writes/op, %.3f counter accesses/op\n",
 		perOp(m.OffChipReads, len(stream)), perOp(m.OffChipWrites, len(stream)),
 		perOp(m.OnChipReads+m.OnChipWrites, len(stream)))
+	phaseNames := [3]string{workload.OpInsert: "insert", workload.OpLookup: "lookup", workload.OpDelete: "delete"}
+	for kind, name := range phaseNames {
+		n, ph := counts[kind], phases[kind]
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "phase %s: %d ops, %.3f off-chip reads/op, %.3f writes/op, %.3f counter accesses/op\n",
+			name, n, perOp(ph.OffChipReads, n), perOp(ph.OffChipWrites, n),
+			perOp(ph.OnChipReads+ph.OnChipWrites, n))
+	}
+	if *metrics != "" && *linger > 0 {
+		fmt.Fprintf(out, "lingering %v for scrapes\n", *linger)
+		time.Sleep(*linger)
+	}
+	if failed > 0 {
+		return fmt.Errorf("replay: %d of %d inserts failed outright", failed, counts[workload.OpInsert])
+	}
 	return nil
+}
+
+// replayGauges samples the table for the telemetry gauges. The kv.Table
+// interface covers the basics; the copy histogram and stash-flag density are
+// picked up when the scheme provides them (the McCuckoo tables do, the
+// baselines do not).
+func replayGauges(tab kv.Table) telemetry.Gauges {
+	g := telemetry.Gauges{
+		Items:     tab.Len(),
+		Capacity:  tab.Capacity(),
+		LoadRatio: tab.LoadRatio(),
+		StashLen:  tab.StashLen(),
+		Ops:       tab.Stats(),
+	}
+	if ch, ok := tab.(interface{ CopyHistogram() []int }); ok {
+		hist := ch.CopyHistogram()
+		g.CopyHist = make([]int64, len(hist))
+		for v, n := range hist {
+			g.CopyHist[v] = int64(n)
+		}
+	}
+	if sf, ok := tab.(interface{ StashFlagDensity() float64 }); ok {
+		g.StashFlagDensity = sf.StashFlagDensity()
+	}
+	return g
 }
 
 func perOp(n int64, ops int) float64 {
@@ -170,27 +274,27 @@ func perOp(n int64, ops int) float64 {
 
 // buildScheme constructs one of the four evaluated tables. Upsert semantics
 // are kept (traces may re-insert live keys).
-func buildScheme(name string, capacity, maxLoop int, seed uint64) (kv.Table, error) {
+func buildScheme(name string, capacity, maxLoop int, seed uint64, stashMax int) (kv.Table, error) {
 	switch strings.ToLower(name) {
 	case "cuckoo":
 		return cuckoo.New(cuckoo.Config{
 			D: 3, Slots: 1, BucketsPerTable: capacity / 3,
-			MaxLoop: maxLoop, Seed: seed, StashEnabled: true,
+			MaxLoop: maxLoop, Seed: seed, StashEnabled: true, StashMax: stashMax,
 		})
 	case "bcht":
 		return cuckoo.New(cuckoo.Config{
 			D: 3, Slots: 3, BucketsPerTable: capacity / 9,
-			MaxLoop: maxLoop, Seed: seed, StashEnabled: true,
+			MaxLoop: maxLoop, Seed: seed, StashEnabled: true, StashMax: stashMax,
 		})
 	case "mccuckoo":
 		return core.New(core.Config{
 			D: 3, BucketsPerTable: capacity / 3,
-			MaxLoop: maxLoop, Seed: seed, StashEnabled: true,
+			MaxLoop: maxLoop, Seed: seed, StashEnabled: true, StashMax: stashMax,
 		})
 	case "bmccuckoo":
 		return core.NewBlocked(core.Config{
 			D: 3, Slots: 3, BucketsPerTable: capacity / 9,
-			MaxLoop: maxLoop, Seed: seed, StashEnabled: true,
+			MaxLoop: maxLoop, Seed: seed, StashEnabled: true, StashMax: stashMax,
 		})
 	default:
 		return nil, fmt.Errorf("unknown scheme %q", name)

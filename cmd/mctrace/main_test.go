@@ -1,9 +1,14 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestUsageErrors(t *testing.T) {
@@ -44,7 +49,8 @@ func TestGenReplayRoundTrip(t *testing.T) {
 			t.Fatalf("%s: %v", scheme, err)
 		}
 		out := rb.String()
-		for _, want := range []string{"replayed 20000 ops", "final:", "traffic:"} {
+		for _, want := range []string{"replayed 20000 ops", "final:", "traffic:",
+			"phase insert:", "phase lookup:", "phase delete:"} {
 			if !strings.Contains(out, want) {
 				t.Errorf("%s output missing %q:\n%s", scheme, want, out)
 			}
@@ -75,5 +81,96 @@ func TestReplayDeterministicAcrossSchemesTraffic(t *testing.T) {
 	}
 	if a, b := replay(), replay(); a != b {
 		t.Fatalf("replays differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestReplayFailedInsertsExitNonZero(t *testing.T) {
+	// An insert-only trace into a tiny table with a one-slot stash must
+	// overflow; the replay reports the failures and returns an error so the
+	// process exits non-zero.
+	trace := filepath.Join(t.TempDir(), "full.trace")
+	var sb strings.Builder
+	if err := run([]string{"gen", "-out", trace, "-ops", "300", "-keyspace", "300",
+		"-mix", "1:0:0", "-seed", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rb strings.Builder
+	err := run([]string{"replay", "-in", trace, "-scheme", "mccuckoo",
+		"-capacity", "60", "-stashmax", "1", "-seed", "1"}, &rb)
+	if err == nil {
+		t.Fatalf("overfull replay returned nil error:\n%s", rb.String())
+	}
+	if !strings.Contains(err.Error(), "inserts failed outright") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !strings.Contains(rb.String(), "failed inserts") {
+		t.Fatalf("summary missing failure count:\n%s", rb.String())
+	}
+}
+
+// syncBuffer lets the test read replay output while run() is still writing it
+// from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestReplayServesMetrics(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "m.trace")
+	var sb strings.Builder
+	if err := run([]string{"gen", "-out", trace, "-ops", "2000", "-keyspace", "500"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"replay", "-in", trace, "-scheme", "mccuckoo",
+			"-capacity", "2000", "-metrics", "127.0.0.1:0", "-linger", "2s"}, &out)
+	}()
+
+	addrRE := regexp.MustCompile(`serving metrics on http://([^/\s]+)/metrics`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("metrics address never printed:\n%s", out.String())
+	}
+	// Scrape during the linger window; the replay has finished by the time
+	// the phase summaries print, but the listener stays up.
+	var body string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body = string(raw)
+			if strings.Contains(body, "mccuckoo_ops_total") {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(body, "mccuckoo_ops_total") {
+		t.Fatalf("scrape missing mccuckoo_ops_total:\n%.2000s", body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("replay failed: %v", err)
 	}
 }

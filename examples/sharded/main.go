@@ -4,18 +4,37 @@
 // writers on different shards never contend, readers share per-shard read
 // locks. The per-shard statistics at the end show the routing balance and
 // the lock traffic the batch API saved.
+//
+// With -metrics the demo also attaches telemetry, serves Prometheus metrics
+// and the flight recorder over HTTP, and keeps mutating in the background so
+// there is live traffic to watch:
+//
+//	go run ./examples/sharded -metrics :8080 &
+//	curl localhost:8080/metrics
+//	curl localhost:8080/debug/mccuckoo/stats
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"sync"
 
 	"mccuckoo"
 )
 
 func main() {
-	table, err := mccuckoo.NewSharded(120_000, 16, mccuckoo.WithSeed(42))
+	metrics := flag.String("metrics", "", "serve telemetry on this address and keep generating traffic (e.g. :8080)")
+	flag.Parse()
+
+	opts := []mccuckoo.Option{mccuckoo.WithSeed(42)}
+	var tel *mccuckoo.Telemetry
+	if *metrics != "" {
+		tel = mccuckoo.NewTelemetry()
+		opts = append(opts, mccuckoo.WithTelemetry(tel))
+	}
+	table, err := mccuckoo.NewSharded(120_000, 16, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,4 +103,23 @@ func main() {
 	first := st.Shards[0]
 	fmt.Printf("shard 0: %d items (%.1f%% load), %d lookups, %d write locks\n",
 		first.Items, first.LoadRatio*100, first.Lookups, first.WriteLocks)
+
+	// With -metrics: serve the scrape endpoints forever, with a background
+	// goroutine churning a disjoint key range so the latency histograms,
+	// kick counters, and the flight recorder stay live.
+	if *metrics != "" {
+		go func() {
+			for {
+				for k := uint64(2_000_000_000); k < 2_000_050_000; k++ {
+					table.Insert(k, k)
+					if k%3 == 0 {
+						table.Lookup(k)
+					}
+					table.Delete(k)
+				}
+			}
+		}()
+		fmt.Printf("serving metrics on %s (/metrics, /debug/mccuckoo/stats, /debug/mccuckoo/events)\n", *metrics)
+		log.Fatal(http.ListenAndServe(*metrics, tel.Handler()))
+	}
 }

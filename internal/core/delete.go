@@ -14,7 +14,8 @@ func (t *Table) Delete(key uint64) bool {
 	var cand [hashutil.MaxD]int
 	t.family.Indexes(key, cand[:])
 
-	st, tables, ok := t.locateCopies(key, cand[:t.cfg.D])
+	var locBuf [hashutil.MaxD]int
+	st, tables, ok := t.locateCopies(key, cand[:t.cfg.D], &locBuf)
 	if ok {
 		mark := uint64(0)
 		if t.cfg.Deletion == Tombstone {

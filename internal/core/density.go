@@ -1,0 +1,40 @@
+package core
+
+// Stash-flag density: the fraction of off-chip buckets whose stash flag is
+// set. The flags pre-screen stash probes (§III.E), so their density is the
+// false-positive pressure on negative lookups once the stash is in play — a
+// density creeping toward 1 means lookups are paying the stash tax again.
+// This is the single source of truth for the telemetry gauge; the sharded
+// table aggregates the raw counts so the density stays a true fraction.
+
+// StashFlags returns the number of set stash-flag bits and the total number
+// of flag bits (one per bucket).
+func (t *Table) StashFlags() (set, total int) {
+	return t.flags.Count(), t.flags.Len()
+}
+
+// StashFlagDensity returns set/total stash-flag bits, 0 for an empty flag
+// array.
+func (t *Table) StashFlagDensity() float64 {
+	set, total := t.StashFlags()
+	if total == 0 {
+		return 0
+	}
+	return float64(set) / float64(total)
+}
+
+// StashFlags returns the blocked table's set and total stash-flag bits (one
+// flag per bucket of l slots).
+func (t *BlockedTable) StashFlags() (set, total int) {
+	return t.flags.Count(), t.flags.Len()
+}
+
+// StashFlagDensity returns set/total stash-flag bits, 0 for an empty flag
+// array.
+func (t *BlockedTable) StashFlagDensity() float64 {
+	set, total := t.StashFlags()
+	if total == 0 {
+		return 0
+	}
+	return float64(set) / float64(total)
+}

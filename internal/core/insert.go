@@ -39,7 +39,8 @@ func (t *Table) Insert(key, value uint64) kv.Outcome {
 // updateExisting checks for an existing copy of key and updates all its
 // copies in place. It reports whether the insert was handled.
 func (t *Table) updateExisting(key, value uint64, cand []int) (kv.Outcome, bool) {
-	locs, _ := t.findCopies(key, cand)
+	var locBuf [hashutil.MaxD]int
+	locs, _ := t.findCopies(key, cand, &locBuf)
 	if len(locs) > 0 {
 		for _, table := range locs {
 			t.writeBucket(table, cand[table], kv.Entry{Key: key, Value: value})

@@ -155,20 +155,21 @@ func (t *Table) Lookup(key uint64) (uint64, bool) {
 
 // locateCopies finds every subtable holding a copy of key. It returns the
 // scan state (for the stash pre-screen) and the tables of all copies; ok is
-// false when key is not in the main table.
+// false when key is not in the main table. The returned slice aliases buf,
+// the caller's stack-resident backing array — this keeps the per-op hot
+// paths (insert-update, delete) allocation-free.
 //
 // After the first copy is found with counter value V, the deletion principle
 // (§III.B.3) continues reading the unread members of the same partition
 // until all V copies are found — this read-to-confirm step is why multi-copy
 // deletion costs more reads than single-copy deletion in Fig. 14.
-func (t *Table) locateCopies(key uint64, cand []int) (scanState, []int, bool) {
+func (t *Table) locateCopies(key uint64, cand []int, buf *[hashutil.MaxD]int) (scanState, []int, bool) {
 	st := t.scan(key, cand)
 	if st.found < 0 {
 		return st, nil, false
 	}
 	v := st.foundCnt
-	tables := make([]int, 0, t.cfg.D)
-	tables = append(tables, st.found)
+	tables := append(buf[:0], st.found)
 	needed := int(v) - 1
 	if needed == 0 {
 		return st, tables, true
@@ -202,8 +203,8 @@ func (t *Table) locateCopies(key uint64, cand []int) (scanState, []int, bool) {
 }
 
 // findCopies is locateCopies without the scan state, for callers that only
-// need the copy locations.
-func (t *Table) findCopies(key uint64, cand []int) ([]int, bool) {
-	_, tables, ok := t.locateCopies(key, cand)
+// need the copy locations. The result aliases buf.
+func (t *Table) findCopies(key uint64, cand []int, buf *[hashutil.MaxD]int) ([]int, bool) {
+	_, tables, ok := t.locateCopies(key, cand, buf)
 	return tables, ok
 }

@@ -7,6 +7,16 @@ import "mccuckoo/internal/hashutil"
 // and exists so that many readers can run in parallel under a read lock
 // (see Concurrent). Property tests assert it always agrees with Lookup.
 func (t *Table) LookupReadOnly(key uint64) (uint64, bool) {
+	v, ok, _ := t.LookupReadOnlyTraced(key)
+	return v, ok
+}
+
+// LookupReadOnlyTraced is LookupReadOnly additionally reporting the off-chip
+// reads the lookup would have charged to the meter (bucket reads plus stash
+// group probes). The count feeds the telemetry off-chip-accesses-per-lookup
+// histograms from the concurrent read path, where the shared meter cannot be
+// touched; it matches what Lookup charges for the same table state.
+func (t *Table) LookupReadOnlyTraced(key uint64) (value uint64, ok bool, offReads int64) {
 	var cand [hashutil.MaxD]int
 	t.family.Indexes(key, cand[:])
 	d := t.cfg.D
@@ -20,7 +30,7 @@ func (t *Table) LookupReadOnly(key uint64) (uint64, bool) {
 		}
 	}
 	if anyZero && t.rule1Active() {
-		return 0, false
+		return 0, false, 0
 	}
 	flagAnd := true
 	for v := uint64(d); v >= 1; v-- {
@@ -40,14 +50,15 @@ func (t *Table) LookupReadOnly(key uint64) (uint64, bool) {
 			i := group[k]
 			budget--
 			idx := t.bucketIndex(i, cand[i])
+			offReads++
 			flagAnd = flagAnd && t.flags.Get(idx)
 			if t.keys[idx] == key {
-				return t.vals[idx], true
+				return t.vals[idx], true, offReads
 			}
 		}
 	}
 	if t.overflow == nil || t.overflow.Len() == 0 {
-		return 0, false
+		return 0, false, offReads
 	}
 	probe := false
 	if !t.deletedAny {
@@ -61,15 +72,25 @@ func (t *Table) LookupReadOnly(key uint64) (uint64, bool) {
 		probe = flagAnd
 	}
 	if probe {
-		if v, ok := t.overflow.Peek(key); ok {
-			return v, ok
+		v, ok, stashReads := t.overflow.PeekTraced(key)
+		offReads += stashReads
+		if ok {
+			return v, ok, offReads
 		}
 	}
-	return 0, false
+	return 0, false, offReads
 }
 
 // LookupReadOnly is the blocked-table counterpart of Table.LookupReadOnly.
 func (t *BlockedTable) LookupReadOnly(key uint64) (uint64, bool) {
+	v, ok, _ := t.LookupReadOnlyTraced(key)
+	return v, ok
+}
+
+// LookupReadOnlyTraced is the blocked-table counterpart of
+// Table.LookupReadOnlyTraced: a whole bucket (all l slots) is one off-chip
+// read, as in the paper's access model.
+func (t *BlockedTable) LookupReadOnlyTraced(key uint64) (value uint64, ok bool, offReads int64) {
 	var cand [hashutil.MaxD]int
 	t.family.Indexes(key, cand[:])
 	d, l := t.cfg.D, t.cfg.Slots
@@ -91,19 +112,21 @@ func (t *BlockedTable) LookupReadOnly(key uint64) (uint64, bool) {
 		}
 		if !live {
 			if allZero && t.rule1Active() {
-				return 0, false
+				return 0, false, offReads
 			}
 			continue
 		}
+		offReads++
 		flagAnd = flagAnd && t.flags.Get(t.bucketFlagIndex(i, cand[i]))
 		for s := 0; s < l; s++ {
 			if !t.isFree(cnt[s]) && t.keys[base+s] == key {
-				return t.vals[base+s], true
+				return t.vals[base+s], true, offReads
 			}
 		}
 	}
 	if t.overflow == nil || t.overflow.Len() == 0 || !flagAnd {
-		return 0, false
+		return 0, false, offReads
 	}
-	return t.overflow.Peek(key)
+	v, ok, stashReads := t.overflow.PeekTraced(key)
+	return v, ok, offReads + stashReads
 }

@@ -9,28 +9,31 @@ import (
 
 // RepairReport summarizes what one Repair pass changed. A zero report (Any()
 // false apart from the before/after snapshots) means the derived state was
-// already consistent with the off-chip content.
+// already consistent with the off-chip content. The snake_case JSON names
+// are the stable wire contract of the telemetry JSON endpoints.
 type RepairReport struct {
 	// CountersFixed is the number of counter cells whose rebuilt value
 	// differs from the stored one.
-	CountersFixed int
+	CountersFixed int `json:"counters_fixed,omitempty"`
 	// FlagsFixed is the number of stash-flag bits resynchronized.
-	FlagsFixed int
+	FlagsFixed int `json:"flags_fixed,omitempty"`
 	// HintsFixed is the number of slot-hint vectors rewritten (blocked
 	// tables only).
-	HintsFixed int
+	HintsFixed int `json:"hints_fixed,omitempty"`
 	// AliensCleared is the number of non-free counters cleared because the
 	// bucket's stored key does not hash there.
-	AliensCleared int
+	AliensCleared int `json:"aliens_cleared,omitempty"`
 	// ValuesFixed is the number of copies whose value diverged from the
 	// key's consensus value and was rewritten.
-	ValuesFixed int
+	ValuesFixed int `json:"values_fixed,omitempty"`
 	// StashDropped is the number of stash entries removed because the key
 	// is live in the main table.
-	StashDropped int
+	StashDropped int `json:"stash_dropped,omitempty"`
 	// Size and copy bookkeeping, before and after the rebuild.
-	SizeBefore, SizeAfter     int
-	CopiesBefore, CopiesAfter int
+	SizeBefore   int `json:"size_before"`
+	SizeAfter    int `json:"size_after"`
+	CopiesBefore int `json:"copies_before"`
+	CopiesAfter  int `json:"copies_after"`
 }
 
 // Any reports whether the pass changed anything.

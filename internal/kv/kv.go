@@ -88,25 +88,28 @@ type Outcome struct {
 	Kicks int
 }
 
-// Stats aggregates lifetime operation counts for a table.
+// Stats aggregates lifetime operation counts for a table. The snake_case
+// JSON names are the stable wire contract of the telemetry JSON endpoints;
+// the rarely-populated fields are omitempty so an idle table serializes
+// compactly.
 type Stats struct {
-	Inserts    int64 // insertion attempts
-	Updates    int64 // inserts that replaced an existing key
-	Kicks      int64 // total kick-outs across all inserts
-	Stashed    int64 // inserts that overflowed into the stash
-	Failures   int64 // inserts that failed outright
-	Lookups    int64
-	Hits       int64
-	Deletes    int64
-	StashProbe int64 // lookups/deletes that had to consult the stash
+	Inserts    int64 `json:"inserts"`            // insertion attempts
+	Updates    int64 `json:"updates,omitempty"`  // inserts that replaced an existing key
+	Kicks      int64 `json:"kicks,omitempty"`    // total kick-outs across all inserts
+	Stashed    int64 `json:"stashed,omitempty"`  // inserts that overflowed into the stash
+	Failures   int64 `json:"failures,omitempty"` // inserts that failed outright
+	Lookups    int64 `json:"lookups"`
+	Hits       int64 `json:"hits"`
+	Deletes    int64 `json:"deletes"`
+	StashProbe int64 `json:"stash_probes,omitempty"` // lookups/deletes that had to consult the stash
 
 	// Auto-grow outcomes (core.AutoGrowPolicy): GrowAttempts counts
 	// individual Grow calls made by the policy, Grows the triggers that
 	// ended with the stash back under threshold, GrowFailures the Grow
 	// calls that returned an error.
-	GrowAttempts int64
-	Grows        int64
-	GrowFailures int64
+	GrowAttempts int64 `json:"grow_attempts,omitempty"`
+	Grows        int64 `json:"grows,omitempty"`
+	GrowFailures int64 `json:"grow_failures,omitempty"`
 }
 
 // Table is the interface every scheme implements: the two baselines

@@ -1,6 +1,10 @@
 package shard
 
-import "mccuckoo/internal/kv"
+import (
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/kv"
+	"mccuckoo/internal/telemetry"
+)
 
 // Batched operations amortize lock traffic: keys are bucket-sorted by
 // destination shard first, then each touched shard's lock is taken exactly
@@ -13,6 +17,12 @@ import "mccuckoo/internal/kv"
 // loop can reuse its buffers across batches; the plain forms allocate fresh
 // result slices per call. The int32 working buffers come from a per-table
 // sync.Pool, so steady-state batching performs no allocations of its own.
+
+// Telemetry: when a sink is attached, every batched key is recorded as its
+// own event (kind, outcome, off-chip accesses, shard) so the histograms and
+// the flight recorder see batched traffic exactly like single-op traffic.
+// Batched events carry Nanos == 0 — individual keys inside a batch are not
+// timed, so they contribute to every histogram except latency.
 
 // scratch returns a pooled buffer with capacity at least need.
 func (s *Sharded) scratch(need int) *[]int32 {
@@ -79,12 +89,23 @@ func (s *Sharded) InsertBatchInto(keys, values []uint64, out []kv.Outcome) {
 		return
 	}
 	if len(keys) == 1 {
-		sh := s.shardFor(keys[0])
+		si := s.shardIndex(keys[0])
+		sh := &s.shards[si]
 		sh.batchWriteOps.Add(1)
 		sh.batchWriteAcqs.Add(1)
 		sh.mu.Lock()
+		var before int64
+		if s.sink != nil {
+			before = offTotal(sh.tab.Meter())
+		}
 		o := sh.tab.Insert(keys[0], values[0])
-		sh.mu.Unlock()
+		if s.sink != nil {
+			off := offTotal(sh.tab.Meter()) - before
+			sh.mu.Unlock()
+			s.recordInsert(si, keys[0], o, off)
+		} else {
+			sh.mu.Unlock()
+		}
 		if out != nil {
 			out[0] = o
 		}
@@ -101,8 +122,21 @@ func (s *Sharded) InsertBatchInto(keys, values []uint64, out []kv.Outcome) {
 		sh.batchWriteOps.Add(int64(hi - lo))
 		sh.batchWriteAcqs.Add(1)
 		sh.mu.Lock()
+		if s.sink == nil {
+			for _, i := range order[lo:hi] {
+				o := sh.tab.Insert(keys[i], values[i])
+				if out != nil {
+					out[i] = o
+				}
+			}
+			sh.mu.Unlock()
+			continue
+		}
+		m := sh.tab.Meter()
 		for _, i := range order[lo:hi] {
+			before := offTotal(m)
 			o := sh.tab.Insert(keys[i], values[i])
+			s.recordInsert(shi, keys[i], o, offTotal(m)-before)
 			if out != nil {
 				out[i] = o
 			}
@@ -110,6 +144,14 @@ func (s *Sharded) InsertBatchInto(keys, values []uint64, out []kv.Outcome) {
 		sh.mu.Unlock()
 	}
 	s.scratchPool.Put(buf)
+}
+
+// recordInsert emits one batched-insert telemetry event.
+func (s *Sharded) recordInsert(shard int, key uint64, o kv.Outcome, off int64) {
+	s.sink.Record(telemetry.Event{
+		Op: telemetry.OpInsert, Status: uint8(o.Status), Shard: int32(shard),
+		Kicks: int32(o.Kicks), OffChip: off, KeyHash: hashutil.Mix64(key),
+	})
 }
 
 // LookupBatch answers every key, taking each touched shard's read lock
@@ -131,15 +173,22 @@ func (s *Sharded) LookupBatchInto(keys []uint64, values []uint64, found []bool) 
 		return
 	}
 	if len(keys) == 1 {
-		sh := s.shardFor(keys[0])
+		si := s.shardIndex(keys[0])
+		sh := &s.shards[si]
 		sh.batchLookups.Add(1)
 		sh.batchReadAcqs.Add(1)
+		var off int64
 		sh.mu.RLock()
-		values[0], found[0] = sh.tab.LookupReadOnly(keys[0])
+		if s.sink != nil {
+			values[0], found[0], off = sh.tab.LookupReadOnlyTraced(keys[0])
+		} else {
+			values[0], found[0] = sh.tab.LookupReadOnly(keys[0])
+		}
 		sh.mu.RUnlock()
 		if found[0] {
 			sh.hits.Add(1)
 		}
+		s.recordLookup(si, keys[0], found[0], off)
 		return
 	}
 	buf := s.scratch(2*len(keys) + 2*len(s.shards) + 1)
@@ -155,7 +204,13 @@ func (s *Sharded) LookupBatchInto(keys []uint64, values []uint64, found []bool) 
 		hits := int64(0)
 		sh.mu.RLock()
 		for _, i := range order[lo:hi] {
-			values[i], found[i] = sh.tab.LookupReadOnly(keys[i])
+			if s.sink != nil {
+				var off int64
+				values[i], found[i], off = sh.tab.LookupReadOnlyTraced(keys[i])
+				s.recordLookup(shi, keys[i], found[i], off)
+			} else {
+				values[i], found[i] = sh.tab.LookupReadOnly(keys[i])
+			}
 			if found[i] {
 				hits++
 			}
@@ -164,6 +219,18 @@ func (s *Sharded) LookupBatchInto(keys []uint64, values []uint64, found []bool) 
 		sh.hits.Add(hits)
 	}
 	s.scratchPool.Put(buf)
+}
+
+// recordLookup emits one batched-lookup telemetry event (no-op when no sink
+// is attached).
+func (s *Sharded) recordLookup(shard int, key uint64, hit bool, off int64) {
+	if s.sink == nil {
+		return
+	}
+	s.sink.Record(telemetry.Event{
+		Op: telemetry.OpLookup, Hit: hit, Shard: int32(shard),
+		OffChip: off, KeyHash: hashutil.Mix64(key),
+	})
 }
 
 // DeleteBatch removes every key, taking each touched shard's write lock
@@ -184,12 +251,23 @@ func (s *Sharded) DeleteBatchInto(keys []uint64, removed []bool) {
 		return
 	}
 	if len(keys) == 1 {
-		sh := s.shardFor(keys[0])
+		si := s.shardIndex(keys[0])
+		sh := &s.shards[si]
 		sh.batchWriteOps.Add(1)
 		sh.batchWriteAcqs.Add(1)
 		sh.mu.Lock()
+		var before int64
+		if s.sink != nil {
+			before = offTotal(sh.tab.Meter())
+		}
 		ok := sh.tab.Delete(keys[0])
-		sh.mu.Unlock()
+		if s.sink != nil {
+			off := offTotal(sh.tab.Meter()) - before
+			sh.mu.Unlock()
+			s.recordDelete(si, keys[0], ok, off)
+		} else {
+			sh.mu.Unlock()
+		}
 		if removed != nil {
 			removed[0] = ok
 		}
@@ -206,8 +284,21 @@ func (s *Sharded) DeleteBatchInto(keys []uint64, removed []bool) {
 		sh.batchWriteOps.Add(int64(hi - lo))
 		sh.batchWriteAcqs.Add(1)
 		sh.mu.Lock()
+		if s.sink == nil {
+			for _, i := range order[lo:hi] {
+				ok := sh.tab.Delete(keys[i])
+				if removed != nil {
+					removed[i] = ok
+				}
+			}
+			sh.mu.Unlock()
+			continue
+		}
+		m := sh.tab.Meter()
 		for _, i := range order[lo:hi] {
+			before := offTotal(m)
 			ok := sh.tab.Delete(keys[i])
+			s.recordDelete(shi, keys[i], ok, offTotal(m)-before)
 			if removed != nil {
 				removed[i] = ok
 			}
@@ -215,4 +306,12 @@ func (s *Sharded) DeleteBatchInto(keys []uint64, removed []bool) {
 		sh.mu.Unlock()
 	}
 	s.scratchPool.Put(buf)
+}
+
+// recordDelete emits one batched-delete telemetry event.
+func (s *Sharded) recordDelete(shard int, key uint64, removed bool, off int64) {
+	s.sink.Record(telemetry.Event{
+		Op: telemetry.OpDelete, Hit: removed, Shard: int32(shard),
+		OffChip: off, KeyHash: hashutil.Mix64(key),
+	})
 }

@@ -19,20 +19,27 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mccuckoo/internal/core"
 	"mccuckoo/internal/hashutil"
 	"mccuckoo/internal/kv"
 	"mccuckoo/internal/memmodel"
+	"mccuckoo/internal/telemetry"
 )
 
 // Inner is the table one shard wraps: a single-writer table exposing the
 // pure read-only lookup path (so readers can run under the shard's read
-// lock), exactly-once iteration, capacity growth, derived-state repair, and
-// snapshot serialization. Both core.Table and core.BlockedTable satisfy it.
+// lock), its traced variant and the observability gauges (so telemetry can
+// be fed from inside the critical sections), exactly-once iteration,
+// capacity growth, derived-state repair, and snapshot serialization. Both
+// core.Table and core.BlockedTable satisfy it.
 type Inner interface {
 	kv.Table
 	LookupReadOnly(key uint64) (uint64, bool)
+	LookupReadOnlyTraced(key uint64) (value uint64, ok bool, offReads int64)
+	CopyHistogram() []int
+	StashFlags() (set, total int)
 	Range(fn func(key, value uint64) bool)
 	Grow(growFactor float64) error
 	Repair() core.RepairReport
@@ -87,6 +94,11 @@ type Sharded struct {
 	// operations (see groupByShard) so steady-state batching allocates
 	// nothing.
 	scratchPool sync.Pool
+
+	// sink, when non-nil, receives one telemetry event per operation. The
+	// nil check is the whole disabled path: no timing, no meter snapshots,
+	// no allocation (see BenchmarkTelemetryDisabled*).
+	sink *telemetry.Sink
 }
 
 // New builds a table of `shards` partitions (a power of two), each wrapping
@@ -133,12 +145,37 @@ func (s *Sharded) shardFor(key uint64) *state {
 	return &s.shards[s.shardIndex(key)]
 }
 
+// AttachTelemetry wires a sink into every operation path and must be called
+// before the table sees concurrent traffic (the field write is unsynchronized
+// by design, to keep the per-op check a plain load). A nil sink detaches.
+func (s *Sharded) AttachTelemetry(sink *telemetry.Sink) { s.sink = sink }
+
+// offTotal reads the inner table's accumulated off-chip accesses. Callers
+// must hold the shard's write lock (the meter is not atomic).
+func offTotal(m *memmodel.Meter) int64 { return m.OffChipReads + m.OffChipWrites }
+
 // Insert stores key/value under the owning shard's write lock.
 func (s *Sharded) Insert(key, value uint64) kv.Outcome {
-	sh := s.shardFor(key)
+	si := s.shardIndex(key)
+	sh := &s.shards[si]
+	if s.sink == nil {
+		sh.mu.Lock()
+		out := sh.tab.Insert(key, value)
+		sh.mu.Unlock()
+		return out
+	}
+	start := time.Now()
 	sh.mu.Lock()
+	m := sh.tab.Meter()
+	before := offTotal(m)
 	out := sh.tab.Insert(key, value)
+	off := offTotal(m) - before
 	sh.mu.Unlock()
+	s.sink.Record(telemetry.Event{
+		Op: telemetry.OpInsert, Status: uint8(out.Status), Shard: int32(si),
+		Kicks: int32(out.Kicks), OffChip: off, Nanos: int64(time.Since(start)),
+		KeyHash: hashutil.Mix64(key),
+	})
 	return out
 }
 
@@ -146,23 +183,56 @@ func (s *Sharded) Insert(key, value uint64) kv.Outcome {
 // path; lookups on different shards never contend, and lookups on the same
 // shard share the lock.
 func (s *Sharded) Lookup(key uint64) (uint64, bool) {
-	sh := s.shardFor(key)
+	si := s.shardIndex(key)
+	sh := &s.shards[si]
+	if s.sink == nil {
+		sh.singleLookups.Add(1)
+		sh.mu.RLock()
+		v, ok := sh.tab.LookupReadOnly(key)
+		sh.mu.RUnlock()
+		if ok {
+			sh.hits.Add(1)
+		}
+		return v, ok
+	}
+	start := time.Now()
 	sh.singleLookups.Add(1)
 	sh.mu.RLock()
-	v, ok := sh.tab.LookupReadOnly(key)
+	v, ok, off := sh.tab.LookupReadOnlyTraced(key)
 	sh.mu.RUnlock()
 	if ok {
 		sh.hits.Add(1)
 	}
+	s.sink.Record(telemetry.Event{
+		Op: telemetry.OpLookup, Hit: ok, Shard: int32(si),
+		OffChip: off, Nanos: int64(time.Since(start)),
+		KeyHash: hashutil.Mix64(key),
+	})
 	return v, ok
 }
 
 // Delete removes key under the owning shard's write lock.
 func (s *Sharded) Delete(key uint64) bool {
-	sh := s.shardFor(key)
+	si := s.shardIndex(key)
+	sh := &s.shards[si]
+	if s.sink == nil {
+		sh.mu.Lock()
+		ok := sh.tab.Delete(key)
+		sh.mu.Unlock()
+		return ok
+	}
+	start := time.Now()
 	sh.mu.Lock()
+	m := sh.tab.Meter()
+	before := offTotal(m)
 	ok := sh.tab.Delete(key)
+	off := offTotal(m) - before
 	sh.mu.Unlock()
+	s.sink.Record(telemetry.Event{
+		Op: telemetry.OpDelete, Hit: ok, Shard: int32(si),
+		OffChip: off, Nanos: int64(time.Since(start)),
+		KeyHash: hashutil.Mix64(key),
+	})
 	return ok
 }
 
@@ -259,7 +329,8 @@ func (s *Sharded) Grow(growFactor float64) error {
 
 // Repair runs core repair on every shard under its write lock and returns
 // the merged report. Shards are repaired one at a time; the table stays
-// serving on all other shards throughout.
+// serving on all other shards throughout. The merged report is recorded to
+// the attached telemetry sink, if any.
 func (s *Sharded) Repair() core.RepairReport {
 	var rep core.RepairReport
 	for i := range s.shards {
@@ -269,7 +340,83 @@ func (s *Sharded) Repair() core.RepairReport {
 		sh.mu.Unlock()
 		rep = rep.Merge(r)
 	}
+	s.sink.RecordRepair(rep)
 	return rep
+}
+
+// CopyHistogram returns the merged redundancy distribution: how many live
+// items across all shards currently have 1, 2, ..., d copies (index 0
+// unused). Each shard is read under its read lock; the merge is not an
+// atomic cross-shard snapshot. The slice length follows the largest
+// per-shard histogram (d+1 for homogeneous shards).
+func (s *Sharded) CopyHistogram() []int {
+	var out []int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		h := sh.tab.CopyHistogram()
+		sh.mu.RUnlock()
+		if len(h) > len(out) {
+			grown := make([]int, len(h))
+			copy(grown, out)
+			out = grown
+		}
+		for v, n := range h {
+			out[v] += n
+		}
+	}
+	return out
+}
+
+// StashFlags returns the summed set and total stash-flag bits across all
+// shards.
+func (s *Sharded) StashFlags() (set, total int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		fs, ft := sh.tab.StashFlags()
+		sh.mu.RUnlock()
+		set += fs
+		total += ft
+	}
+	return set, total
+}
+
+// StashFlagDensity returns the aggregate fraction of buckets with the stash
+// flag set, weighting every shard by its true flag count.
+func (s *Sharded) StashFlagDensity() float64 {
+	set, total := s.StashFlags()
+	if total == 0 {
+		return 0
+	}
+	return float64(set) / float64(total)
+}
+
+// Gauges assembles the telemetry gauge snapshot: aggregate population and
+// load, stash state, the copy-count distribution, the shard-balance extremes,
+// and the merged lifetime stats, with the full per-shard breakdown as
+// Detail. It is safe for concurrent use (everything is read under the shard
+// locks) and is what NewSharded registers as the sink's live gauge source.
+func (s *Sharded) Gauges() telemetry.Gauges {
+	st := s.ShardStats()
+	hist := s.CopyHistogram()
+	copyHist := make([]int64, len(hist))
+	for v, n := range hist {
+		copyHist[v] = int64(n)
+	}
+	return telemetry.Gauges{
+		Items:            st.Items,
+		Capacity:         st.Capacity,
+		LoadRatio:        st.LoadRatio,
+		StashLen:         st.StashLen,
+		StashFlagDensity: s.StashFlagDensity(),
+		CopyHist:         copyHist,
+		Shards:           len(s.shards),
+		MinShardLoad:     st.MinLoad,
+		MaxShardLoad:     st.MaxLoad,
+		Ops:              s.Stats(),
+		Detail:           st,
+	}
 }
 
 // Meter returns the element-wise sum of all shard meters, refreshed at call

@@ -160,6 +160,23 @@ func (s *Stash) Peek(key uint64) (uint64, bool) {
 	return 0, false
 }
 
+// PeekTraced is Peek additionally reporting the off-chip reads the probe
+// would have cost (the same group count Lookup charges to the meter). It lets
+// the concurrent read path report per-lookup access counts to telemetry
+// without mutating the shared meter.
+func (s *Stash) PeekTraced(key uint64) (value uint64, ok bool, offReads int64) {
+	chain := s.buckets[s.slot(key)]
+	for i := range chain {
+		if chain[i].Key == key {
+			return chain[i].Value, true, groups(i)
+		}
+	}
+	if len(chain) > 0 {
+		return 0, false, groups(len(chain) - 1)
+	}
+	return 0, false, 1 // empty group still costs the probe
+}
+
 // Entries returns a copy of all entries without mutating the stash and
 // without charging memory traffic (used by tests and invariant checks only).
 func (s *Stash) Entries() []kv.Entry {

@@ -1,0 +1,133 @@
+package telemetry_test
+
+// The disabled-path guarantee: a table without telemetry pays one nil check
+// per operation and allocates nothing. TestDisabledPathZeroAlloc asserts it
+// with testing.AllocsPerRun; the BenchmarkTelemetry* pair keeps the
+// enabled-path overhead measurable (ci.sh runs them as a smoke).
+
+import (
+	"testing"
+
+	"mccuckoo/internal/core"
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/shard"
+	"mccuckoo/internal/telemetry"
+)
+
+func newSharded(tb testing.TB, shards, bucketsPerShardTable int, seed uint64) *shard.Sharded {
+	tb.Helper()
+	s, err := shard.New(shards, seed, func(i int) (shard.Inner, error) {
+		return core.New(core.Config{
+			BucketsPerTable: bucketsPerShardTable,
+			Seed:            hashutil.Mix64(seed + uint64(i)*0x9e3779b97f4a7c15),
+			StashEnabled:    true,
+		})
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// populate fills the table to a moderate load so the measured operations run
+// against realistic bucket occupancy.
+func populate(s *shard.Sharded, n int) {
+	for k := uint64(1); k <= uint64(n); k++ {
+		s.Insert(k, k*3)
+	}
+}
+
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	s := newSharded(t, 4, 512, 11)
+	populate(s, 3000)
+
+	if got := testing.AllocsPerRun(200, func() {
+		s.Lookup(1234)        // positive
+		s.Lookup(99_999_999)  // negative
+		s.Insert(777, 1)      // update of a live key
+		s.Delete(123_456_789) // miss
+	}); got != 0 {
+		t.Fatalf("disabled telemetry single-op path allocates %v allocs/op, want 0", got)
+	}
+}
+
+func TestEnabledPathRecords(t *testing.T) {
+	s := newSharded(t, 4, 512, 11)
+	sink := telemetry.New(telemetry.Options{EventBuffer: 64})
+	s.AttachTelemetry(sink)
+	sink.SetGaugeSource(s.Gauges)
+	populate(s, 500)
+	s.Lookup(1)
+	s.Lookup(1 << 40)
+	s.Delete(2)
+
+	snap := sink.Snapshot()
+	if snap.Counters.Inserts != 500 || snap.Counters.Lookups != 2 || snap.Counters.Deletes != 1 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	if snap.Counters.LookupHits != 1 || snap.Counters.LookupMisses != 1 {
+		t.Fatalf("lookup split: %+v", snap.Counters)
+	}
+	if snap.Histograms["offchip_per_insert"].Count != 500 {
+		t.Fatalf("insert off-chip histogram count %d", snap.Histograms["offchip_per_insert"].Count)
+	}
+	// Every recorded lookup must have cost at least one off-chip or on-chip
+	// probe's worth of accounting; the positive one read at least one bucket.
+	if snap.Histograms["offchip_lookup_pos"].Sum < 1 {
+		t.Fatalf("positive lookup off-chip sum %d, want >= 1", snap.Histograms["offchip_lookup_pos"].Sum)
+	}
+	g := snap.Gauges
+	if g.Items != s.Len() || g.Shards != 4 {
+		t.Fatalf("gauges: %+v", g)
+	}
+	if len(g.CopyHist) == 0 {
+		t.Fatal("copy histogram missing from gauges")
+	}
+	if len(sink.Events()) == 0 {
+		t.Fatal("flight recorder empty")
+	}
+}
+
+func BenchmarkTelemetryDisabledLookup(b *testing.B) {
+	s := newSharded(b, 8, 2048, 5)
+	populate(s, 20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(uint64(i%20_000) + 1)
+	}
+}
+
+func BenchmarkTelemetryEnabledLookup(b *testing.B) {
+	s := newSharded(b, 8, 2048, 5)
+	s.AttachTelemetry(telemetry.New(telemetry.Options{}))
+	populate(s, 20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(uint64(i%20_000) + 1)
+	}
+}
+
+func BenchmarkTelemetryDisabledInsertDelete(b *testing.B) {
+	s := newSharded(b, 8, 2048, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) + 1
+		s.Insert(k, k)
+		s.Delete(k)
+	}
+}
+
+func BenchmarkTelemetryEnabledInsertDelete(b *testing.B) {
+	s := newSharded(b, 8, 2048, 5)
+	s.AttachTelemetry(telemetry.New(telemetry.Options{}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) + 1
+		s.Insert(k, k)
+		s.Delete(k)
+	}
+}

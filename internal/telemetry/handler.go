@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mccuckoo/internal/kv"
+)
+
+// Handler returns the scrape surface:
+//
+//	/metrics                 Prometheus text exposition
+//	/debug/mccuckoo/stats    full JSON snapshot (gauges, counters, histograms)
+//	/debug/mccuckoo/events   flight-recorder contents as a JSON array
+//
+// All endpoints are read-only GETs and safe to hit while the table serves
+// traffic. A nil sink serves empty-but-valid responses, so a server can be
+// mounted unconditionally.
+func (s *Sink) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/debug/mccuckoo/stats", s.serveStats)
+	mux.HandleFunc("/debug/mccuckoo/events", s.serveEvents)
+	return mux
+}
+
+func (s *Sink) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is drop the connection early.
+		return
+	}
+}
+
+func (s *Sink) serveStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// eventJSON is the decoded wire form of one flight-recorder event.
+type eventJSON struct {
+	Op      string `json:"op"`
+	Status  string `json:"status,omitempty"`
+	Hit     bool   `json:"hit"`
+	Shard   int32  `json:"shard"`
+	Kicks   int32  `json:"kicks,omitempty"`
+	OffChip int64  `json:"off_chip"`
+	Nanos   int64  `json:"nanos,omitempty"`
+	KeyHash string `json:"key_hash"`
+}
+
+func (s *Sink) serveEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	events := s.Events()
+	out := make([]eventJSON, len(events))
+	for i, e := range events {
+		out[i] = eventJSON{
+			Op:      e.Op.String(),
+			Hit:     e.Hit,
+			Shard:   e.Shard,
+			Kicks:   e.Kicks,
+			OffChip: e.OffChip,
+			Nanos:   e.Nanos,
+			KeyHash: fmt.Sprintf("%016x", e.KeyHash),
+		}
+		if e.Op == OpInsert {
+			out[i].Status = kv.Status(e.Status).String()
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// expvar names already claimed, to keep Publish idempotent per name
+// (expvar.Publish panics on duplicates).
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// Publish registers the sink's JSON snapshot under name in the process-wide
+// expvar registry (shown at /debug/vars alongside memstats). Publishing the
+// same name twice replaces nothing and returns an error; distinct sinks need
+// distinct names.
+func (s *Sink) Publish(name string) error {
+	if s == nil {
+		return nil
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] || expvar.Get(name) != nil {
+		return fmt.Errorf("telemetry: expvar name %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return s.Snapshot() }))
+	expvarPublished[name] = true
+	return nil
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log2 buckets a Hist keeps. Bucket i counts
+// observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Bucket 0
+// holds exact zeros and the last bucket absorbs everything at or beyond
+// 2^(histBuckets-2) — about 37 minutes when v is nanoseconds, far past any
+// per-op tail worth distinguishing, and ~10^12 when v counts memory accesses
+// or kicks.
+const histBuckets = 42
+
+// Hist is a fixed-size log2-bucketed histogram safe for concurrent use. All
+// state is atomic; Observe performs two atomic adds and no allocation, which
+// is what lets the histograms sit on the operation hot path. The zero value
+// is ready to use.
+type Hist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time copy of a Hist. Counts and Sum are read
+// bucket by bucket, not as one atomic cut, so a snapshot taken under load can
+// be off by the handful of operations that landed mid-read — fine for
+// monitoring, which is the only consumer.
+type HistSnapshot struct {
+	// Buckets[i] counts samples in [2^(i-1), 2^i); Buckets[0] counts zeros.
+	Buckets [histBuckets]int64 `json:"buckets"`
+	Count   int64              `json:"count"`
+	Sum     int64              `json:"sum"`
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// UpperBound returns the inclusive upper bound of bucket i (2^i - 1), the
+// "le" value of the Prometheus exposition.
+func (s HistSnapshot) UpperBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return -1 // +Inf
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Mean returns the average observed value, 0 with no samples.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

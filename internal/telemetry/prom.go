@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"mccuckoo/internal/kv"
+)
+
+// Prometheus text exposition (version 0.0.4) of a Sink's state, written
+// without any client library: the format is plain text and the metric set is
+// fixed, so a hand-rolled writer keeps the repo dependency-free.
+//
+// Metric names, all under the mccuckoo_ prefix:
+//
+//	mccuckoo_ops_total{op}                          counter
+//	mccuckoo_inserts_total{status}                  counter
+//	mccuckoo_lookups_total{result}                  counter
+//	mccuckoo_deletes_removed_total                  counter
+//	mccuckoo_corrupt_loads_total                    counter
+//	mccuckoo_repairs_total / repairs_dirty_total    counter
+//	mccuckoo_repair_fixed_total{kind}               counter
+//	mccuckoo_autogrow_{attempts,success,failures}_total (from table stats)
+//	mccuckoo_stash_probes_total                     counter (from table stats)
+//	mccuckoo_op_latency_seconds{op}                 histogram
+//	mccuckoo_kick_path_length                       histogram
+//	mccuckoo_offchip_accesses_per_insert            histogram
+//	mccuckoo_offchip_accesses_per_delete            histogram
+//	mccuckoo_offchip_accesses_per_lookup{result}    histogram
+//	mccuckoo_items / capacity / load_ratio          gauge
+//	mccuckoo_stash_len / stash_flag_density         gauge
+//	mccuckoo_copy_count_items{copies}               gauge
+//	mccuckoo_copy_bucket_fraction{copies}           gauge
+//	mccuckoo_shards / shard_load_{min,max}          gauge
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) counter(name, labels string, v int64) {
+	p.printf("%s%s %d\n", name, labels, v)
+}
+
+func (p *promWriter) gauge(name, labels string, v float64) {
+	p.printf("%s%s %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// hist writes one histogram in cumulative-bucket form. scale divides the raw
+// bucket bounds (1e9 turns nanosecond buckets into seconds). Empty buckets
+// between populated ones are elided to keep the exposition small; Prometheus
+// interpolates cumulative buckets, so elision loses nothing.
+func (p *promWriter) hist(name, labels string, s HistSnapshot, scale float64) {
+	cum := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		n := s.Buckets[i]
+		cum += n
+		if n == 0 && i != histBuckets-1 {
+			continue
+		}
+		le := "+Inf"
+		if ub := s.UpperBound(i); ub >= 0 {
+			le = strconv.FormatFloat(float64(ub)/scale, 'g', -1, 64)
+		}
+		p.printf("%s_bucket%s %d\n", name, promLabels(labels, "le", le), cum)
+	}
+	p.printf("%s_sum%s %s\n", name, braced(labels), strconv.FormatFloat(float64(s.Sum)/scale, 'g', -1, 64))
+	p.printf("%s_count%s %d\n", name, braced(labels), s.Count)
+}
+
+// promLabels merges a base label list ("op=\"insert\"" or "") with one extra
+// label into a braced label set.
+func promLabels(base, key, val string) string {
+	if base == "" {
+		return fmt.Sprintf("{%s=%q}", key, val)
+	}
+	return fmt.Sprintf("{%s,%s=%q}", base, key, val)
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// WritePrometheus writes the full exposition. Nil-safe: a nil sink writes
+// nothing and returns nil.
+func (s *Sink) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	snap := s.Snapshot()
+	p := &promWriter{w: w}
+
+	p.header("mccuckoo_ops_total", "Operations recorded, by kind.", "counter")
+	for op := Op(0); op < opCount; op++ {
+		p.counter("mccuckoo_ops_total", fmt.Sprintf("{op=%q}", op.String()), s.ops[op].Load())
+	}
+	p.header("mccuckoo_inserts_total", "Insert outcomes, by status.", "counter")
+	for st := kv.Status(0); st < 4; st++ {
+		p.counter("mccuckoo_inserts_total", fmt.Sprintf("{status=%q}", st.String()),
+			s.insertStatus[st].Load())
+	}
+	p.header("mccuckoo_lookups_total", "Lookups, by result.", "counter")
+	p.counter("mccuckoo_lookups_total", `{result="hit"}`, snap.Counters.LookupHits)
+	p.counter("mccuckoo_lookups_total", `{result="miss"}`, snap.Counters.LookupMisses)
+	p.header("mccuckoo_deletes_removed_total", "Deletes that removed a live key.", "counter")
+	p.counter("mccuckoo_deletes_removed_total", "", snap.Counters.DeletesHit)
+
+	p.header("mccuckoo_corrupt_loads_total", "Snapshot loads rejected as corrupt.", "counter")
+	p.counter("mccuckoo_corrupt_loads_total", "", snap.Counters.CorruptLoads)
+	p.header("mccuckoo_repairs_total", "Repair passes run.", "counter")
+	p.counter("mccuckoo_repairs_total", "", snap.Counters.Repairs)
+	p.header("mccuckoo_repairs_dirty_total", "Repair passes that changed state.", "counter")
+	p.counter("mccuckoo_repairs_dirty_total", "", snap.Counters.RepairsDirty)
+	p.header("mccuckoo_repair_fixed_total", "Repair fixes applied, by kind.", "counter")
+	for _, kind := range repairKinds {
+		p.counter("mccuckoo_repair_fixed_total", fmt.Sprintf("{kind=%q}", kind), snap.Counters.RepairFixed[kind])
+	}
+
+	// Lifetime table stats surfaced as counters: they are monotonic on the
+	// table, so scrapes see valid counter semantics even though the values
+	// come from the gauge source.
+	ops := snap.Gauges.Ops
+	p.header("mccuckoo_autogrow_attempts_total", "Grow calls made by the auto-grow policy.", "counter")
+	p.counter("mccuckoo_autogrow_attempts_total", "", ops.GrowAttempts)
+	p.header("mccuckoo_autogrow_success_total", "Auto-grow episodes that drained the stash under threshold.", "counter")
+	p.counter("mccuckoo_autogrow_success_total", "", ops.Grows)
+	p.header("mccuckoo_autogrow_failures_total", "Grow calls that returned an error.", "counter")
+	p.counter("mccuckoo_autogrow_failures_total", "", ops.GrowFailures)
+	p.header("mccuckoo_stash_probes_total", "Lookups/deletes that had to consult the stash.", "counter")
+	p.counter("mccuckoo_stash_probes_total", "", ops.StashProbe)
+	p.header("mccuckoo_table_kicks_total", "Total kick-outs performed by inserts.", "counter")
+	p.counter("mccuckoo_table_kicks_total", "", ops.Kicks)
+
+	p.header("mccuckoo_op_latency_seconds", "Per-operation latency (timed single ops).", "histogram")
+	for op := Op(0); op < opCount; op++ {
+		p.hist("mccuckoo_op_latency_seconds", fmt.Sprintf("op=%q", op.String()),
+			s.latency[op].Snapshot(), 1e9)
+	}
+	p.header("mccuckoo_kick_path_length", "Kick-path length per insert.", "histogram")
+	p.hist("mccuckoo_kick_path_length", "", s.kicks.Snapshot(), 1)
+	p.header("mccuckoo_offchip_accesses_per_insert", "Off-chip memory accesses per insert.", "histogram")
+	p.hist("mccuckoo_offchip_accesses_per_insert", "", s.offInsert.Snapshot(), 1)
+	p.header("mccuckoo_offchip_accesses_per_delete", "Off-chip memory accesses per delete.", "histogram")
+	p.hist("mccuckoo_offchip_accesses_per_delete", "", s.offDelete.Snapshot(), 1)
+	p.header("mccuckoo_offchip_accesses_per_lookup", "Off-chip memory accesses per lookup, split by result.", "histogram")
+	p.hist("mccuckoo_offchip_accesses_per_lookup", `result="positive"`, s.offPos.Snapshot(), 1)
+	p.hist("mccuckoo_offchip_accesses_per_lookup", `result="negative"`, s.offNeg.Snapshot(), 1)
+
+	g := snap.Gauges
+	p.header("mccuckoo_items", "Distinct live items (stash included).", "gauge")
+	p.gauge("mccuckoo_items", "", float64(g.Items))
+	p.header("mccuckoo_capacity", "Total main-table slots.", "gauge")
+	p.gauge("mccuckoo_capacity", "", float64(g.Capacity))
+	p.header("mccuckoo_load_ratio", "Items over capacity, the paper's load metric.", "gauge")
+	p.gauge("mccuckoo_load_ratio", "", g.LoadRatio)
+	p.header("mccuckoo_stash_len", "Items currently in the overflow stash.", "gauge")
+	p.gauge("mccuckoo_stash_len", "", float64(g.StashLen))
+	p.header("mccuckoo_stash_flag_density", "Fraction of buckets with the stash flag set.", "gauge")
+	p.gauge("mccuckoo_stash_flag_density", "", g.StashFlagDensity)
+
+	if len(g.CopyHist) > 0 {
+		occupied := int64(0)
+		for v := 1; v < len(g.CopyHist); v++ {
+			occupied += int64(v) * g.CopyHist[v]
+		}
+		p.header("mccuckoo_copy_count_items", "Live items by copy count (the redundancy distribution).", "gauge")
+		for v := 1; v < len(g.CopyHist); v++ {
+			p.gauge("mccuckoo_copy_count_items", fmt.Sprintf("{copies=%q}", strconv.Itoa(v)), float64(g.CopyHist[v]))
+		}
+		p.header("mccuckoo_copy_bucket_fraction", "Fraction of occupied buckets holding items with V copies.", "gauge")
+		for v := 1; v < len(g.CopyHist); v++ {
+			frac := 0.0
+			if occupied > 0 {
+				frac = float64(int64(v)*g.CopyHist[v]) / float64(occupied)
+			}
+			p.gauge("mccuckoo_copy_bucket_fraction", fmt.Sprintf("{copies=%q}", strconv.Itoa(v)), frac)
+		}
+	}
+
+	if g.Shards > 0 {
+		p.header("mccuckoo_shards", "Partition count.", "gauge")
+		p.gauge("mccuckoo_shards", "", float64(g.Shards))
+		p.header("mccuckoo_shard_load_min", "Lowest per-shard load ratio.", "gauge")
+		p.gauge("mccuckoo_shard_load_min", "", g.MinShardLoad)
+		p.header("mccuckoo_shard_load_max", "Highest per-shard load ratio.", "gauge")
+		p.gauge("mccuckoo_shard_load_max", "", g.MaxShardLoad)
+	}
+
+	p.header("mccuckoo_uptime_seconds", "Seconds since the sink was created.", "gauge")
+	p.gauge("mccuckoo_uptime_seconds", "", snap.UptimeSeconds)
+	return p.err
+}

@@ -90,6 +90,7 @@ type config struct {
 	unique     bool
 	doubleHash bool
 	autoGrow   core.AutoGrowPolicy
+	tel        *Telemetry
 }
 
 // Option customizes a table.
@@ -225,10 +226,13 @@ func WithUniqueKeys() Option {
 }
 
 // buildConfig translates options into a core.Config for a table whose main
-// array should hold roughly `capacity` slots in total.
-func buildConfig(capacity int, blocked bool, opts []Option) (core.Config, error) {
+// array should hold roughly `capacity` slots in total. The second result is
+// the telemetry attachment requested via WithTelemetry (nil when absent),
+// which lives outside core.Config because the collector wraps the table
+// rather than configuring it.
+func buildConfig(capacity int, blocked bool, opts []Option) (core.Config, *Telemetry, error) {
 	if capacity < 8 {
-		return core.Config{}, fmt.Errorf("mccuckoo: capacity must be at least 8, got %d", capacity)
+		return core.Config{}, nil, fmt.Errorf("mccuckoo: capacity must be at least 8, got %d", capacity)
 	}
 	c := config{d: 3, slots: 1, seed: 1}
 	if blocked {
@@ -236,7 +240,7 @@ func buildConfig(capacity int, blocked bool, opts []Option) (core.Config, error)
 	}
 	for _, opt := range opts {
 		if err := opt(&c); err != nil {
-			return core.Config{}, err
+			return core.Config{}, nil, err
 		}
 	}
 	perTable := (capacity + c.d*c.slots - 1) / (c.d * c.slots)
@@ -254,5 +258,19 @@ func buildConfig(capacity int, blocked bool, opts []Option) (core.Config, error)
 		AssumeUniqueKeys: c.unique,
 		DoubleHashing:    c.doubleHash,
 		AutoGrow:         c.autoGrow,
-	}, nil
+	}, c.tel, nil
+}
+
+// loadOptions applies opts for a Load call. A snapshot carries its own
+// structural configuration (hash functions, seed, stash, ...), so structural
+// options are accepted but have no effect there; only attachment options —
+// WithTelemetry — are meaningful, and the requested telemetry is returned.
+func loadOptions(opts []Option) (*Telemetry, error) {
+	c := config{d: 3, slots: 1, seed: 1}
+	for _, opt := range opts {
+		if err := opt(&c); err != nil {
+			return nil, err
+		}
+	}
+	return c.tel, nil
 }

@@ -1,6 +1,7 @@
 package mccuckoo
 
 import (
+	"errors"
 	"io"
 
 	"mccuckoo/internal/core"
@@ -21,17 +22,39 @@ type CorruptError = core.CorruptError
 // the underlying type.
 type RepairReport = core.RepairReport
 
+// recordCorrupt counts a snapshot rejection in tel's corrupt-load counter
+// when the rejection is a *CorruptError (I/O errors are not corruption), and
+// passes err through either way.
+func recordCorrupt(tel *Telemetry, err error) error {
+	if tel != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			tel.sink.RecordCorruptLoad()
+		}
+	}
+	return err
+}
+
 // Repair rebuilds the table's derived state — copy counters, stash flags,
 // size/copies bookkeeping — purely from the authoritative off-chip buckets
 // and stash. It is the recovery path for on-chip state loss (the counters
 // are the only record a deletion leaves, so deletions whose counters are
 // corrupted back to live may roll back; see DESIGN.md). The report says what
-// changed; an all-zero report means the table was already consistent.
-func (t *Table) Repair() RepairReport { return t.inner.Repair() }
+// changed; an all-zero report means the table was already consistent. With
+// telemetry attached, the report is also recorded in the repair counters.
+func (t *Table) Repair() RepairReport {
+	rep := t.inner.Repair()
+	t.sink.RecordRepair(rep)
+	return rep
+}
 
 // Repair rebuilds the blocked table's derived state, additionally rebuilding
 // the per-copy slot-hint vectors. Semantics as Table.Repair.
-func (t *Blocked) Repair() RepairReport { return t.inner.Repair() }
+func (t *Blocked) Repair() RepairReport {
+	rep := t.inner.Repair()
+	t.sink.RecordRepair(rep)
+	return rep
+}
 
 // SaveFile writes a crash-safe snapshot to path: the bytes go to a temp file
 // in the same directory, are fsynced, and are atomically renamed over path.
@@ -43,22 +66,37 @@ func (t *Blocked) SaveFile(path string) error { return t.inner.SaveFile(path) }
 
 // LoadFile restores a single-slot table from a SaveFile snapshot. On top of
 // Load's checksum and bounds validation it rejects trailing bytes after the
-// snapshot end. Any rejection is a *CorruptError.
-func LoadFile(path string) (*Table, error) {
+// snapshot end. Any rejection is a *CorruptError. Options behave as in Load:
+// structural options are ignored (the snapshot carries its configuration);
+// WithTelemetry attaches a collector and counts corrupt rejections.
+func LoadFile(path string, opts ...Option) (*Table, error) {
+	tel, err := loadOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	inner, err := core.LoadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, recordCorrupt(tel, err)
 	}
-	return &Table{inner: inner}, nil
+	t := &Table{inner: inner}
+	t.attachTelemetry(tel)
+	return t, nil
 }
 
-// LoadBlockedFile restores a blocked table from a SaveFile snapshot.
-func LoadBlockedFile(path string) (*Blocked, error) {
-	inner, err := core.LoadBlockedFile(path)
+// LoadBlockedFile restores a blocked table from a SaveFile snapshot. Options
+// behave as in Load.
+func LoadBlockedFile(path string, opts ...Option) (*Blocked, error) {
+	tel, err := loadOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Blocked{inner: inner}, nil
+	inner, err := core.LoadBlockedFile(path)
+	if err != nil {
+		return nil, recordCorrupt(tel, err)
+	}
+	t := &Blocked{inner: inner}
+	t.attachTelemetry(tel)
+	return t, nil
 }
 
 // Grow grows every shard by growFactor, each under its own write lock.
@@ -82,23 +120,36 @@ func (s *Sharded) SaveFile(path string) error { return s.inner.SaveFile(path) }
 
 // LoadSharded restores a sharded table from a snapshot written by
 // Sharded.WriteTo. Shard count, routing seed, and every shard's full state
-// travel with the snapshot.
-func LoadSharded(r io.Reader) (*Sharded, error) {
-	inner, err := shard.Load(r)
+// travel with the snapshot. Options behave as in Load.
+func LoadSharded(r io.Reader, opts ...Option) (*Sharded, error) {
+	tel, err := loadOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{inner: inner}, nil
+	inner, err := shard.Load(r)
+	if err != nil {
+		return nil, recordCorrupt(tel, err)
+	}
+	s := &Sharded{inner: inner}
+	s.attachTelemetry(tel)
+	return s, nil
 }
 
 // LoadShardedFile restores a sharded table from a SaveFile snapshot,
-// rejecting trailing bytes after the snapshot end.
-func LoadShardedFile(path string) (*Sharded, error) {
-	inner, err := shard.LoadFile(path)
+// rejecting trailing bytes after the snapshot end. Options behave as in
+// Load.
+func LoadShardedFile(path string, opts ...Option) (*Sharded, error) {
+	tel, err := loadOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{inner: inner}, nil
+	inner, err := shard.LoadFile(path)
+	if err != nil {
+		return nil, recordCorrupt(tel, err)
+	}
+	s := &Sharded{inner: inner}
+	s.attachTelemetry(tel)
+	return s, nil
 }
 
 // Ensure the io import stays honest about what this file exposes.

@@ -37,7 +37,7 @@ func NewSharded(capacity, shards int, opts ...Option) (*Sharded, error) {
 		return nil, fmt.Errorf("mccuckoo: capacity %d too small for %d shards (need >= %d)",
 			capacity, shards, 8*shards)
 	}
-	cfg, err := buildConfig((capacity+shards-1)/shards, false, opts)
+	cfg, tel, err := buildConfig((capacity+shards-1)/shards, false, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +51,21 @@ func NewSharded(capacity, shards int, opts ...Option) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{inner: inner}, nil
+	s := &Sharded{inner: inner}
+	s.attachTelemetry(tel)
+	return s, nil
+}
+
+// attachTelemetry wires tel into the sharded table (no-op for nil): every
+// shard records its operations into tel's sink, and tel's gauges are live —
+// each scrape reads the current state under the per-shard locks, so no
+// sampling call is needed.
+func (s *Sharded) attachTelemetry(tel *Telemetry) {
+	if tel == nil {
+		return
+	}
+	s.inner.AttachTelemetry(tel.sink)
+	tel.sink.SetGaugeSource(s.inner.Gauges)
 }
 
 // Shards returns the partition count.
@@ -115,23 +129,34 @@ func (s *Sharded) Stats() Stats { return fromStats(s.inner.Stats()) }
 // shards.
 func (s *Sharded) Range(fn func(key, value uint64) bool) { s.inner.Range(fn) }
 
-// ShardStat describes one shard: population, load, stash depth, kick-path
-// work, read-path traffic, and lock-acquisition counts.
+// CopyHistogram returns how many items currently have 1, 2, ..., d copies
+// (index 0 unused), merged across all shards; each shard is read under its
+// read lock.
+func (s *Sharded) CopyHistogram() []int { return s.inner.CopyHistogram() }
+
+// StashFlagDensity returns the fraction of buckets (across all shards) whose
+// stash flag is set — the false-positive pressure on the stash pre-screen.
+func (s *Sharded) StashFlagDensity() float64 { return s.inner.StashFlagDensity() }
+
+// ShardStat describes one shard: population, load, stash depth and flag
+// density, kick-path work, read-path traffic, and lock-acquisition counts.
 type ShardStat struct {
-	Shard      int
-	Items      int
-	Capacity   int
-	LoadRatio  float64
-	StashLen   int
-	Kicks      int64
-	Lookups    int64
-	Hits       int64
-	ReadLocks  int64
-	WriteLocks int64
+	Shard            int
+	Items            int
+	Capacity         int
+	LoadRatio        float64
+	StashLen         int
+	StashFlagDensity float64
+	Kicks            int64
+	Lookups          int64
+	Hits             int64
+	ReadLocks        int64
+	WriteLocks       int64
 }
 
 // ShardStats aggregates per-shard statistics. MinLoad/MaxLoad expose the
-// routing balance across shards.
+// routing balance across shards; when every shard is empty they are both
+// exactly 0 (never negative or NaN), so 0/0 reads as "idle table".
 type ShardStats struct {
 	Shards     []ShardStat
 	Items      int
@@ -166,15 +191,16 @@ func (s *Sharded) ShardStats() ShardStats {
 	}
 	for i, sh := range st.Shards {
 		out.Shards[i] = ShardStat{
-			Shard:     sh.Shard,
-			Items:     sh.Items,
-			Capacity:  sh.Capacity,
-			LoadRatio: sh.LoadRatio,
-			StashLen:  sh.StashLen,
-			Kicks:     sh.Ops.Kicks,
-			Lookups:   sh.Ops.Lookups + sh.Lookups,
-			Hits:      sh.Ops.Hits + sh.Hits,
-			ReadLocks: sh.ReadLocks, WriteLocks: sh.WriteLocks,
+			Shard:            sh.Shard,
+			Items:            sh.Items,
+			Capacity:         sh.Capacity,
+			LoadRatio:        sh.LoadRatio,
+			StashLen:         sh.StashLen,
+			StashFlagDensity: sh.StashFlagDensity,
+			Kicks:            sh.Ops.Kicks,
+			Lookups:          sh.Ops.Lookups + sh.Lookups,
+			Hits:             sh.Ops.Hits + sh.Hits,
+			ReadLocks:        sh.ReadLocks, WriteLocks: sh.WriteLocks,
 		}
 	}
 	return out

@@ -2,9 +2,12 @@ package mccuckoo
 
 import (
 	"io"
+	"time"
 
 	"mccuckoo/internal/core"
+	"mccuckoo/internal/hashutil"
 	"mccuckoo/internal/kv"
+	"mccuckoo/internal/telemetry"
 )
 
 // Table is the single-slot McCuckoo hash table: d hash functions, one item
@@ -16,12 +19,16 @@ import (
 // one-writer-many-readers access.
 type Table struct {
 	inner *core.Table
+	// sink is the attached telemetry collector; nil means telemetry is off
+	// and every operation takes the plain path (one nil check, no
+	// allocation).
+	sink *telemetry.Sink
 }
 
 // New creates a single-slot table with roughly `capacity` buckets in total
 // (rounded up to a multiple of the hash-function count).
 func New(capacity int, opts ...Option) (*Table, error) {
-	cfg, err := buildConfig(capacity, false, opts)
+	cfg, tel, err := buildConfig(capacity, false, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -30,21 +37,75 @@ func New(capacity int, opts ...Option) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Table{inner: inner}, nil
+	t := &Table{inner: inner}
+	t.attachTelemetry(tel)
+	return t, nil
+}
+
+// attachTelemetry wires tel into the table (no-op for nil). The gauges of a
+// single-writer table are pushed, not pulled — see SampleTelemetry.
+func (t *Table) attachTelemetry(tel *Telemetry) {
+	if tel == nil {
+		return
+	}
+	t.sink = tel.sink
+	t.SampleTelemetry()
+}
+
+// offChip returns the table's lifetime off-chip access count; deltas around
+// an operation give that operation's off-chip cost. Single-writer, so
+// reading the meter between operations is safe.
+func (t *Table) offChip() int64 {
+	m := t.inner.Meter()
+	return m.OffChipReads + m.OffChipWrites
 }
 
 // Insert stores key/value, replacing the value if key is already present
 // (unless WithUniqueKeys was set).
 func (t *Table) Insert(key, value uint64) InsertResult {
-	return fromOutcome(t.inner.Insert(key, value))
+	if t.sink == nil {
+		return fromOutcome(t.inner.Insert(key, value))
+	}
+	before, start := t.offChip(), time.Now()
+	o := t.inner.Insert(key, value)
+	t.sink.Record(telemetry.Event{
+		Op: telemetry.OpInsert, Status: uint8(o.Status), Shard: -1,
+		Kicks: int32(o.Kicks), OffChip: t.offChip() - before,
+		Nanos: time.Since(start).Nanoseconds(), KeyHash: hashutil.Mix64(key),
+	})
+	return fromOutcome(o)
 }
 
 // Lookup returns the value stored for key.
-func (t *Table) Lookup(key uint64) (uint64, bool) { return t.inner.Lookup(key) }
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	if t.sink == nil {
+		return t.inner.Lookup(key)
+	}
+	before, start := t.offChip(), time.Now()
+	v, ok := t.inner.Lookup(key)
+	t.sink.Record(telemetry.Event{
+		Op: telemetry.OpLookup, Hit: ok, Shard: -1,
+		OffChip: t.offChip() - before,
+		Nanos:   time.Since(start).Nanoseconds(), KeyHash: hashutil.Mix64(key),
+	})
+	return v, ok
+}
 
 // Delete removes key, reporting whether it was present. Deletion resets
 // counters only — it performs zero off-chip writes.
-func (t *Table) Delete(key uint64) bool { return t.inner.Delete(key) }
+func (t *Table) Delete(key uint64) bool {
+	if t.sink == nil {
+		return t.inner.Delete(key)
+	}
+	before, start := t.offChip(), time.Now()
+	ok := t.inner.Delete(key)
+	t.sink.Record(telemetry.Event{
+		Op: telemetry.OpDelete, Hit: ok, Shard: -1,
+		OffChip: t.offChip() - before,
+		Nanos:   time.Since(start).Nanoseconds(), KeyHash: hashutil.Mix64(key),
+	})
+	return ok
+}
 
 // Len returns the number of live items, stash included.
 func (t *Table) Len() int { return t.inner.Len() }
@@ -86,11 +147,13 @@ func (t *Table) Stats() Stats { return fromStats(t.inner.Stats()) }
 // close to 100% (Table III operates at 99–100%).
 type Blocked struct {
 	inner *core.BlockedTable
+	// sink is the attached telemetry collector; nil means telemetry is off.
+	sink *telemetry.Sink
 }
 
 // NewBlocked creates a blocked table with roughly `capacity` slots in total.
 func NewBlocked(capacity int, opts ...Option) (*Blocked, error) {
-	cfg, err := buildConfig(capacity, true, opts)
+	cfg, tel, err := buildConfig(capacity, true, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -98,20 +161,71 @@ func NewBlocked(capacity int, opts ...Option) (*Blocked, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Blocked{inner: inner}, nil
+	t := &Blocked{inner: inner}
+	t.attachTelemetry(tel)
+	return t, nil
+}
+
+// attachTelemetry wires tel into the blocked table (no-op for nil).
+func (t *Blocked) attachTelemetry(tel *Telemetry) {
+	if tel == nil {
+		return
+	}
+	t.sink = tel.sink
+	t.SampleTelemetry()
+}
+
+// offChip returns the lifetime off-chip access count (see Table.offChip).
+func (t *Blocked) offChip() int64 {
+	m := t.inner.Meter()
+	return m.OffChipReads + m.OffChipWrites
 }
 
 // Insert stores key/value, replacing the value if key is already present
 // (unless WithUniqueKeys was set).
 func (t *Blocked) Insert(key, value uint64) InsertResult {
-	return fromOutcome(t.inner.Insert(key, value))
+	if t.sink == nil {
+		return fromOutcome(t.inner.Insert(key, value))
+	}
+	before, start := t.offChip(), time.Now()
+	o := t.inner.Insert(key, value)
+	t.sink.Record(telemetry.Event{
+		Op: telemetry.OpInsert, Status: uint8(o.Status), Shard: -1,
+		Kicks: int32(o.Kicks), OffChip: t.offChip() - before,
+		Nanos: time.Since(start).Nanoseconds(), KeyHash: hashutil.Mix64(key),
+	})
+	return fromOutcome(o)
 }
 
 // Lookup returns the value stored for key.
-func (t *Blocked) Lookup(key uint64) (uint64, bool) { return t.inner.Lookup(key) }
+func (t *Blocked) Lookup(key uint64) (uint64, bool) {
+	if t.sink == nil {
+		return t.inner.Lookup(key)
+	}
+	before, start := t.offChip(), time.Now()
+	v, ok := t.inner.Lookup(key)
+	t.sink.Record(telemetry.Event{
+		Op: telemetry.OpLookup, Hit: ok, Shard: -1,
+		OffChip: t.offChip() - before,
+		Nanos:   time.Since(start).Nanoseconds(), KeyHash: hashutil.Mix64(key),
+	})
+	return v, ok
+}
 
 // Delete removes key with zero off-chip writes.
-func (t *Blocked) Delete(key uint64) bool { return t.inner.Delete(key) }
+func (t *Blocked) Delete(key uint64) bool {
+	if t.sink == nil {
+		return t.inner.Delete(key)
+	}
+	before, start := t.offChip(), time.Now()
+	ok := t.inner.Delete(key)
+	t.sink.Record(telemetry.Event{
+		Op: telemetry.OpDelete, Hit: ok, Shard: -1,
+		OffChip: t.offChip() - before,
+		Nanos:   time.Since(start).Nanoseconds(), KeyHash: hashutil.Mix64(key),
+	})
+	return ok
+}
 
 // Len returns the number of live items, stash included.
 func (t *Blocked) Len() int { return t.inner.Len() }
@@ -217,13 +331,21 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) { return t.inner.WriteTo(w) 
 
 // Load restores a single-slot table from a snapshot written by
 // Table.WriteTo. The snapshot's configuration (hash functions, seed, stash,
-// deletion mode, ...) travels with it.
-func Load(r io.Reader) (*Table, error) {
-	inner, err := core.Load(r)
+// deletion mode, ...) travels with it, so structural options are ignored
+// here; WithTelemetry attaches a collector to the restored table and counts
+// a rejected (corrupt) snapshot in its corrupt-load counter.
+func Load(r io.Reader, opts ...Option) (*Table, error) {
+	tel, err := loadOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Table{inner: inner}, nil
+	inner, err := core.Load(r)
+	if err != nil {
+		return nil, recordCorrupt(tel, err)
+	}
+	t := &Table{inner: inner}
+	t.attachTelemetry(tel)
+	return t, nil
 }
 
 // Grow rebuilds the blocked table, exactly as Table.Grow.
@@ -234,13 +356,19 @@ func (t *Blocked) Grow(growFactor float64) error { return t.inner.Grow(growFacto
 func (t *Blocked) WriteTo(w io.Writer) (int64, error) { return t.inner.WriteTo(w) }
 
 // LoadBlocked restores a blocked table from a snapshot written by
-// Blocked.WriteTo.
-func LoadBlocked(r io.Reader) (*Blocked, error) {
-	inner, err := core.LoadBlocked(r)
+// Blocked.WriteTo. Options behave as in Load.
+func LoadBlocked(r io.Reader, opts ...Option) (*Blocked, error) {
+	tel, err := loadOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Blocked{inner: inner}, nil
+	inner, err := core.LoadBlocked(r)
+	if err != nil {
+		return nil, recordCorrupt(tel, err)
+	}
+	t := &Blocked{inner: inner}
+	t.attachTelemetry(tel)
+	return t, nil
 }
 
 // InsertPathwise inserts with bounded writer critical sections: the cuckoo
@@ -266,3 +394,12 @@ func (t *Blocked) Range(fn func(key, value uint64) bool) { t.inner.Range(fn) }
 
 // CopyHistogram returns the blocked table's redundancy distribution.
 func (t *Blocked) CopyHistogram() []int { return t.inner.CopyHistogram() }
+
+// StashFlagDensity returns the fraction of buckets whose stash flag is set —
+// the false-positive pressure on the stash pre-screen (a set flag forces
+// every negative lookup through that bucket to also probe the stash).
+func (t *Table) StashFlagDensity() float64 { return t.inner.StashFlagDensity() }
+
+// StashFlagDensity returns the fraction of the blocked table's buckets whose
+// stash flag is set; see Table.StashFlagDensity.
+func (t *Blocked) StashFlagDensity() float64 { return t.inner.StashFlagDensity() }
