@@ -1,7 +1,14 @@
 #!/bin/sh
 # ci.sh — the repo's verification gate.
 #
-# Tier-1 (every PR must keep this green): build + vet + full test suite.
+# Tier-1 (every PR must keep this green): formatting + module hygiene +
+# vet + mcvet + build + full test suite.
+# mcvet gate: the repo-specific analyzers (cmd/mcvet) enforce McCuckoo's
+# own invariants — zero-allocation hot paths, lock discipline around the
+# shard tables, no mixed atomic/plain access, counter/flag writes only
+# through sanctioned setters, and deterministic snapshot/repair paths. It
+# runs before the test suite because its findings are cheaper to read than
+# the test failures they predict.
 # Race gate: the concurrency-bearing packages (internal/core's RWMutex
 # wrapper and pathwise inserts, internal/shard's partitioned table, and
 # internal/faultinject which drives both) run again under the race
@@ -13,11 +20,39 @@
 # Benchmark smoke: the telemetry benchmarks run once so the disabled-path
 # zero-allocation claim and the enabled-path overhead stay measurable (the
 # hard allocation assertion lives in TestDisabledPathZeroAlloc).
-set -eux
+set -eu
 
+say() { printf '==> %s\n' "$*"; }
+
+say "gofmt: checking formatting"
+unformatted="$(gofmt -l .)"
+if [ -n "${unformatted}" ]; then
+	printf 'gofmt: the following files need formatting:\n%s\n' "${unformatted}" >&2
+	exit 1
+fi
+
+say "go mod tidy: checking module hygiene"
+go mod tidy -diff
+
+say "go vet: stock static analysis"
 go vet ./...
+
+say "mcvet: repo-specific invariant analysis"
+go run ./cmd/mcvet ./...
+
+say "go build: compiling all packages"
 go build ./...
+
+say "go test: full suite"
 go test ./...
+
+say "go test -race: concurrency-bearing packages"
 go test -race ./internal/core/... ./internal/shard/... ./internal/faultinject/... ./internal/telemetry/...
+
+say "fuzz smoke: snapshot loader"
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=5s ./internal/core
+
+say "benchmark smoke: telemetry overhead"
 go test -run='^$' -bench=Telemetry -benchtime=1x ./internal/telemetry
+
+say "ci.sh: all gates green"

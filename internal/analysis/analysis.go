@@ -1,0 +1,77 @@
+// Package analysis is the repo's static-analysis framework: a minimal,
+// stdlib-only reimplementation of the golang.org/x/tools go/analysis shape
+// (Analyzer, Pass, diagnostics) plus the //mcvet: directive and suppression
+// machinery the mcvet analyzers share.
+//
+// The x/tools module is deliberately not a dependency — the repo is
+// stdlib-only by policy — so packages are loaded with `go list -json`,
+// parsed with go/parser, and type-checked with go/types backed by the
+// stdlib source importer. The API mirrors go/analysis closely enough that
+// the analyzers read like ordinary vet checks and could be ported to the
+// real framework by swapping imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named static check. Run inspects the package in the
+// Pass and reports findings through pass.Reportf; the returned error means
+// the analyzer itself failed (bad input, internal bug), not that findings
+// exist.
+type Analyzer struct {
+	Name string // the check name used in findings and //mcvet:allow comments
+	Doc  string // one-paragraph description: the invariant this check encodes
+	Run  func(*Pass) error
+}
+
+// KnownChecks is the canonical list of mcvet check names. //mcvet:allow
+// comments must name one of these (or an analyzer in the current run);
+// anything else is reported as a suppression-hygiene error.
+var KnownChecks = []string{
+	"hotpathalloc",
+	"lockdiscipline",
+	"atomicmix",
+	"counterwrite",
+	"nodeterminism",
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Dirs      *Directives
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, with the position already resolved.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ExprString renders an expression the way the lockdiscipline and
+// counterwrite analyzers compare lock bases: types.ExprString, which matches
+// source spelling for the selector chains this codebase uses.
+func ExprString(e ast.Expr) string { return types.ExprString(e) }

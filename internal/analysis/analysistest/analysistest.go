@@ -1,0 +1,132 @@
+// Package analysistest runs mcvet analyzers over fixture packages and
+// checks their findings against `// want` expectations, mirroring the
+// golang.org/x/tools analysistest workflow with only the stdlib.
+//
+// Fixtures live in <testdata>/src/<pkg>/ — directories named testdata are
+// invisible to the go tool, so fixture code that deliberately violates the
+// analyzers never reaches the real build. Every line that should produce
+// findings carries a comment of the form
+//
+//	// want `regexp` `another regexp`
+//
+// with one regexp per expected finding on that line, matched against the
+// finding message. Lines without a want comment must produce no findings.
+// The full suppression pipeline runs, so fixtures can also exercise
+// //mcvet:allow comments (an allow with `// want` after it expects the
+// hygiene findings named there).
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mccuckoo/internal/analysis"
+)
+
+// Run loads the fixture package <testdata>/src/<pkg> and runs the analyzers
+// over it, failing t on any mismatch between findings and expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	RunAll(t, testdata, []*analysis.Analyzer{a}, pkg)
+}
+
+// RunAll is Run with several analyzers in one pass, for fixtures exercising
+// the shared suppression machinery.
+func RunAll(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	fset := token.NewFileSet()
+	loaded, err := analysis.LoadDir(fset, dir, pkg, analysis.NewImporter(fset))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(loaded, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkg, err)
+	}
+
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+
+	for _, d := range diags {
+		key := lineKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		if i := matchWant(wants[key], d.Message); i >= 0 {
+			wants[key][i].matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected finding: [%s] %s", d.Pos, d.Check, d.Message)
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no finding matched want %q", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantPattern captures the regexps of one want comment: each expectation is
+// a backquoted or double-quoted Go-regexp literal.
+var (
+	wantMarker  = regexp.MustCompile(`// want (.*)$`)
+	wantLiteral = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+)
+
+func parseWants(dir string) (map[lineKey][]*want, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[lineKey][]*want)
+	for _, name := range matches {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Base(name)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantMarker.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, lit := range wantLiteral.FindAllStringSubmatch(m[1], -1) {
+				text := lit[1]
+				if text == "" {
+					text = lit[2]
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					return nil, err
+				}
+				key := lineKey{base, i + 1}
+				out[key] = append(out[key], &want{re: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+func matchWant(ws []*want, message string) int {
+	for i, w := range ws {
+		if !w.matched && w.re.MatchString(message) {
+			return i
+		}
+	}
+	return -1
+}

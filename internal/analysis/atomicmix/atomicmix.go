@@ -1,0 +1,134 @@
+// Package atomicmix enforces all-or-nothing atomicity: a variable that is
+// accessed through sync/atomic anywhere in a package must be accessed
+// through sync/atomic everywhere in it. A single plain load racing an
+// atomic store is still a data race — one the race detector only catches
+// when a test happens to interleave the two, while this check catches it
+// from the source alone.
+//
+// The analyzer collects every variable whose address feeds a sync/atomic
+// call (atomic.LoadInt64(&s.hits), atomic.AddUint64(&t.epoch, 1), ...) and
+// then flags any other appearance of that variable outside a sync/atomic
+// argument. Typed atomics (sync/atomic.Int64 and friends, as used by the
+// shard counters and telemetry ring) cannot mix by construction and need
+// no annotations. A deliberate non-atomic access — e.g. a read in a
+// constructor before the value is published — carries
+// //mcvet:allow atomicmix <reason>.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mccuckoo/internal/analysis"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "variables accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicVars := make(map[*types.Var][]ast.Expr) // var -> its atomic-call address args
+	inAtomicArg := make(map[ast.Node]bool)        // &x subtrees consumed by sync/atomic
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if v := varOf(pass, un.X); v != nil {
+					atomicVars[v] = append(atomicVars[v], un)
+					inAtomicArg[un] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if inAtomicArg[n] {
+				return false
+			}
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			switch e.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				return true
+			}
+			v := varOf(pass, e)
+			if v == nil {
+				return true
+			}
+			if _, mixed := atomicVars[v]; mixed {
+				pass.Reportf(e.Pos(), "plain access to %s, which is accessed with sync/atomic elsewhere in this package; this races", v.Name())
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// operation (the pointer-taking API, not typed-atomic methods).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// varOf resolves an ident or field selector to its variable object. Only
+// named variables and struct fields participate — the things a racing
+// goroutine could alias.
+func varOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if pass.TypesInfo.Defs[e] != nil {
+			return nil // a declaration, not an access
+		}
+		v, _ := pass.TypesInfo.ObjectOf(e).(*types.Var)
+		if v != nil && !v.IsField() {
+			return v
+		}
+		return nil
+	case *ast.SelectorExpr:
+		sel := pass.TypesInfo.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return nil
+		}
+		v, _ := sel.Obj().(*types.Var)
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"mccuckoo/internal/analysis/analysistest"
+	"mccuckoo/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "a")
+}

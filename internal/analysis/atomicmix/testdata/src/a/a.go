@@ -1,0 +1,59 @@
+// Package a is the atomicmix fixture: fields touched by the pointer-taking
+// sync/atomic API must never also be touched plainly.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64        // atomic via AddInt64/LoadInt64 below
+	misses int64        // never atomic: plain access is consistent and fine
+	epoch  atomic.Int64 // typed atomic: cannot mix by construction
+}
+
+func (c *counters) recordHit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) hitCount() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) racyRead() int64 {
+	return c.hits // want `plain access to hits, which is accessed with sync/atomic elsewhere in this package; this races`
+}
+
+func (c *counters) racyWrite() {
+	c.hits = 0 // want `plain access to hits`
+}
+
+func (c *counters) escapedAddress(sink func(*int64)) {
+	sink(&c.hits) // want `plain access to hits`
+}
+
+func (c *counters) plainIsFine() int64 {
+	c.misses++
+	return c.misses
+}
+
+func (c *counters) typedIsFine() int64 {
+	c.epoch.Add(1)
+	return c.epoch.Load()
+}
+
+// newCounters demonstrates the sanctioned escape: before the value is
+// published to other goroutines, plain initialization cannot race.
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 0 //mcvet:allow atomicmix not yet published, single-goroutine init
+	return c
+}
+
+var generation uint64
+
+func bumpGeneration() {
+	atomic.AddUint64(&generation, 1)
+}
+
+func readGeneration() uint64 {
+	return generation // want `plain access to generation`
+}

@@ -1,0 +1,124 @@
+// Package counterwrite channels every mutation of a restricted field
+// through its sanctioned setters. The paper's correctness argument leans
+// on two shared-state invariants — copy counters only move through the
+// documented transitions (set on insert, decrement on kick-out/delete),
+// and the stash bloom-filter flags stay consistent with stash contents.
+// Both live in fields annotated //mcvet:restricted <class>; functions
+// annotated //mcvet:setter <class> (the setters in internal/core) may
+// mutate them, and everything else gets read-only access.
+//
+// A mutation is: assigning to the field (or ++/--), taking its address
+// (an escaped pointer can mutate later), or calling a method on it that is
+// not in the known-pure set (Get, Len, Max, Width, SizeBytes, Words,
+// Count — the read-only surface of the bitpack types).
+package counterwrite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mccuckoo/internal/analysis"
+)
+
+// Analyzer is the counterwrite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "counterwrite",
+	Doc:  "restricted fields mutated only by //mcvet:setter functions of the same class",
+	Run:  run,
+}
+
+// pureMethods is the read-only method surface of the restricted types
+// (bitpack.Counters and bitpack.Bitset). Anything else mutates.
+var pureMethods = map[string]bool{
+	"Get": true, "Len": true, "Max": true, "Width": true,
+	"SizeBytes": true, "Words": true, "Count": true,
+}
+
+func run(pass *analysis.Pass) error {
+	restricted := pass.Dirs.FieldDirs("restricted")
+	if len(restricted) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			classes := setterClasses(pass, fn)
+			checkFunc(pass, fn, restricted, classes)
+		}
+	}
+	return nil
+}
+
+func setterClasses(pass *analysis.Pass, fn *ast.FuncDecl) map[string]bool {
+	args, ok := pass.Dirs.FuncArgs(fn, "setter")
+	if !ok {
+		return nil
+	}
+	classes := make(map[string]bool, len(args))
+	for _, a := range args {
+		classes[a] = true
+	}
+	return classes
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, restricted map[*types.Var]analysis.Directive, classes map[string]bool) {
+	report := func(pos ast.Node, v *types.Var, class, what string) {
+		if classes[class] {
+			return
+		}
+		pass.Reportf(pos.Pos(), "%s restricted field %s (class %s) outside a //mcvet:setter %s function",
+			what, v.Name(), class, class)
+	}
+	classOf := func(e ast.Expr) (*types.Var, string, bool) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return nil, "", false
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return nil, "", false
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return nil, "", false
+		}
+		dir, ok := restricted[v]
+		if !ok {
+			return nil, "", false
+		}
+		return v, dir.Args[0], true
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v, class, ok := classOf(lhs); ok {
+					report(lhs, v, class, "assignment to")
+				}
+			}
+		case *ast.IncDecStmt:
+			if v, class, ok := classOf(n.X); ok {
+				report(n, v, class, n.Tok.String()+" on")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if v, class, ok := classOf(n.X); ok {
+					report(n, v, class, "taking the address of")
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v, class, ok := classOf(sel.X); ok && !pureMethods[sel.Sel.Name] {
+				report(n, v, class, sel.Sel.Name+" call mutates")
+			}
+		}
+		return true
+	})
+}

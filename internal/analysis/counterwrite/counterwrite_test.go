@@ -1,0 +1,12 @@
+package counterwrite_test
+
+import (
+	"testing"
+
+	"mccuckoo/internal/analysis/analysistest"
+	"mccuckoo/internal/analysis/counterwrite"
+)
+
+func TestCounterWrite(t *testing.T) {
+	analysistest.Run(t, "testdata", counterwrite.Analyzer, "a")
+}

@@ -1,0 +1,77 @@
+// Package a is the counterwrite fixture: a miniature of the core Table's
+// restricted counter/flag fields and their sanctioned setters.
+package a
+
+type packed struct{ words []uint64 }
+
+func (p *packed) Get(i int) uint64    { return p.words[i] }
+func (p *packed) Len() int            { return len(p.words) }
+func (p *packed) Set(i int, v uint64) { p.words[i] = v }
+func (p *packed) Reset()              { clear(p.words) }
+
+type table struct {
+	counters packed //mcvet:restricted counters
+	flags    packed //mcvet:restricted flags
+	kicks    int    //mcvet:restricted counters
+	size     int    // unrestricted: free access
+}
+
+// setCounter is the sanctioned mutation path for the counters class.
+//
+//mcvet:setter counters
+func (t *table) setCounter(i int, v uint64) {
+	t.counters.Set(i, v)
+	t.kicks++
+}
+
+// setFlag covers a different class; counters stay off-limits here.
+//
+//mcvet:setter flags
+func (t *table) setFlag(i int) {
+	t.flags.Set(i, 1)
+}
+
+// rebuild mutates both classes, so it declares both.
+//
+//mcvet:setter counters flags
+func (t *table) rebuild() {
+	t.counters.Reset()
+	t.flags.Reset()
+}
+
+// reads of any restricted field are always fine.
+func (t *table) load(i int) uint64 {
+	if i >= t.counters.Len() {
+		return 0
+	}
+	t.size++
+	return t.counters.Get(i) + t.flags.Get(i)
+}
+
+func (t *table) directMutation(i int) {
+	t.counters.Set(i, 9) // want `Set call mutates restricted field counters \(class counters\) outside a //mcvet:setter counters function`
+}
+
+func (t *table) directAssign() {
+	t.counters = packed{} // want `assignment to restricted field counters`
+}
+
+func (t *table) bump() {
+	t.kicks++ // want `\+\+ on restricted field kicks`
+}
+
+func (t *table) leakAddress() *packed {
+	return &t.counters // want `taking the address of restricted field counters`
+}
+
+//mcvet:setter flags
+func (t *table) wrongClass(i int) {
+	t.flags.Set(i, 0)
+	t.counters.Set(i, 0) // want `Set call mutates restricted field counters \(class counters\) outside a //mcvet:setter counters function`
+}
+
+// reset carries a reviewed suppression: the allow comment is the escape
+// hatch for a mutation that is deliberate but lives outside a setter.
+func (t *table) reset() {
+	t.counters.Reset() //mcvet:allow counterwrite one-shot test helper reviewed as reinitialization
+}

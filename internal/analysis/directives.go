@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The //mcvet: comment grammar. Directives are comments with no space after
+// the slashes, like //go: directives, so gofmt leaves them alone and godoc
+// hides them:
+//
+//	//mcvet:hotpath [note]            func: must not allocate (hotpathalloc)
+//	//mcvet:locked [note]             func: caller holds the relevant locks
+//	//mcvet:deterministic [note]      func: nodeterminism applies
+//	//mcvet:setter <class>... [--]    func: sanctioned mutator for counterwrite classes
+//	//mcvet:guardedby <mutexField>    struct field: lockdiscipline applies
+//	//mcvet:restricted <class>        struct field: counterwrite applies
+//	//mcvet:allow <check> <reason>    any line: suppress <check> findings on this
+//	                                  line or the line below; reason mandatory
+//
+// Function directives live in the function's doc comment group; field
+// directives in the field's doc or trailing line comment. An allow comment
+// suppresses findings on its own source line (trailing style) or on the
+// line immediately below (standalone style). Anything malformed — unknown
+// verb, missing argument, misplaced directive — is itself reported by the
+// runner as a `mcvet` hygiene finding, so a typo cannot silently disable a
+// check.
+
+const directivePrefix = "//mcvet:"
+
+// A Directive is one parsed //mcvet: marker attached to a function or field.
+type Directive struct {
+	Verb string
+	Args []string
+	Pos  token.Pos
+}
+
+// An Allow is one parsed //mcvet:allow suppression comment.
+type Allow struct {
+	Check  string
+	Reason string
+	File   string
+	Line   int
+	Pos    token.Pos
+
+	used bool // set by the runner when the allow suppressed a finding
+}
+
+// Directives holds every parsed //mcvet: marker of one package.
+type Directives struct {
+	funcs  map[*ast.FuncDecl][]Directive
+	fields map[*types.Var]Directive // guardedby/restricted, one per field
+	allows []*Allow
+	bad    []Diagnostic // malformed or misplaced directives
+}
+
+// FuncHas reports whether fn carries the given directive verb.
+func (d *Directives) FuncHas(fn *ast.FuncDecl, verb string) bool {
+	_, ok := d.FuncArgs(fn, verb)
+	return ok
+}
+
+// FuncArgs returns the arguments of fn's directive with the given verb.
+func (d *Directives) FuncArgs(fn *ast.FuncDecl, verb string) ([]string, bool) {
+	for _, dir := range d.funcs[fn] {
+		if dir.Verb == verb {
+			return dir.Args, true
+		}
+	}
+	return nil, false
+}
+
+// FieldDirs returns every field carrying the given verb (guardedby or
+// restricted), keyed by the field's type object.
+func (d *Directives) FieldDirs(verb string) map[*types.Var]Directive {
+	out := make(map[*types.Var]Directive)
+	for v, dir := range d.fields {
+		if dir.Verb == verb {
+			out[v] = dir
+		}
+	}
+	return out
+}
+
+// Allows returns the package's suppression comments.
+func (d *Directives) Allows() []*Allow { return d.allows }
+
+// parseDirectives extracts every //mcvet: marker from the package.
+func parseDirectives(fset *token.FileSet, files []*ast.File, info *types.Info) *Directives {
+	d := &Directives{
+		funcs:  make(map[*ast.FuncDecl][]Directive),
+		fields: make(map[*types.Var]Directive),
+	}
+	for _, file := range files {
+		// Comment groups attached to a function or field are claimed by
+		// their owner; every other //mcvet: comment must be an allow.
+		claimed := make(map[*ast.Comment]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				for _, c := range commentsOf(n.Doc) {
+					claimed[c] = true
+					if dir, ok := d.parseOne(fset, c, "func"); ok {
+						d.funcs[n] = append(d.funcs[n], dir)
+					}
+				}
+			case *ast.Field:
+				for _, c := range append(commentsOf(n.Doc), commentsOf(n.Comment)...) {
+					claimed[c] = true
+					dir, ok := d.parseOne(fset, c, "field")
+					if !ok {
+						continue
+					}
+					if len(n.Names) == 0 {
+						d.badf(fset, c.Pos(), "mcvet:%s on an embedded field is not supported", dir.Verb)
+						continue
+					}
+					if v, ok := info.Defs[n.Names[0]].(*types.Var); ok {
+						if _, dup := d.fields[v]; dup {
+							d.badf(fset, c.Pos(), "field %s carries more than one mcvet directive", n.Names[0].Name)
+							continue
+						}
+						d.fields[v] = dir
+					}
+				}
+			}
+			return true
+		})
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if claimed[c] || !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				// Unclaimed directives: only allow is positional; any other
+				// verb here is detached from a declaration and inert.
+				if verbOf(c.Text) == "allow" {
+					d.parseAllow(fset, c)
+				} else {
+					d.badf(fset, c.Pos(), "misplaced directive %q: only //mcvet:allow may appear outside a function or field comment", firstWord(c.Text))
+				}
+			}
+		}
+	}
+	return d
+}
+
+// parseOne parses a non-allow directive comment attached to a func or field.
+// Allow comments are handled positionally even when they sit in a doc
+// comment, so they are parsed here too and rejected from ownership.
+func (d *Directives) parseOne(fset *token.FileSet, c *ast.Comment, owner string) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	if verbOf(c.Text) == "allow" {
+		d.parseAllow(fset, c)
+		return Directive{}, false
+	}
+	fields := strings.Fields(stripWant(strings.TrimPrefix(c.Text, directivePrefix)))
+	if len(fields) == 0 {
+		d.badf(fset, c.Pos(), "empty mcvet directive")
+		return Directive{}, false
+	}
+	dir := Directive{Verb: fields[0], Args: fields[1:], Pos: c.Pos()}
+	spec, known := verbs[dir.Verb]
+	if !known {
+		d.badf(fset, c.Pos(), "unknown mcvet directive %q", dir.Verb)
+		return Directive{}, false
+	}
+	if spec.owner != owner {
+		d.badf(fset, c.Pos(), "mcvet:%s belongs on a %s, not a %s", dir.Verb, spec.owner, owner)
+		return Directive{}, false
+	}
+	if len(dir.Args) < spec.minArgs {
+		d.badf(fset, c.Pos(), "mcvet:%s needs %s", dir.Verb, spec.argHelp)
+		return Directive{}, false
+	}
+	return dir, true
+}
+
+var verbs = map[string]struct {
+	owner   string // "func" or "field"
+	minArgs int
+	argHelp string
+}{
+	"hotpath":       {"func", 0, ""},
+	"locked":        {"func", 0, ""},
+	"deterministic": {"func", 0, ""},
+	"setter":        {"func", 1, "at least one class argument (e.g. counters)"},
+	"guardedby":     {"field", 1, "the guarding mutex field name"},
+	"restricted":    {"field", 1, "a class argument (e.g. counters)"},
+}
+
+// parseAllow parses a //mcvet:allow comment. Malformed allows are recorded
+// as hygiene findings and do NOT suppress anything.
+func (d *Directives) parseAllow(fset *token.FileSet, c *ast.Comment) {
+	text := stripWant(strings.TrimPrefix(c.Text, directivePrefix))
+	fields := strings.Fields(text)
+	pos := fset.Position(c.Pos())
+	if len(fields) < 2 {
+		d.badf(fset, c.Pos(), "mcvet:allow needs a check name")
+		return
+	}
+	check, reason := fields[1], strings.Join(fields[2:], " ")
+	if reason == "" {
+		d.badf(fset, c.Pos(), "mcvet:allow %s needs a reason: //mcvet:allow %s <why this finding is acceptable>", check, check)
+		return
+	}
+	d.allows = append(d.allows, &Allow{
+		Check: check, Reason: reason,
+		File: pos.Filename, Line: pos.Line, Pos: c.Pos(),
+	})
+}
+
+// stripWant drops an analysistest `// want` expectation trailing a
+// directive, so fixture annotations parse the same as production ones.
+func stripWant(text string) string {
+	if i := strings.Index(text, "// want"); i >= 0 {
+		return text[:i]
+	}
+	return text
+}
+
+func (d *Directives) badf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	d.bad = append(d.bad, Diagnostic{
+		Pos:     fset.Position(pos),
+		Check:   hygieneCheck,
+		Message: sprintf(format, args...),
+	})
+}
+
+func commentsOf(g *ast.CommentGroup) []*ast.Comment {
+	if g == nil {
+		return nil
+	}
+	return g.List
+}
+
+func verbOf(text string) string {
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+func firstWord(text string) string {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return text
+	}
+	return fields[0]
+}

@@ -1,0 +1,74 @@
+// Package a is the hotpathalloc fixture: each flagged line reproduces one
+// allocation class the analyzer must catch; the unflagged hot-path code is
+// the zero-alloc idiom it must accept.
+package a
+
+import "fmt"
+
+const maxD = 4
+
+type item struct{ key, value uint64 }
+
+func sinkAny(v any)          { _ = v }
+func sinkVariadic(vs ...any) { _ = vs }
+func sinkInts(vs ...int)     { _ = vs }
+func spin()                  {}
+
+// locate is the accepted caller-stack-buffer idiom from locateCopies: the
+// append destination derives from a fixed-size array, so growth is
+// impossible and nothing allocates.
+//
+//mcvet:hotpath
+func locate(buf *[maxD]int, hit bool) []int {
+	tables := append(buf[:0], 0)
+	if hit {
+		tables = append(tables, 1)
+	}
+	return tables
+}
+
+// coldLocate is the same body without the annotation: allocations in
+// non-hot functions are out of scope.
+func coldLocate() []int {
+	out := make([]int, 0, maxD)
+	return append(out, 1)
+}
+
+//mcvet:hotpath
+func violations(n int, s string, b []byte, p *item) {
+	_ = make([]int, n)         // want `make allocates in hot path`
+	_ = new(item)              // want `new allocates in hot path`
+	sp := []int{1, 2}          // want `slice literal allocates in hot path`
+	_ = append(sp, n)          // want `append may grow and allocate in hot path`
+	_ = map[int]int{}          // want `map literal allocates in hot path`
+	_ = &item{key: 1}          // want `&composite literal escapes to the heap in hot path`
+	_ = fmt.Sprintf("k=%d", n) // want `fmt call allocates in hot path`
+	_ = s + "suffix"           // want `string concatenation allocates in hot path`
+	_ = []byte(s)              // want `string/\[\]byte conversion copies and allocates in hot path`
+	_ = string(b)              // want `string/\[\]byte conversion copies and allocates in hot path`
+	f := func() {}             // want `closure allocates in hot path`
+	f()
+	go spin()       // want `go statement allocates a goroutine in hot path`
+	sinkAny(n)      // want `interface conversion of int boxes and allocates in hot path`
+	sinkVariadic(n) // want `variadic interface argument allocates in hot path`
+	_ = any(n)      // want `interface conversion of int boxes and allocates in hot path`
+}
+
+// accepted shows the allocation-free constructs boxing analysis must not
+// flag: constants, nil, pointer-shaped values, non-interface variadics,
+// panic arguments, and annotated intentional allocations.
+//
+//mcvet:hotpath
+func accepted(n int, p *item, m map[int]int) {
+	sinkAny("label")
+	sinkAny(nil)
+	sinkAny(p)
+	sinkAny(m)
+	sinkInts(1, 2, n)
+	if n < 0 {
+		panic(fmt.Sprintf("negative n %d", n))
+	}
+	//mcvet:allow hotpathalloc pool-miss growth is intentional and amortized
+	buf := make([]byte, n)
+	_ = buf
+}

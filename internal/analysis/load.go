@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Dirs  *Directives
+}
+
+// NewImporter returns the stdlib source importer used for dependency
+// resolution. It type-checks imports from source, which keeps the framework
+// free of x/tools; one importer should be shared across a whole run so its
+// package cache amortizes.
+func NewImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// LoadDir parses and type-checks the non-test .go files of one directory as
+// the package importPath. Used both by the driver (per `go list` entry) and
+// by analysistest (fixture directories, which go tooling ignores).
+func LoadDir(fset *token.FileSet, dir, importPath string, imp types.Importer) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, m := range matches {
+		if !strings.HasSuffix(m, "_test.go") {
+			files = append(files, m)
+		}
+	}
+	sort.Strings(files)
+	return loadFiles(fset, files, importPath, imp)
+}
+
+func loadFiles(fset *token.FileSet, filenames []string, importPath string, imp types.Importer) (*Package, error) {
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files for %s", importPath)
+	}
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Fset:  fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+		Dirs:  parseDirectives(fset, files, info),
+	}, nil
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+// Load resolves the given package patterns with the go command and loads
+// each resulting package. Test files are not analyzed (mcvet guards the
+// production paths; tests exercise them).
+func Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, errBuf.String())
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset)
+	var pkgs []*Package
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("analysis: parsing go list output: %w", err)
+		}
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		var filenames []string
+		for _, f := range e.GoFiles {
+			filenames = append(filenames, filepath.Join(e.Dir, f))
+		}
+		pkg, err := loadFiles(fset, filenames, e.ImportPath, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"mccuckoo/internal/analysis/analysistest"
+	"mccuckoo/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer, "a")
+}

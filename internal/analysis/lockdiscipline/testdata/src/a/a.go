@@ -1,0 +1,100 @@
+// Package a is the lockdiscipline fixture: guarded-field access, lock
+// pairing, and mutex-copy cases.
+package a
+
+import "sync"
+
+type state struct {
+	mu  sync.RWMutex
+	n   int
+	tab map[uint64]uint64 //mcvet:guardedby mu
+}
+
+// properWrite is the straight-line lock idiom the analyzer must accept.
+func properWrite(s *state, k, v uint64) {
+	s.mu.Lock()
+	s.tab[k] = v
+	s.mu.Unlock()
+}
+
+// properDeferred is the deferred-unlock idiom.
+func properDeferred(s *state, k uint64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tab[k]
+}
+
+// rangeCallback mirrors Sharded.Range: returns inside the closure leave
+// the closure, not the function, so the pairing check must not fire; the
+// guarded access inside the closure runs under the lock held around it.
+func rangeCallback(s *state, fn func(uint64) bool) {
+	s.mu.RLock()
+	walk(s.tab, func(k uint64) bool {
+		if !fn(k) {
+			return false
+		}
+		return true
+	})
+	s.mu.RUnlock()
+}
+
+func walk(m map[uint64]uint64, fn func(uint64) bool) {
+	for k := range m {
+		if !fn(k) {
+			return
+		}
+	}
+}
+
+func unguardedRead(s *state, k uint64) uint64 {
+	return s.tab[k] // want `field tab is guarded by s.mu but accessed without holding it`
+}
+
+func lockLeak(s *state, k, v uint64) {
+	s.mu.Lock()
+	if v == 0 {
+		return // want `return while still holding s.mu`
+	}
+	s.tab[k] = v
+	s.mu.Unlock()
+}
+
+func lockLeakImplicit(s *state, k, v uint64) {
+	s.mu.Lock()
+	s.tab[k] = v
+} // want `return while still holding s.mu`
+
+// applyLocked documents that its callers hold the lock; the analyzer
+// trusts the annotation.
+//
+//mcvet:locked
+func applyLocked(s *state, k, v uint64) {
+	s.tab[k] = v
+}
+
+func (s state) valueReceiver() int { // want `value receiver copies a\.state, which contains a mutex`
+	return s.n
+}
+
+func copyByDeref(sp *state) {
+	cp := *sp // want `assignment copies a\.state, which contains a mutex`
+	_ = cp.n
+}
+
+func copyByArg(sp *state) {
+	consume(*sp) // want `argument copies a\.state, which contains a mutex`
+}
+
+// consume's by-value parameter is flagged at each call site, not at the
+// declaration.
+func consume(s state) int {
+	return s.n
+}
+
+func copyByRange(states []state) int {
+	total := 0
+	for _, st := range states { // want `range value copies a\.state, which contains a mutex`
+		total += st.n
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Package mcvetchecks is the registry of every analyzer mcvet runs. The
+// driver and the suite-level tests both import this single list, so a new
+// analyzer registered here is automatically enforced in CI and covered by
+// the registry consistency test.
+package mcvetchecks
+
+import (
+	"mccuckoo/internal/analysis"
+	"mccuckoo/internal/analysis/atomicmix"
+	"mccuckoo/internal/analysis/counterwrite"
+	"mccuckoo/internal/analysis/hotpathalloc"
+	"mccuckoo/internal/analysis/lockdiscipline"
+	"mccuckoo/internal/analysis/nodeterminism"
+)
+
+// All is the full mcvet analyzer suite, in report order.
+var All = []*analysis.Analyzer{
+	hotpathalloc.Analyzer,
+	lockdiscipline.Analyzer,
+	atomicmix.Analyzer,
+	counterwrite.Analyzer,
+	nodeterminism.Analyzer,
+}

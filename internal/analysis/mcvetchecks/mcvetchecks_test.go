@@ -1,0 +1,37 @@
+package mcvetchecks_test
+
+import (
+	"testing"
+
+	"mccuckoo/internal/analysis"
+	"mccuckoo/internal/analysis/mcvetchecks"
+)
+
+// TestRegistryMatchesKnownChecks keeps the driver registry and the
+// suppression whitelist in lockstep: an analyzer missing from KnownChecks
+// would make its own allows report as unknown, and a KnownChecks entry
+// with no analyzer would let stale allows for it linger unreported.
+func TestRegistryMatchesKnownChecks(t *testing.T) {
+	known := make(map[string]bool, len(analysis.KnownChecks))
+	for _, name := range analysis.KnownChecks {
+		known[name] = true
+	}
+	registered := make(map[string]bool, len(mcvetchecks.All))
+	for _, a := range mcvetchecks.All {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing a name, doc, or run function", a.Name)
+		}
+		if registered[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		registered[a.Name] = true
+		if !known[a.Name] {
+			t.Errorf("analyzer %q is not in analysis.KnownChecks", a.Name)
+		}
+	}
+	for _, name := range analysis.KnownChecks {
+		if !registered[name] {
+			t.Errorf("analysis.KnownChecks lists %q but no analyzer registers it", name)
+		}
+	}
+}

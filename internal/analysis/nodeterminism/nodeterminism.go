@@ -1,0 +1,110 @@
+// Package nodeterminism keeps the serialization, snapshot, and repair
+// paths byte-for-byte reproducible. The snapshot format is CRC-checked and
+// compared across save/load cycles; Repair must converge to the same table
+// regardless of scheduling. Functions annotated //mcvet:deterministic may
+// therefore not consult:
+//
+//   - wall clocks: time.Now, time.Since, time.Until
+//   - the math/rand and math/rand/v2 global generators (a seeded local
+//     *rand.Rand is fine — it is part of the reproducible state)
+//   - map iteration order: any range over a map inside a deterministic
+//     function is flagged unless the loop body is order-independent, which
+//     the author asserts with //mcvet:allow nodeterminism <why commutative>
+//
+// The check is annotation-scoped rather than package-scoped so the same
+// file can hold a deterministic encoder next to a telemetry helper that
+// legitimately reads the clock.
+package nodeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mccuckoo/internal/analysis"
+)
+
+// Analyzer is the nodeterminism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterminism",
+	Doc:  "no clocks, global randomness, or map-order dependence in //mcvet:deterministic functions",
+	Run:  run,
+}
+
+// bannedCalls maps package path -> function names whose results vary
+// between runs.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+		"Until": "reads the wall clock",
+	},
+	"math/rand": {
+		"Int": "uses the global generator", "Intn": "uses the global generator",
+		"Int31": "uses the global generator", "Int31n": "uses the global generator",
+		"Int63": "uses the global generator", "Int63n": "uses the global generator",
+		"Uint32": "uses the global generator", "Uint64": "uses the global generator",
+		"Float32": "uses the global generator", "Float64": "uses the global generator",
+		"Perm": "uses the global generator", "Shuffle": "uses the global generator",
+		"Read": "uses the global generator",
+	},
+	"math/rand/v2": {
+		"Int": "uses the global generator", "IntN": "uses the global generator",
+		"Int32": "uses the global generator", "Int32N": "uses the global generator",
+		"Int64": "uses the global generator", "Int64N": "uses the global generator",
+		"Uint32": "uses the global generator", "Uint64": "uses the global generator",
+		"UintN": "uses the global generator", "Uint64N": "uses the global generator",
+		"Float32": "uses the global generator", "Float64": "uses the global generator",
+		"Perm": "uses the global generator", "Shuffle": "uses the global generator",
+		"N": "uses the global generator",
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.Dirs.FuncHas(fn, "deterministic") {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := pkgCall(pass, n); ok {
+				if why, banned := bannedCalls[pkg.Path()][name]; banned {
+					pass.Reportf(n.Pos(), "%s.%s %s; deterministic paths must not call it", pkg.Name(), name, why)
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration order is randomized; ranging over a map in a deterministic path must be sorted first or proven commutative")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// pkgCall decodes pkg.Fn(...) calls into (imported package, function name).
+func pkgCall(pass *analysis.Pass, call *ast.CallExpr) (*types.Package, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	pkgName, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return nil, "", false
+	}
+	return pkgName.Imported(), sel.Sel.Name, true
+}

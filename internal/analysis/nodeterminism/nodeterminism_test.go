@@ -1,0 +1,12 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"mccuckoo/internal/analysis/analysistest"
+	"mccuckoo/internal/analysis/nodeterminism"
+)
+
+func TestNoDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeterminism.Analyzer, "a")
+}

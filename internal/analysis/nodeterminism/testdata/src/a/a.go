@@ -1,0 +1,66 @@
+// Package a is the nodeterminism fixture: clocks, global randomness, and
+// map-order dependence inside //mcvet:deterministic functions.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+//mcvet:deterministic
+func encodeKeys(m map[uint64]uint64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m { // want `map iteration order is randomized`
+		out = append(out, k)
+	}
+	return out
+}
+
+// encodeKeysSorted is the fix the analyzer pushes toward: collect under a
+// proven-commutative loop, then sort.
+//
+//mcvet:deterministic
+func encodeKeysSorted(m map[uint64]uint64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	//mcvet:allow nodeterminism append-then-sort; final order is independent of iteration order
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+//mcvet:deterministic
+func stamped() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+//mcvet:deterministic
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+//mcvet:deterministic
+func globalRand(n int) int {
+	return rand.Intn(n) // want `rand\.Intn uses the global generator`
+}
+
+//mcvet:deterministic
+func globalRandV2(n int) int {
+	return randv2.IntN(n) // want `rand\.IntN uses the global generator`
+}
+
+// seededRand is fine: a locally seeded generator is reproducible state.
+//
+//mcvet:deterministic
+func seededRand(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}
+
+// unannotated functions may use all of it; determinism is a per-function
+// contract, not a package-wide one.
+func telemetryTick() int64 {
+	return time.Now().UnixNano() + int64(rand.Int())
+}

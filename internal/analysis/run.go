@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// hygieneCheck names the findings the runner itself produces: malformed
+// directives, unknown check names in allows, missing reasons, and stale
+// suppressions. Hygiene findings cannot be suppressed — a broken escape
+// hatch must never hide itself.
+const hygieneCheck = "mcvet"
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// RunPackage runs the analyzers over one package and applies the
+// //mcvet:allow suppressions. The returned diagnostics are the surviving
+// findings plus suppression-hygiene findings, sorted by position.
+//
+// Suppression semantics: an allow comment for check C suppresses C findings
+// on the allow's own source line (trailing comment) or on the line
+// immediately below (standalone comment above the finding). Every allow
+// must name a known check and carry a reason; an allow that suppresses
+// nothing while its check is part of the run is reported as stale, so
+// suppressions cannot outlive the code they excuse.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Dirs:      pkg.Dirs,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	known := make(map[string]bool, len(KnownChecks)+len(analyzers))
+	ran := make(map[string]bool, len(analyzers))
+	for _, name := range KnownChecks {
+		known[name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		ran[a.Name] = true
+	}
+
+	// Malformed directives surface first; they are produced at parse time.
+	out := append([]Diagnostic(nil), pkg.Dirs.bad...)
+
+	allows := pkg.Dirs.Allows()
+	for _, a := range allows {
+		if !known[a.Check] {
+			out = append(out, Diagnostic{
+				Pos:     pkg.Fset.Position(a.Pos),
+				Check:   hygieneCheck,
+				Message: fmt.Sprintf("mcvet:allow names unknown check %q (known: %v)", a.Check, KnownChecks),
+			})
+		}
+	}
+
+	for _, d := range raw {
+		if allow := matchAllow(allows, known, d); allow != nil {
+			allow.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+
+	for _, a := range allows {
+		if !a.used && known[a.Check] && ran[a.Check] {
+			out = append(out, Diagnostic{
+				Pos:     pkg.Fset.Position(a.Pos),
+				Check:   hygieneCheck,
+				Message: fmt.Sprintf("stale suppression: no %s finding on this line or the line below", a.Check),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out, nil
+}
+
+// matchAllow finds a well-formed allow covering diagnostic d, or nil.
+func matchAllow(allows []*Allow, known map[string]bool, d Diagnostic) *Allow {
+	for _, a := range allows {
+		if !known[a.Check] || a.Check != d.Check || a.File != d.Pos.Filename {
+			continue
+		}
+		if a.Line == d.Pos.Line || a.Line == d.Pos.Line-1 {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"mccuckoo/internal/analysis"
+	"mccuckoo/internal/analysis/analysistest"
+)
+
+// testcheck flags every call to a function named boom. It exists so the
+// suppress fixture can exercise the //mcvet:allow machinery — matching,
+// unknown check names, missing reasons, staleness, ran-gating — against a
+// finding source with trivially predictable positions.
+var testcheck = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "flags calls to boom, for suppression-machinery tests",
+	Run: func(pass *analysis.Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					pass.Reportf(call.Pos(), "call to boom")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestSuppressionMachinery(t *testing.T) {
+	analysistest.Run(t, "testdata", testcheck, "suppress")
+}

@@ -1,0 +1,59 @@
+// Package suppress exercises the //mcvet:allow machinery itself, driven by
+// a test-local analyzer that flags every call to boom. The cases cover the
+// hygiene guarantees: unknown check names, missing reasons, stale
+// suppressions, and misplaced directives are all reported and cannot be
+// suppressed away.
+package suppress
+
+func boom() {}
+
+func unsuppressed() {
+	boom() // want `call to boom`
+}
+
+func suppressedTrailing() {
+	boom() //mcvet:allow testcheck fixture exercises the trailing-comment form
+}
+
+func suppressedAbove() {
+	//mcvet:allow testcheck fixture exercises the standalone-comment form
+	boom()
+}
+
+func unknownCheckName() {
+	boom() //mcvet:allow nosuchcheck reasons do not save a typoed check name // want `unknown check "nosuchcheck"` `call to boom`
+}
+
+func missingReason() {
+	boom() //mcvet:allow testcheck // want `needs a reason` `call to boom`
+}
+
+func missingEverything() {
+	boom() //mcvet:allow // want `needs a check name` `call to boom`
+}
+
+func stale() {
+	//mcvet:allow testcheck nothing below triggers this anymore // want `stale suppression: no testcheck finding`
+	_ = 0
+}
+
+// notRun shows the ran-gating: hotpathalloc is a known check, but it is
+// not part of this test's run, so an unused allow for it is not stale.
+func notRun() {
+	//mcvet:allow hotpathalloc retained for a check that is not in this run
+	_ = 0
+}
+
+func misplacedVerb() {
+	//mcvet:hotpath // want `misplaced directive "//mcvet:hotpath"`
+	boom() // want `call to boom`
+}
+
+//mcvet:bogus has no meaning // want `unknown mcvet directive "bogus"`
+func unknownVerb() {}
+
+//mcvet:guardedby mu // want `mcvet:guardedby belongs on a field, not a func`
+func wrongOwner() {}
+
+//mcvet:setter // want `mcvet:setter needs at least one class argument`
+func missingArgs() {}

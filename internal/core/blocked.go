@@ -36,11 +36,17 @@ type BlockedTable struct {
 	hints [][4]int8 // hints[idx][j] = slot of the copy in subtable j, noSlot if none
 
 	// counters holds one entry per slot; flags one bit per *bucket*
-	// (pre-screening is done at bucket level, §III.G).
+	// (pre-screening is done at bucket level, §III.G). Both carry the
+	// same write discipline as the single-slot table's arrays.
+	//
+	//mcvet:restricted counters
 	counters     *bitpack.Counters
 	tombstoneVal uint64
-	flags        *bitpack.Bitset
+	//mcvet:restricted flags
+	flags *bitpack.Bitset
 	// kickCounts backs the MinCounter resolver, one per bucket.
+	//
+	//mcvet:restricted kickcounts
 	kickCounts *bitpack.Counters
 
 	overflow   *stash.Stash
@@ -56,6 +62,8 @@ type BlockedTable struct {
 }
 
 // NewBlocked creates a blocked McCuckoo table. cfg.Slots defaults to 3.
+//
+//mcvet:setter counters flags kickcounts
 func NewBlocked(cfg Config) (*BlockedTable, error) {
 	if err := cfg.normalize(true); err != nil {
 		return nil, err
@@ -105,11 +113,15 @@ func NewBlocked(cfg Config) (*BlockedTable, error) {
 }
 
 // slotIndex returns the flat index of (table, bucket, slot).
+//
+//mcvet:hotpath
 func (t *BlockedTable) slotIndex(table, bucket, slot int) int {
 	return (table*t.cfg.BucketsPerTable+bucket)*t.cfg.Slots + slot
 }
 
 // bucketFlagIndex returns the flat per-bucket flag index.
+//
+//mcvet:hotpath
 func (t *BlockedTable) bucketFlagIndex(table, bucket int) int {
 	return table*t.cfg.BucketsPerTable + bucket
 }
@@ -117,6 +129,8 @@ func (t *BlockedTable) bucketFlagIndex(table, bucket int) int {
 // bucketCounters reads the l counters of one candidate bucket, charging a
 // single on-chip access (the counters of a bucket are co-located in one
 // SRAM word).
+//
+//mcvet:hotpath
 func (t *BlockedTable) bucketCounters(table, bucket int, dst []uint64) {
 	t.meter.ReadOn(1)
 	base := t.slotIndex(table, bucket, 0)
@@ -126,17 +140,23 @@ func (t *BlockedTable) bucketCounters(table, bucket int, dst []uint64) {
 }
 
 // setSlotCounter writes one slot counter, charging the on-chip access.
+//
+//mcvet:hotpath
+//mcvet:setter counters
 func (t *BlockedTable) setSlotCounter(table, bucket, slot int, v uint64) {
 	t.meter.WriteOn(1)
 	t.counters.Set(t.slotIndex(table, bucket, slot), v)
 }
 
+//mcvet:hotpath
 func (t *BlockedTable) isFree(counter uint64) bool {
 	return counter == 0 || (t.tombstoneVal != 0 && counter == t.tombstoneVal)
 }
 
 // readBucketAccess charges one off-chip read for fetching a whole bucket
 // (all slots plus the stash flag).
+//
+//mcvet:hotpath
 func (t *BlockedTable) readBucketAccess(table, bucket int) (flag bool) {
 	t.meter.ReadOff(1)
 	return t.flags.Get(t.bucketFlagIndex(table, bucket))
@@ -144,11 +164,38 @@ func (t *BlockedTable) readBucketAccess(table, bucket int) (flag bool) {
 
 // writeSlot stores an entry with hints into one slot, charging one off-chip
 // write.
+//
+//mcvet:hotpath
 func (t *BlockedTable) writeSlot(idx int, e kv.Entry, hints [4]int8) {
 	t.meter.WriteOff(1)
 	t.keys[idx] = e.Key
 	t.vals[idx] = e.Value
 	t.hints[idx] = hints
+}
+
+// setStashFlag raises the bucket-level stash flag fi, charging the off-chip
+// write only on an actual 0→1 transition; the sanctioned flags mutation on
+// the insert side.
+//
+//mcvet:hotpath
+//mcvet:setter flags
+func (t *BlockedTable) setStashFlag(fi int) {
+	if !t.flags.Get(fi) {
+		t.flags.Set(fi)
+		t.meter.WriteOff(1)
+	}
+}
+
+// clearStashFlag lowers the bucket-level stash flag fi, charging the
+// off-chip write only on an actual 1→0 transition. Restricted to refresh
+// and rebuild paths: premature clears create stash false negatives.
+//
+//mcvet:setter flags
+func (t *BlockedTable) clearStashFlag(fi int) {
+	if t.flags.Get(fi) {
+		t.flags.Clear(fi)
+		t.meter.WriteOff(1)
+	}
 }
 
 // Len returns the number of distinct live items, stash included.
@@ -188,6 +235,8 @@ func (t *BlockedTable) OnChipBytes() int { return t.counters.SizeBytes() }
 // every candidate bucket, then overwrite slots whose items keep a two-copy
 // lead, in decreasing counter order; when all d·l candidate slot counters
 // are 1, fall back to the counter-guided random walk.
+//
+//mcvet:hotpath
 func (t *BlockedTable) Insert(key, value uint64) kv.Outcome {
 	t.stats.Inserts++
 	var cand [hashutil.MaxD]int
@@ -206,6 +255,8 @@ func (t *BlockedTable) Insert(key, value uint64) kv.Outcome {
 }
 
 // updateExisting updates all copies of an existing key in place.
+//
+//mcvet:hotpath
 func (t *BlockedTable) updateExisting(key, value uint64, cand []int) (kv.Outcome, bool) {
 	if st := t.scanBuckets(key, cand); st.foundTable >= 0 {
 		table, slot := st.foundTable, st.foundSlot
@@ -237,6 +288,8 @@ func (t *BlockedTable) updateExisting(key, value uint64, cand []int) (kv.Outcome
 // number of copies placed, 0 on a real collision. As in the single-slot
 // table, taken slots get their counters set to the running copy count
 // immediately so they can never be mistaken for overwritable victims.
+//
+//mcvet:hotpath
 func (t *BlockedTable) place(e kv.Entry, cand []int) int {
 	d, l := t.cfg.D, t.cfg.Slots
 	var ownedSlot [hashutil.MaxD]int8
@@ -294,6 +347,8 @@ func (t *BlockedTable) place(e kv.Entry, cand []int) int {
 
 // commitPlacement writes the item's copies with mutual slot hints and
 // raises their counters to the final copy count.
+//
+//mcvet:hotpath
 func (t *BlockedTable) commitPlacement(e kv.Entry, cand []int, ownedSlot []int8, copies int) {
 	var hints [4]int8
 	for i := range hints {
@@ -319,6 +374,8 @@ func (t *BlockedTable) commitPlacement(e kv.Entry, cand []int, ownedSlot []int8,
 // item has v copies: the victim's surviving copies (located via the stored
 // hints, one bucket read to fetch them) get decremented counters and their
 // hint entry for this subtable cleared (one off-chip write each).
+//
+//mcvet:hotpath
 func (t *BlockedTable) overwriteVictim(table, bucket, slot int, v uint64) {
 	t.readBucketAccess(table, bucket)
 	idx := t.slotIndex(table, bucket, slot)
@@ -350,6 +407,8 @@ func (t *BlockedTable) overwriteVictim(table, bucket, slot int, v uint64) {
 }
 
 // resolveCollision runs the random walk at slot granularity.
+//
+//mcvet:hotpath
 func (t *BlockedTable) resolveCollision(e kv.Entry, cand []int) kv.Outcome {
 	cur := e
 	var curCand [hashutil.MaxD]int
@@ -388,6 +447,9 @@ func (t *BlockedTable) resolveCollision(e kv.Entry, cand []int) kv.Outcome {
 
 // pickVictimBucket chooses the candidate bucket to evict from during the
 // random walk, honouring the configured kick policy.
+//
+//mcvet:hotpath
+//mcvet:setter kickcounts
 func (t *BlockedTable) pickVictimBucket(cand []int, prevTable int) int {
 	if t.kickCounts != nil {
 		best, bestCount := -1, uint64(1<<62)
@@ -424,11 +486,7 @@ func (t *BlockedTable) overflowInsert(cur kv.Entry, cand []int, kicks int) kv.Ou
 		return kv.Outcome{Status: kv.Failed, Kicks: kicks}
 	}
 	for i := 0; i < t.cfg.D; i++ {
-		fi := t.bucketFlagIndex(i, cand[i])
-		if !t.flags.Get(fi) {
-			t.flags.Set(fi)
-			t.meter.WriteOff(1)
-		}
+		t.setStashFlag(t.bucketFlagIndex(i, cand[i]))
 	}
 	t.stats.Stashed++
 	t.maybeAutoGrow()
@@ -445,6 +503,7 @@ type blockedScan struct {
 	earlyMiss  bool // an all-zero bucket proved the key was never inserted
 }
 
+//mcvet:hotpath
 func (t *BlockedTable) rule1Active() bool {
 	return t.cfg.Deletion == Tombstone || !t.deletedAny
 }
@@ -453,6 +512,8 @@ func (t *BlockedTable) rule1Active() bool {
 // whose counters are all free is skipped without an off-chip access (and,
 // when all-zero with rule 1 active, proves a definite miss); every other
 // candidate bucket is read once and its slots searched.
+//
+//mcvet:hotpath
 func (t *BlockedTable) scanBuckets(key uint64, cand []int) blockedScan {
 	st := blockedScan{foundTable: -1, flagAnd: true}
 	d, l := t.cfg.D, t.cfg.Slots
@@ -493,6 +554,8 @@ func (t *BlockedTable) scanBuckets(key uint64, cand []int) blockedScan {
 // shouldProbeStash applies the blocked pre-screen: an early miss never
 // probes; otherwise the stash is consulted only when every flag observed
 // during the scan was set (skipped buckets are neglected, §III.F/G).
+//
+//mcvet:hotpath
 func (t *BlockedTable) shouldProbeStash(st blockedScan) bool {
 	if t.overflow == nil || t.overflow.Len() == 0 {
 		return false
@@ -504,6 +567,8 @@ func (t *BlockedTable) shouldProbeStash(st blockedScan) bool {
 }
 
 // Lookup returns the value stored for key.
+//
+//mcvet:hotpath
 func (t *BlockedTable) Lookup(key uint64) (uint64, bool) {
 	t.stats.Lookups++
 	var cand [hashutil.MaxD]int
@@ -526,6 +591,8 @@ func (t *BlockedTable) Lookup(key uint64) (uint64, bool) {
 // Delete removes key (Algorithm 3): the first live copy's slot hints reveal
 // every sibling, so all copies are released by resetting their on-chip
 // counters — zero off-chip writes.
+//
+//mcvet:hotpath
 func (t *BlockedTable) Delete(key uint64) bool {
 	t.stats.Deletes++
 	var cand [hashutil.MaxD]int
@@ -570,10 +637,7 @@ func (t *BlockedTable) RefreshStashFlags() int {
 		return 0
 	}
 	for i := 0; i < t.flags.Len(); i++ {
-		if t.flags.Get(i) {
-			t.flags.Clear(i)
-			t.meter.WriteOff(1)
-		}
+		t.clearStashFlag(i)
 	}
 	items := t.overflow.Drain()
 	moved := 0

@@ -27,7 +27,12 @@ type ReadOnlyLookuper interface {
 // defined behaviour. McCuckoo keeps writer critical sections short exactly
 // because the counters find short cuckoo paths quickly.
 type Concurrent struct {
-	mu    sync.RWMutex
+	mu sync.RWMutex
+	// inner is assigned once at construction and never reassigned; the
+	// lock guards the wrapped table's mutable state, so every call into
+	// inner must hold mu (read lock for the read-only path).
+	//
+	//mcvet:guardedby mu
 	inner ReadOnlyLookuper
 
 	lookups atomic.Int64
@@ -56,7 +61,9 @@ func (c *Concurrent) Insert(key, value uint64) kv.Outcome {
 // support pathwise execution. There must be exactly one writer goroutine,
 // the same contract as Insert/Delete.
 func (c *Concurrent) InsertPathwise(key, value uint64) kv.Outcome {
-	switch t := c.inner.(type) {
+	// The type switch reads only the interface word, which is immutable
+	// after construction; the staged calls take the lock per move.
+	switch t := c.inner.(type) { //mcvet:allow lockdiscipline inner is write-once at construction; only its pointee needs mu
 	case *Table:
 		return pathwiseInsert(c, key, value,
 			t.TryPlace, t.FindPath, t.ApplyMove, t.StashOverflow,
@@ -160,7 +167,9 @@ func (c *Concurrent) StashLen() int {
 
 // Meter returns the wrapped table's meter. Only the writer path charges it;
 // take the write lock or quiesce writers before reading it.
-func (c *Concurrent) Meter() *memmodel.Meter { return c.inner.Meter() }
+func (c *Concurrent) Meter() *memmodel.Meter {
+	return c.inner.Meter() //mcvet:allow lockdiscipline documented racy accessor; callers must quiesce writers first
+}
 
 // Stats merges the writer-side stats with the atomically counted concurrent
 // lookups.

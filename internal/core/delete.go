@@ -9,6 +9,8 @@ import (
 // then only their on-chip counters are reset (ResetCounters) or marked
 // (Tombstone) — the paper's point: a deletion costs zero off-chip writes
 // (§III.B.3, §IV.D). A miss consults the stash subject to the pre-screen.
+//
+//mcvet:hotpath
 func (t *Table) Delete(key uint64) bool {
 	t.stats.Deletes++
 	var cand [hashutil.MaxD]int
@@ -52,10 +54,7 @@ func (t *Table) RefreshStashFlags() int {
 	}
 	// Targeted clears: one off-chip write per flag that was set.
 	for i := 0; i < t.flags.Len(); i++ {
-		if t.flags.Get(i) {
-			t.flags.Clear(i)
-			t.meter.WriteOff(1)
-		}
+		t.clearStashFlag(i)
 	}
 	items := t.overflow.Drain()
 	moved := 0

@@ -18,7 +18,10 @@ func (t *Table) FaultNumCounters() int { return t.counters.Len() }
 // FaultCounter reads counter i raw.
 func (t *Table) FaultCounter(i int) uint64 { return t.counters.Get(i) }
 
-// FaultSetCounter overwrites counter i, invariants be damned.
+// FaultSetCounter overwrites counter i, invariants be damned — this is
+// the sanctioned corruption surface for the fault matrix.
+//
+//mcvet:setter counters
 func (t *Table) FaultSetCounter(i int, v uint64) { t.counters.Set(i, v) }
 
 // FaultCounterMax returns the largest value a counter field can hold.
@@ -30,7 +33,9 @@ func (t *Table) FaultNumFlags() int { return t.flags.Len() }
 // FaultFlag reads stash flag i.
 func (t *Table) FaultFlag(i int) bool { return t.flags.Get(i) }
 
-// FaultSetFlag forces stash flag i.
+// FaultSetFlag forces stash flag i (sanctioned corruption surface).
+//
+//mcvet:setter flags
 func (t *Table) FaultSetFlag(i int, set bool) {
 	if set {
 		t.flags.Set(i)
@@ -75,7 +80,10 @@ func (t *BlockedTable) FaultNumCounters() int { return t.counters.Len() }
 // FaultCounter reads counter i raw.
 func (t *BlockedTable) FaultCounter(i int) uint64 { return t.counters.Get(i) }
 
-// FaultSetCounter overwrites counter i, invariants be damned.
+// FaultSetCounter overwrites counter i, invariants be damned — the
+// sanctioned corruption surface for the fault matrix.
+//
+//mcvet:setter counters
 func (t *BlockedTable) FaultSetCounter(i int, v uint64) { t.counters.Set(i, v) }
 
 // FaultCounterMax returns the largest value a counter field can hold.
@@ -88,7 +96,9 @@ func (t *BlockedTable) FaultNumFlags() int { return t.flags.Len() }
 // FaultFlag reads stash flag i.
 func (t *BlockedTable) FaultFlag(i int) bool { return t.flags.Get(i) }
 
-// FaultSetFlag forces stash flag i.
+// FaultSetFlag forces stash flag i (sanctioned corruption surface).
+//
+//mcvet:setter flags
 func (t *BlockedTable) FaultSetFlag(i int, set bool) {
 	if set {
 		t.flags.Set(i)

@@ -18,6 +18,8 @@ import (
 // When every candidate holds a sole copy (all counters 1), a counter-guided
 // random walk relocates items; if the walk exceeds MaxLoop the item goes to
 // the stash and the flags of its candidate buckets are set.
+//
+//mcvet:hotpath
 func (t *Table) Insert(key, value uint64) kv.Outcome {
 	t.stats.Inserts++
 	var cand [hashutil.MaxD]int
@@ -38,6 +40,8 @@ func (t *Table) Insert(key, value uint64) kv.Outcome {
 
 // updateExisting checks for an existing copy of key and updates all its
 // copies in place. It reports whether the insert was handled.
+//
+//mcvet:hotpath
 func (t *Table) updateExisting(key, value uint64, cand []int) (kv.Outcome, bool) {
 	var locBuf [hashutil.MaxD]int
 	locs, _ := t.findCopies(key, cand, &locBuf)
@@ -67,6 +71,8 @@ func (t *Table) updateExisting(key, value uint64, cand []int) (kv.Outcome, bool)
 // V >= copies+2), so the victim-copy identification below can never confuse
 // a freshly taken bucket with a victim copy. All taken buckets are raised to
 // the final count at the end.
+//
+//mcvet:hotpath
 func (t *Table) place(e kv.Entry, cand []int) int {
 	d := t.cfg.D
 	var owned [hashutil.MaxD]bool
@@ -130,6 +136,8 @@ func (t *Table) place(e kv.Entry, cand []int) int {
 // copies and the update is on-chip only; otherwise off-chip reads verify
 // keys until the copies are identified (the cost the paper's counters cannot
 // avoid; see DESIGN.md §6).
+//
+//mcvet:hotpath
 func (t *Table) victimLostCopy(victimKey uint64, lostTable int, v uint64) {
 	var vcand [hashutil.MaxD]int
 	t.family.Indexes(victimKey, vcand[:])
@@ -174,6 +182,8 @@ func (t *Table) victimLostCopy(victimKey uint64, lostTable int, v uint64) {
 // copy, re-place the evicted item by the insertion principles, and repeat
 // until a placement succeeds or MaxLoop is exceeded, in which case the item
 // in hand goes to the stash.
+//
+//mcvet:hotpath
 func (t *Table) resolveCollision(e kv.Entry, cand []int) kv.Outcome {
 	cur := e
 	var curCand [hashutil.MaxD]int
@@ -219,11 +229,7 @@ func (t *Table) overflowInsert(cur kv.Entry, cand []int, kicks int) kv.Outcome {
 		return kv.Outcome{Status: kv.Failed, Kicks: kicks}
 	}
 	for i := 0; i < t.cfg.D; i++ {
-		idx := t.bucketIndex(i, cand[i])
-		if !t.flags.Get(idx) {
-			t.flags.Set(idx)
-			t.meter.WriteOff(1)
-		}
+		t.setStashFlag(t.bucketIndex(i, cand[i]))
 	}
 	t.stats.Stashed++
 	t.maybeAutoGrow()

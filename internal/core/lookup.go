@@ -16,6 +16,8 @@ type scanState struct {
 
 // rule1Active reports whether a zero counter still proves "never inserted":
 // always in tombstone mode, and until the first deletion otherwise (§III.F).
+//
+//mcvet:hotpath
 func (t *Table) rule1Active() bool {
 	return t.cfg.Deletion == Tombstone || !t.deletedAny
 }
@@ -29,6 +31,8 @@ func (t *Table) rule1Active() bool {
 //
 // Partitions are visited in decreasing counter value: items with more copies
 // are found with fewer reads.
+//
+//mcvet:hotpath
 func (t *Table) scan(key uint64, cand []int) scanState {
 	st := scanState{found: -1, flagAnd: true}
 	d := t.cfg.D
@@ -76,6 +80,8 @@ func (t *Table) scan(key uint64, cand []int) scanState {
 
 // scanAll is the traditional lookup used when the counter pre-screen is
 // disabled (§IV.F ablation): read candidates in order until found.
+//
+//mcvet:hotpath
 func (t *Table) scanAll(key uint64, cand []int) scanState {
 	st := scanState{found: -1, flagAnd: true}
 	for i := 0; i < t.cfg.D; i++ {
@@ -105,6 +111,8 @@ func (t *Table) scanAll(key uint64, cand []int) scanState {
 //   - after deletions, only the flags of the buckets actually read are
 //     consulted; skipped buckets are neglected, trading a higher false
 //     positive rate for zero false negatives.
+//
+//mcvet:hotpath
 func (t *Table) shouldProbeStash(st scanState) bool {
 	if t.overflow == nil || t.overflow.Len() == 0 {
 		return false
@@ -128,6 +136,8 @@ func (t *Table) shouldProbeStash(st scanState) bool {
 
 // Lookup returns the value stored for key, checking the stash only when the
 // pre-screen cannot rule it out.
+//
+//mcvet:hotpath
 func (t *Table) Lookup(key uint64) (uint64, bool) {
 	t.stats.Lookups++
 	var cand [hashutil.MaxD]int
@@ -163,6 +173,8 @@ func (t *Table) Lookup(key uint64) (uint64, bool) {
 // (§III.B.3) continues reading the unread members of the same partition
 // until all V copies are found — this read-to-confirm step is why multi-copy
 // deletion costs more reads than single-copy deletion in Fig. 14.
+//
+//mcvet:hotpath
 func (t *Table) locateCopies(key uint64, cand []int, buf *[hashutil.MaxD]int) (scanState, []int, bool) {
 	st := t.scan(key, cand)
 	if st.found < 0 {
@@ -204,6 +216,8 @@ func (t *Table) locateCopies(key uint64, cand []int, buf *[hashutil.MaxD]int) (s
 
 // findCopies is locateCopies without the scan state, for callers that only
 // need the copy locations. The result aliases buf.
+//
+//mcvet:hotpath
 func (t *Table) findCopies(key uint64, cand []int, buf *[hashutil.MaxD]int) ([]int, bool) {
 	_, tables, ok := t.locateCopies(key, cand, buf)
 	return tables, ok

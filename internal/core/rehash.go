@@ -15,6 +15,8 @@ import (
 // table back and rewriting every item is charged to the meter — this is the
 // expensive operation McCuckoo's stash exists to avoid (§I), provided here
 // because real deployments eventually need capacity growth.
+//
+//mcvet:setter counters flags kickcounts
 func (t *Table) Grow(growFactor float64) error {
 	if growFactor < 1 {
 		return fmt.Errorf("core: growFactor must be >= 1, got %g", growFactor)
@@ -96,6 +98,8 @@ func (t *Table) liveEntries() []kv.Entry {
 }
 
 // Grow rebuilds the blocked table, exactly as Table.Grow.
+//
+//mcvet:setter counters flags kickcounts
 func (t *BlockedTable) Grow(growFactor float64) error {
 	if growFactor < 1 {
 		return fmt.Errorf("core: growFactor must be >= 1, got %g", growFactor)

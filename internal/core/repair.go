@@ -47,7 +47,12 @@ import (
 //
 // Repair charges the meter like the rebuild it is: one off-chip read per
 // bucket scanned, one on-chip write per counter changed, one off-chip write
-// per flag, hint, or value fixed.
+// per flag, hint, or value fixed. Two repairs of the same damaged state must
+// converge to the same table, so the rebuild may not depend on clocks,
+// randomness, or iteration order.
+//
+//mcvet:setter counters
+//mcvet:deterministic
 func (t *Table) Repair() RepairReport {
 	d, n := t.cfg.D, t.cfg.BucketsPerTable
 	rep := RepairReport{SizeBefore: t.size, CopiesBefore: t.copiesTotal}
@@ -95,6 +100,10 @@ func (t *Table) Repair() RepairReport {
 	live := make(map[uint64]struct{}, len(found))
 	newSize, newCopies := 0, 0
 	var cand [hashutil.MaxD]int
+	// Each key rebuilds only its own candidate slots, which are disjoint
+	// across keys, so the per-key work commutes and the final state is
+	// iteration-order independent.
+	//mcvet:allow nodeterminism per-key rebuild touches disjoint slots; order-independent
 	for key, ks := range found {
 		if !ks.evidence && (t.deletedAny || key == 0) {
 			continue // stale (or unknowable) content stays dead
@@ -162,6 +171,8 @@ func (t *Table) Repair() RepairReport {
 
 // rebuildStashState drops stash entries shadowed by a live main-table copy
 // and resynchronizes the per-bucket stash flags to the surviving entries.
+//
+//mcvet:setter flags
 func (t *Table) rebuildStashState(live map[uint64]struct{}, cand []int) (flagsFixed, stashDropped int) {
 	newFlags, err := bitpack.NewBitset(t.flags.Len())
 	if err != nil {
@@ -199,6 +210,9 @@ func (t *Table) rebuildStashState(live map[uint64]struct{}, cand []int) (flagsFi
 // at all, the hint vote alone decides, except on a never-deleted table where
 // stale slots cannot exist and the stored slot is taken as-is. Hint vectors
 // of all chosen copies are then rewritten to point exactly at each other.
+//
+//mcvet:setter counters
+//mcvet:deterministic
 func (t *BlockedTable) Repair() RepairReport {
 	d, n, l := t.cfg.D, t.cfg.BucketsPerTable, t.cfg.Slots
 	rep := RepairReport{SizeBefore: t.size, CopiesBefore: t.copiesTotal}
@@ -246,6 +260,10 @@ func (t *BlockedTable) Repair() RepairReport {
 	live := make(map[uint64]struct{}, len(found))
 	newSize, newCopies := 0, 0
 	var cand [hashutil.MaxD]int
+	// Each key rebuilds only its own candidate slots, which are disjoint
+	// across keys, so the per-key work commutes and the final state is
+	// iteration-order independent.
+	//mcvet:allow nodeterminism per-key rebuild touches disjoint slots; order-independent
 	for key, ks := range found {
 		if !ks.evidence && (t.deletedAny || key == 0) {
 			continue
@@ -390,6 +408,8 @@ func (t *BlockedTable) hintVote(evid [][]int8, cand []int, j int, allowed []int8
 }
 
 // rebuildStashState is the blocked-table variant: flags are per bucket.
+//
+//mcvet:setter flags
 func (t *BlockedTable) rebuildStashState(live map[uint64]struct{}, cand []int) (flagsFixed, stashDropped int) {
 	newFlags, err := bitpack.NewBitset(t.flags.Len())
 	if err != nil {

@@ -220,6 +220,7 @@ func (s *snapReader) trailer() {
 	}
 }
 
+//mcvet:deterministic
 func writeConfig(s *snapWriter, cfg Config) {
 	s.u8(uint8(cfg.D))
 	s.u8(uint8(cfg.Slots))
@@ -274,6 +275,7 @@ func boolByte(b bool) uint8 {
 	return 0
 }
 
+//mcvet:deterministic
 func writeStash(s *snapWriter, entries []kv.Entry) {
 	s.u64(uint64(len(entries)))
 	for _, e := range entries {
@@ -347,7 +349,11 @@ func snapshotGeometry(cfg *Config, blocked bool) (cells, flagBits, counterWords,
 	return
 }
 
-// writeSnapshot emits the v3 checksummed stream.
+// writeSnapshot emits the v3 checksummed stream. The byte stream must be a
+// pure function of the logical state: snapshots are diffed and checksummed
+// across hosts, so nothing time-, rand-, or map-order-dependent may leak in.
+//
+//mcvet:deterministic
 func writeSnapshot(w io.Writer, st *snapshotState) (int64, error) {
 	s := &snapWriter{w: bufio.NewWriter(w)}
 
@@ -512,6 +518,8 @@ func readSnapshot(r io.Reader, kindName string, wantKind uint8, blocked bool) (*
 }
 
 // snapshot captures the table's complete logical state.
+//
+//mcvet:deterministic
 func (t *Table) snapshot() *snapshotState {
 	return &snapshotState{
 		kind:            kindSingle,
@@ -531,6 +539,8 @@ func (t *Table) snapshot() *snapshotState {
 }
 
 // WriteTo serializes the table. It implements io.WriterTo.
+//
+//mcvet:deterministic
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	return writeSnapshot(w, t.snapshot())
 }
@@ -580,6 +590,8 @@ func loadTable(r io.Reader) (*Table, int64, error) {
 }
 
 // snapshot captures the blocked table's complete logical state.
+//
+//mcvet:deterministic
 func (t *BlockedTable) snapshot() *snapshotState {
 	return &snapshotState{
 		kind:            kindBlocked,
@@ -600,6 +612,8 @@ func (t *BlockedTable) snapshot() *snapshotState {
 }
 
 // WriteTo serializes the blocked table. It implements io.WriterTo.
+//
+//mcvet:deterministic
 func (t *BlockedTable) WriteTo(w io.Writer) (int64, error) {
 	return writeSnapshot(w, t.snapshot())
 }

@@ -29,15 +29,26 @@ type Table struct {
 	vals []uint64
 	// flags are the 1-bit stash flags stored alongside each bucket
 	// off-chip (§III.E). Reading a bucket returns its flag for free;
-	// setting a flag costs one off-chip write.
+	// setting a flag costs one off-chip write. Stale flags only ever
+	// cost extra stash probes, never correctness — but only if every
+	// mutation goes through the charged setters below.
+	//
+	//mcvet:restricted flags
 	flags *bitpack.Bitset
 
 	// On-chip counter array: counters.Get(i) is the number of copies the
 	// item in bucket i has, 0 for empty, tombstoneVal for deleted marks.
+	// Counter transitions carry the paper's invariants (never overwrite a
+	// counter-1 bucket; decrement only on kick-out or delete), so raw
+	// writes are restricted to the sanctioned setters.
+	//
+	//mcvet:restricted counters
 	counters     *bitpack.Counters
 	tombstoneVal uint64 // 0 when tombstones are disabled
 	// kickCounts backs the MinCounter resolver (5-bit on-chip counters,
 	// one per bucket). Nil under RandomWalk.
+	//
+	//mcvet:restricted kickcounts
 	kickCounts *bitpack.Counters
 
 	overflow *stash.Stash
@@ -55,7 +66,10 @@ type Table struct {
 	growing bool
 }
 
-// New creates a single-slot McCuckoo table.
+// New creates a single-slot McCuckoo table. As the constructor it owns the
+// initial installation of every restricted array.
+//
+//mcvet:setter counters flags kickcounts
 func New(cfg Config) (*Table, error) {
 	if err := cfg.normalize(false); err != nil {
 		return nil, err
@@ -103,7 +117,11 @@ func New(cfg Config) (*Table, error) {
 // pickVictimTable chooses which candidate to evict from during the random
 // walk: uniformly at random under RandomWalk, or the candidate with the
 // smallest 5-bit kick counter under MinCounter. Both avoid bouncing straight
-// back to prevTable.
+// back to prevTable. Saturating the kick counter here is the only sanctioned
+// kickCounts mutation outside construction and rebuild.
+//
+//mcvet:hotpath
+//mcvet:setter kickcounts
 func (t *Table) pickVictimTable(cand []int, prevTable int) int {
 	if t.kickCounts != nil {
 		best, bestCount := -1, uint64(1<<62)
@@ -133,17 +151,26 @@ func (t *Table) pickVictimTable(cand []int, prevTable int) int {
 }
 
 // bucketIndex returns the flat index of bucket `bucket` in subtable `table`.
+//
+//mcvet:hotpath
 func (t *Table) bucketIndex(table, bucket int) int {
 	return table*t.cfg.BucketsPerTable + bucket
 }
 
 // counterAt reads the on-chip counter of one candidate, charging the access.
+//
+//mcvet:hotpath
 func (t *Table) counterAt(table, bucket int) uint64 {
 	t.meter.ReadOn(1)
 	return t.counters.Get(t.bucketIndex(table, bucket))
 }
 
-// setCounter writes an on-chip counter, charging the access.
+// setCounter writes an on-chip counter, charging the access. It is the
+// sanctioned mutation path for the counter array; callers are responsible
+// for the transition being one the paper allows.
+//
+//mcvet:hotpath
+//mcvet:setter counters
 func (t *Table) setCounter(table, bucket int, v uint64) {
 	t.meter.WriteOn(1)
 	t.counters.Set(t.bucketIndex(table, bucket), v)
@@ -151,12 +178,16 @@ func (t *Table) setCounter(table, bucket int, v uint64) {
 
 // isFree reports whether a counter value means the bucket may be written by
 // an insertion: empty, or marked deleted in tombstone mode.
+//
+//mcvet:hotpath
 func (t *Table) isFree(counter uint64) bool {
 	return counter == 0 || (t.tombstoneVal != 0 && counter == t.tombstoneVal)
 }
 
 // readBucket performs one off-chip bucket read, returning the stored key and
 // the stash flag (which travels with the bucket content for free).
+//
+//mcvet:hotpath
 func (t *Table) readBucket(table, bucket int) (key uint64, flag bool) {
 	t.meter.ReadOff(1)
 	idx := t.bucketIndex(table, bucket)
@@ -164,11 +195,39 @@ func (t *Table) readBucket(table, bucket int) (key uint64, flag bool) {
 }
 
 // writeBucket performs one off-chip bucket write.
+//
+//mcvet:hotpath
 func (t *Table) writeBucket(table, bucket int, e kv.Entry) {
 	t.meter.WriteOff(1)
 	idx := t.bucketIndex(table, bucket)
 	t.keys[idx] = e.Key
 	t.vals[idx] = e.Value
+}
+
+// setStashFlag raises the stash flag of flat bucket idx, charging the
+// off-chip write only on an actual 0→1 transition. It is the sanctioned
+// mutation path for flags on the insert side.
+//
+//mcvet:hotpath
+//mcvet:setter flags
+func (t *Table) setStashFlag(idx int) {
+	if !t.flags.Get(idx) {
+		t.flags.Set(idx)
+		t.meter.WriteOff(1)
+	}
+}
+
+// clearStashFlag lowers the stash flag of flat bucket idx, charging the
+// off-chip write only on an actual 1→0 transition. Only flag-refresh and
+// rebuild paths may lower flags: a premature clear would create stash
+// false negatives, which break the lookup contract.
+//
+//mcvet:setter flags
+func (t *Table) clearStashFlag(idx int) {
+	if t.flags.Get(idx) {
+		t.flags.Clear(idx)
+		t.meter.WriteOff(1)
+	}
 }
 
 // Len returns the number of distinct live items, stash included.

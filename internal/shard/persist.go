@@ -47,6 +47,8 @@ const maxShardFrame = 1 << 36
 // snapshots are individually consistent; for a cross-shard-consistent file,
 // quiesce writers first (SaveFile from a maintenance window, or wrap the
 // call in application-level exclusion). It implements io.WriterTo.
+//
+//mcvet:deterministic
 func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
 	kind, err := s.innerKind()
 	if err != nil {
@@ -250,12 +252,13 @@ func loadInner(kind uint8, frame []byte) (Inner, error) {
 
 // innerKind classifies the shard tables for the snapshot header.
 func (s *Sharded) innerKind() (uint8, error) {
-	switch s.shards[0].tab.(type) {
+	switch s.shards[0].tab.(type) { //mcvet:allow lockdiscipline tab's type identity is write-once at construction; only its state needs mu
 	case *core.Table:
 		return innerSingle, nil
 	case *core.BlockedTable:
 		return innerBlocked, nil
 	default:
+		//mcvet:allow lockdiscipline tab's type identity is write-once at construction; only its state needs mu
 		return 0, fmt.Errorf("shard: snapshotting unsupported inner table type %T", s.shards[0].tab)
 	}
 }

@@ -179,6 +179,9 @@ func (s *Stash) PeekTraced(key uint64) (value uint64, ok bool, offReads int64) {
 
 // Entries returns a copy of all entries without mutating the stash and
 // without charging memory traffic (used by tests and invariant checks only).
+// Serialization depends on the bucket-then-insertion order being stable.
+//
+//mcvet:deterministic
 func (s *Stash) Entries() []kv.Entry {
 	out := make([]kv.Entry, 0, s.size)
 	for _, chain := range s.buckets {
