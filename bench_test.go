@@ -1,4 +1,4 @@
-package mccuckoo
+package mccuckoo_test
 
 // Benchmark harness: one testing.B target per table and figure of the
 // paper's evaluation. Each target runs the corresponding experiment from
@@ -13,6 +13,8 @@ package mccuckoo
 import (
 	"fmt"
 	"testing"
+
+	"mccuckoo"
 
 	"mccuckoo/internal/bench"
 	"mccuckoo/internal/hashutil"
@@ -192,9 +194,9 @@ func BenchmarkAblationDeletion(b *testing.B) {
 
 // --- per-operation microbenchmarks of the public API ---
 
-func newBenchTable(b *testing.B, load float64) (*Table, []uint64) {
+func newBenchTable(b *testing.B, load float64) (*mccuckoo.Table, []uint64) {
 	b.Helper()
-	tab, err := New(3*65536, WithSeed(7), WithUniqueKeys())
+	tab, err := mccuckoo.New(3*65536, mccuckoo.WithSeed(7), mccuckoo.WithUniqueKeys())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -203,7 +205,7 @@ func newBenchTable(b *testing.B, load float64) (*Table, []uint64) {
 	keys := make([]uint64, n)
 	for i := range keys {
 		keys[i] = hashutil.SplitMix64(&s)
-		if tab.Insert(keys[i], keys[i]).Status == Failed {
+		if tab.Insert(keys[i], keys[i]).Status == mccuckoo.Failed {
 			b.Fatal("fill failed")
 		}
 	}
@@ -213,7 +215,7 @@ func newBenchTable(b *testing.B, load float64) (*Table, []uint64) {
 func BenchmarkInsert(b *testing.B) {
 	for _, load := range []float64{0.5, 0.85} {
 		b.Run(fmt.Sprintf("load=%.0f%%", load*100), func(b *testing.B) {
-			tab, err := New(3*65536, WithSeed(7), WithUniqueKeys())
+			tab, err := mccuckoo.New(3*65536, mccuckoo.WithSeed(7), mccuckoo.WithUniqueKeys())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -258,7 +260,7 @@ func BenchmarkLookupMiss(b *testing.B) {
 }
 
 func BenchmarkMapString(b *testing.B) {
-	m, err := NewMap[string, int](3*65536, StringHasher, WithSeed(5))
+	m, err := mccuckoo.NewMap[string, int](3*65536, mccuckoo.StringHasher, mccuckoo.WithSeed(5))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -344,7 +346,7 @@ func BenchmarkExtOnChipBudget(b *testing.B) {
 func BenchmarkConcurrentReaders(b *testing.B) {
 	for _, readers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
-			inner, err := New(3*65536, WithSeed(7), WithUniqueKeys())
+			inner, err := mccuckoo.New(3*65536, mccuckoo.WithSeed(7), mccuckoo.WithUniqueKeys())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -355,7 +357,7 @@ func BenchmarkConcurrentReaders(b *testing.B) {
 				keys[i] = hashutil.SplitMix64(&s)
 				inner.Insert(keys[i], keys[i])
 			}
-			c := NewConcurrent(inner)
+			c := mccuckoo.NewConcurrent(inner)
 			b.ResetTimer()
 			b.SetParallelism(readers)
 			b.RunParallel(func(pb *testing.PB) {
@@ -380,7 +382,7 @@ func BenchmarkPathwiseVsInPlace(b *testing.B) {
 			name = "pathwise"
 		}
 		b.Run(name, func(b *testing.B) {
-			tab, err := New(3*32768, WithSeed(11), WithUniqueKeys())
+			tab, err := mccuckoo.New(3*32768, mccuckoo.WithSeed(11), mccuckoo.WithUniqueKeys())
 			if err != nil {
 				b.Fatal(err)
 			}

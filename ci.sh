@@ -10,13 +10,15 @@
 # runs before the test suite because its findings are cheaper to read than
 # the test failures they predict.
 # Race gate: the concurrency-bearing packages (internal/core's RWMutex
-# wrapper and pathwise inserts, internal/shard's partitioned table, and
-# internal/faultinject which drives both) run again under the race
-# detector, which is what actually exercises the reader/writer
-# interleavings their tests stage.
-# Fuzz smoke: a short bounded run of the snapshot-loader fuzzer so format
-# changes that break the rejection paths fail in CI, not in a long
-# background fuzz.
+# wrapper and pathwise inserts, internal/shard's partitioned table,
+# internal/faultinject which drives both, and internal/wire's pipelined
+# server/client — TestServerUnderTrafficWithScrape is the
+# server-under-traffic smoke, a client fleet hammering a telemetry-scraped
+# sharded table) run again under the race detector, which is what actually
+# exercises the reader/writer interleavings their tests stage.
+# Fuzz smoke: short bounded runs of the snapshot-loader and wire-frame
+# fuzzers so format changes that break the rejection paths fail in CI,
+# not in a long background fuzz.
 # Benchmark smoke: the telemetry benchmarks run once so the disabled-path
 # zero-allocation claim and the enabled-path overhead stay measurable (the
 # hard allocation assertion lives in TestDisabledPathZeroAlloc).
@@ -47,10 +49,13 @@ say "go test: full suite"
 go test ./...
 
 say "go test -race: concurrency-bearing packages"
-go test -race ./internal/core/... ./internal/shard/... ./internal/faultinject/... ./internal/telemetry/...
+go test -race ./internal/core/... ./internal/shard/... ./internal/faultinject/... ./internal/telemetry/... ./internal/wire/...
 
 say "fuzz smoke: snapshot loader"
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=5s ./internal/core
+
+say "fuzz smoke: wire frame decoder"
+go test -run='^$' -fuzz=FuzzWireFrame -fuzztime=5s ./internal/wire
 
 say "benchmark smoke: telemetry overhead"
 go test -run='^$' -bench=Telemetry -benchtime=1x ./internal/telemetry

@@ -1,0 +1,271 @@
+// Command mcserved serves a McCuckoo table over TCP with the wire protocol
+// (DESIGN.md §10): pipelined GET/PUT/DEL/BATCH/STATS/PING with explicit
+// BUSY backpressure, per-connection limits, and graceful drain on
+// SIGTERM/SIGINT.
+//
+// The table kind is chosen with -kind (sharded by default; single and
+// blocked are served behind one mutex), or restored from a snapshot with
+// -load, which sniffs the snapshot's kind. With -snapshot the table is
+// checkpointed there every -checkpoint interval and once more during
+// shutdown, so a restart with -load resumes where the server left off.
+//
+// With -metrics an HTTP listener exposes the combined Prometheus
+// exposition (table telemetry plus mccuckoo_server_* counters) on /metrics
+// and the debug endpoints under /debug/mccuckoo/.
+//
+// Example:
+//
+//	mcserved -addr :7466 -capacity 1048576 -shards 8 \
+//	  -metrics 127.0.0.1:9091 -snapshot /var/lib/mccuckoo/table.snap -checkpoint 30s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mccuckoo"
+	"mccuckoo/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcserved:", err)
+		os.Exit(1)
+	}
+}
+
+// saver and sampler are the optional capabilities of the concrete kinds
+// behind the BatchStore interface.
+type saver interface{ SaveFile(path string) error }
+type sampler interface{ SampleTelemetry() }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mcserved", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7466", "TCP address to serve the wire protocol on")
+		metrics    = fs.String("metrics", "", "HTTP address for /metrics and /debug/mccuckoo/ (empty disables)")
+		kind       = fs.String("kind", "sharded", "table kind: sharded, single, or blocked")
+		capacity   = fs.Int("capacity", 1<<20, "table capacity in slots")
+		shards     = fs.Int("shards", 8, "shard count for -kind sharded")
+		seed       = fs.Uint64("seed", 1, "hash seed")
+		load       = fs.String("load", "", "restore the table from this snapshot (kind is sniffed)")
+		snapshot   = fs.String("snapshot", "", "checkpoint the table to this path")
+		checkpoint = fs.Duration("checkpoint", 0, "periodic checkpoint interval (0 disables; needs -snapshot)")
+		maxConns   = fs.Int("maxconns", 256, "maximum simultaneous connections")
+		queue      = fs.Int("queue", 128, "per-connection work-queue depth (BUSY beyond it)")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-drain budget on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "mcserved: ", log.LstdFlags)
+
+	tel := mccuckoo.NewTelemetry()
+	store, err := buildStore(*kind, *capacity, *shards, *seed, *load, tel)
+	if err != nil {
+		return err
+	}
+
+	srv, err := wire.NewServer(wire.Config{
+		Store:      store,
+		MaxConns:   *maxConns,
+		QueueDepth: *queue,
+		Logf:       logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	var metricsSrv *http.Server
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			tel.WriteMetrics(w)
+			srv.WritePrometheus(w)
+		})
+		mux.Handle("/debug/mccuckoo/", tel.Handler())
+		metricsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", mln.Addr())
+	}
+
+	// Install the signal handler before announcing readiness, so a
+	// supervisor that signals right after the listening line never races
+	// an unhandled SIGTERM.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigs)
+
+	// Background duties: periodic checkpoints and gauge sampling for the
+	// single-writer kinds (sharded gauges are live and need no push).
+	stopHousekeeping := make(chan struct{})
+	housekeepingDone := make(chan struct{})
+	go func() {
+		defer close(housekeepingDone)
+		interval := *checkpoint
+		if interval <= 0 {
+			interval = 10 * time.Second // sampling-only cadence
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopHousekeeping:
+				return
+			case <-ticker.C:
+				sampleGauges(store)
+				if *checkpoint > 0 && *snapshot != "" {
+					if err := saveSnapshot(store, *snapshot); err != nil {
+						logger.Printf("checkpoint: %v", err)
+					}
+				}
+			}
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "listening on %s (kind=%s capacity=%d)\n", ln.Addr(), *kind, *capacity)
+
+	select {
+	case sig := <-sigs:
+		logger.Printf("%v: draining (budget %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			logger.Printf("drain incomplete: %v", err)
+		}
+		if serr := <-serveErr; !errors.Is(serr, wire.ErrServerClosed) {
+			logger.Printf("serve: %v", serr)
+		}
+	case err := <-serveErr:
+		close(stopHousekeeping)
+		<-housekeepingDone
+		if metricsSrv != nil {
+			metricsSrv.Close()
+		}
+		return err
+	}
+
+	close(stopHousekeeping)
+	<-housekeepingDone
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
+	if *snapshot != "" {
+		if err := saveSnapshot(store, *snapshot); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		logger.Printf("snapshot saved to %s", *snapshot)
+	}
+	fmt.Fprintln(stdout, "drained")
+	return nil
+}
+
+// buildStore constructs (or restores) the served table. Single-writer
+// kinds are wrapped in wire.Locked; Sharded serves as-is.
+func buildStore(kind string, capacity, shards int, seed uint64, load string, tel *mccuckoo.Telemetry) (mccuckoo.BatchStore, error) {
+	opts := []mccuckoo.Option{mccuckoo.WithSeed(seed), mccuckoo.WithTelemetry(tel)}
+	if load != "" {
+		return loadStore(load, tel)
+	}
+	switch kind {
+	case "sharded":
+		return mccuckoo.NewSharded(capacity, shards, opts...)
+	case "single":
+		t, err := mccuckoo.New(capacity, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewLocked(t), nil
+	case "blocked":
+		t, err := mccuckoo.NewBlocked(capacity, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewLocked(t), nil
+	default:
+		return nil, fmt.Errorf("unknown -kind %q (want sharded, single, or blocked)", kind)
+	}
+}
+
+// loadStore restores a snapshot of unknown kind by trying each loader; the
+// snapshot header disambiguates, so exactly one can succeed.
+func loadStore(path string, tel *mccuckoo.Telemetry) (mccuckoo.BatchStore, error) {
+	opts := []mccuckoo.Option{mccuckoo.WithTelemetry(tel)}
+	var errs []string
+	if s, err := mccuckoo.LoadShardedFile(path, opts...); err == nil {
+		return s, nil
+	} else {
+		errs = append(errs, "sharded: "+err.Error())
+	}
+	if t, err := mccuckoo.LoadFile(path, opts...); err == nil {
+		return wire.NewLocked(t), nil
+	} else {
+		errs = append(errs, "single: "+err.Error())
+	}
+	if t, err := mccuckoo.LoadBlockedFile(path, opts...); err == nil {
+		return wire.NewLocked(t), nil
+	} else {
+		errs = append(errs, "blocked: "+err.Error())
+	}
+	return nil, fmt.Errorf("load %s: no kind accepted the snapshot (%s)", path, strings.Join(errs, "; "))
+}
+
+// saveSnapshot checkpoints any kind: Locked wrappers save under their
+// mutex via Do, Sharded saves through its own shard locking.
+func saveSnapshot(store mccuckoo.BatchStore, path string) error {
+	if l, ok := store.(*wire.Locked); ok {
+		var err error
+		l.Do(func(s mccuckoo.BatchStore) {
+			if sv, ok := s.(saver); ok {
+				err = sv.SaveFile(path)
+			} else {
+				err = fmt.Errorf("kind %T cannot snapshot", s)
+			}
+		})
+		return err
+	}
+	if sv, ok := store.(saver); ok {
+		return sv.SaveFile(path)
+	}
+	return fmt.Errorf("kind %T cannot snapshot", store)
+}
+
+// sampleGauges pushes fresh gauge values for kinds whose telemetry is
+// push-based.
+func sampleGauges(store mccuckoo.BatchStore) {
+	if l, ok := store.(*wire.Locked); ok {
+		l.Do(func(s mccuckoo.BatchStore) {
+			if sm, ok := s.(sampler); ok {
+				sm.SampleTelemetry()
+			}
+		})
+	}
+}

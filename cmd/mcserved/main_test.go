@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mccuckoo"
+	"mccuckoo/internal/wire"
+)
+
+// startServed runs run() in-process with a pipe on stdout and returns a
+// channel of stdout lines plus the run error channel.
+func startServed(t *testing.T, args ...string) (lines chan string, errCh chan error) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	lines = make(chan string, 32)
+	errCh = make(chan error, 1)
+	go func() {
+		err := run(args, pw)
+		pw.Close()
+		errCh <- err
+	}()
+	go func() {
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	return lines, errCh
+}
+
+// waitLine returns the first stdout line with the given prefix.
+func waitLine(t *testing.T, lines chan string, prefix string) string {
+	t.Helper()
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatalf("stdout closed before %q line", prefix)
+			}
+			if strings.HasPrefix(l, prefix) {
+				return l
+			}
+		case <-deadline:
+			t.Fatalf("no %q line within deadline", prefix)
+		}
+	}
+}
+
+func sigtermSelf(t *testing.T) {
+	t.Helper()
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeAndDrain boots mcserved in-process, talks to it with the wire
+// client, scrapes the combined /metrics exposition, and verifies a SIGTERM
+// drains cleanly.
+func TestServeAndDrain(t *testing.T) {
+	lines, errCh := startServed(t,
+		"-addr", "127.0.0.1:0", "-metrics", "127.0.0.1:0",
+		"-kind", "sharded", "-capacity", "8192", "-shards", "4",
+	)
+	murl := strings.TrimPrefix(waitLine(t, lines, "metrics on "), "metrics on ")
+	addr := strings.Fields(strings.TrimPrefix(waitLine(t, lines, "listening on "), "listening on "))[0]
+
+	c, err := wire.Dial(wire.ClientConfig{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if r, err := c.Put(42, 4242); err != nil || r.Status != mccuckoo.Placed {
+		t.Fatalf("put: %+v, %v", r, err)
+	}
+	if v, ok, err := c.Get(42); err != nil || !ok || v != 4242 {
+		t.Fatalf("get: %d, %v, %v", v, ok, err)
+	}
+	st, err := c.Stats()
+	if err != nil || st.Len != 1 {
+		t.Fatalf("stats: %+v, %v", st, err)
+	}
+
+	resp, err := http.Get(murl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"mccuckoo_items", "mccuckoo_server_requests_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %s", want)
+		}
+	}
+
+	sigtermSelf(t)
+	waitLine(t, lines, "drained")
+	if err := <-errCh; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestSnapshotRoundTrip: a SIGTERM shutdown with -snapshot persists the
+// table, and a restart with -load serves the same data.
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "table.snap")
+
+	lines, errCh := startServed(t,
+		"-addr", "127.0.0.1:0", "-kind", "single", "-capacity", "4096",
+		"-snapshot", snap,
+	)
+	addr := strings.Fields(strings.TrimPrefix(waitLine(t, lines, "listening on "), "listening on "))[0]
+	c, err := wire.Dial(wire.ClientConfig{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 100)
+	vals := make([]uint64, 100)
+	for i := range keys {
+		keys[i], vals[i] = uint64(i+1), uint64(i)*11
+	}
+	if _, err := c.PutBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	sigtermSelf(t)
+	if err := <-errCh; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	lines, errCh = startServed(t, "-addr", "127.0.0.1:0", "-load", snap)
+	addr = strings.Fields(strings.TrimPrefix(waitLine(t, lines, "listening on "), "listening on "))[0]
+	c, err = wire.Dial(wire.ClientConfig{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv, gf, err := c.GetBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !gf[i] || gv[i] != vals[i] {
+			t.Fatalf("restored key %d: %d,%v want %d,true", keys[i], gv[i], gf[i], vals[i])
+		}
+	}
+	c.Close()
+	sigtermSelf(t)
+	if err := <-errCh; err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-kind", "bogus"}, io.Discard); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if err := run([]string{"-load", filepath.Join(t.TempDir(), "missing.snap")}, io.Discard); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}

@@ -30,6 +30,27 @@
 // shard's lock once per batch. Map adapts the table into a generic
 // key/value map for arbitrary comparable key types.
 //
+// All four kinds satisfy the Store and BatchStore interfaces, so consumers
+// — including the network serving layer in cmd/mcserved — are written once
+// against the interface instead of per kind.
+//
+// # Concurrency
+//
+// The kinds differ only in their concurrency contract:
+//
+//   - Table and Blocked must be confined to one goroutine at a time. No
+//     method is safe to call concurrently with any other, reads included
+//     (lookups mutate the traffic meter).
+//   - Concurrent allows exactly one mutating goroutine (Insert, Delete,
+//     InsertPathwise) alongside any number of Lookup goroutines.
+//   - Sharded is safe for unrestricted concurrent use by any number of
+//     goroutines, for every method.
+//
+// NewConcurrent's SingleWriter constraint admits only *Table and *Blocked:
+// wrapping an already-thread-safe kind (Sharded, or a Concurrent itself)
+// is a compile error, because stacking a second lock on an internally
+// synchronized table buys nothing and hides the real contract.
+//
 // # Instrumentation
 //
 // Every table counts its memory traffic — off-chip bucket reads/writes and

@@ -5,11 +5,9 @@ import (
 	"sync"
 	"time"
 
-	"mccuckoo/internal/core"
+	"mccuckoo"
 	"mccuckoo/internal/hashutil"
-	"mccuckoo/internal/kv"
 	"mccuckoo/internal/metrics"
-	"mccuckoo/internal/shard"
 	"mccuckoo/internal/workload"
 )
 
@@ -109,43 +107,30 @@ func (o *ConcurrentOptions) normalize() error {
 	return nil
 }
 
-// concurrentTable is the op surface both contenders expose.
-type concurrentTable interface {
-	Insert(key, value uint64) kv.Outcome
-	Lookup(key uint64) (uint64, bool)
-	Delete(key uint64) bool
-	Len() int
-}
+// Both contenders are driven through the public mccuckoo.Store interface —
+// the same surface every other consumer (mcserved, mctrace) binds, so the
+// sweep measures exactly what a user of the package would see.
 
-// buildGlobal builds the global-lock baseline: one core table behind
-// core.Concurrent's table-wide RWMutex.
-func buildGlobal(o ConcurrentOptions) (concurrentTable, error) {
-	inner, err := core.New(core.Config{
-		D: 3, BucketsPerTable: o.Capacity / 3,
-		Seed: hashutil.Mix64(o.Seed ^ 0x910ba1), StashEnabled: true,
-	})
+// buildGlobal builds the global-lock baseline: one single-slot table behind
+// Concurrent's table-wide RWMutex.
+func buildGlobal(o ConcurrentOptions) (mccuckoo.Store, error) {
+	inner, err := mccuckoo.New(o.Capacity,
+		mccuckoo.WithSeed(hashutil.Mix64(o.Seed^0x910ba1)))
 	if err != nil {
 		return nil, err
 	}
-	return core.NewConcurrent(inner), nil
+	return mccuckoo.NewConcurrent(inner), nil
 }
 
 // buildSharded builds an n-shard partitioned table at matched total
 // capacity.
-func buildSharded(o ConcurrentOptions, n int) (*shard.Sharded, error) {
-	perShard := (o.Capacity/3 + n - 1) / n
-	return shard.New(n, o.Seed, func(i int) (shard.Inner, error) {
-		return core.New(core.Config{
-			D: 3, BucketsPerTable: perShard,
-			Seed:         hashutil.Mix64(o.Seed + uint64(i)*0x9e3779b97f4a7c15),
-			StashEnabled: true,
-		})
-	})
+func buildSharded(o ConcurrentOptions, n int) (*mccuckoo.Sharded, error) {
+	return mccuckoo.NewSharded(o.Capacity, n, mccuckoo.WithSeed(o.Seed))
 }
 
 // replayOps drives the per-goroutine op streams against tab one operation
 // at a time and returns the wall-clock throughput in Mops/s.
-func replayOps(tab concurrentTable, streams [][]workload.Op) float64 {
+func replayOps(tab mccuckoo.Store, streams [][]workload.Op) float64 {
 	total := 0
 	for _, st := range streams {
 		total += len(st)
@@ -173,11 +158,11 @@ func replayOps(tab concurrentTable, streams [][]workload.Op) float64 {
 	return float64(total) / elapsed.Seconds() / 1e6
 }
 
-// replayBatched drives pre-grouped batch streams against a sharded table
-// through the allocation-free Into APIs and returns Mops/s over the
+// replayBatched drives pre-grouped batch streams through the public
+// allocation-free BatchStore Into APIs and returns Mops/s over the
 // underlying key count. Batch construction is trace preparation and happens
 // before the clock starts, same as op-stream construction for replayOps.
-func replayBatched(s *shard.Sharded, streams [][]workload.Batch, maxBatch int) float64 {
+func replayBatched(s mccuckoo.BatchStore, streams [][]workload.Batch, maxBatch int) float64 {
 	total := 0
 	for _, st := range streams {
 		for _, b := range st {
@@ -235,7 +220,7 @@ func ConcurrentSweep(o ConcurrentOptions) ([]*Result, error) {
 			batchSeries = append(batchSeries, metrics.NewSeries(fmt.Sprintf("sharded/%d+batch", n)))
 		}
 	}
-	var widest shard.ShardStats
+	var widest mccuckoo.ShardStats
 
 	for _, g := range o.Goroutines {
 		streams, err := workload.SplitByKey(ops, g, o.Seed)
@@ -319,7 +304,7 @@ func ConcurrentSweep(o ConcurrentOptions) ([]*Result, error) {
 			fmt.Sprintf("%d", sh.Items),
 			fmt.Sprintf("%.1f%%", sh.LoadRatio*100),
 			fmt.Sprintf("%d", sh.StashLen),
-			fmt.Sprintf("%d", sh.Ops.Kicks),
+			fmt.Sprintf("%d", sh.Kicks),
 			fmt.Sprintf("%d", sh.Lookups),
 			fmt.Sprintf("%d", sh.ReadLocks),
 			fmt.Sprintf("%d", sh.WriteLocks),

@@ -1,0 +1,450 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mccuckoo"
+
+	"encoding/json"
+)
+
+// ErrBusy is returned when the server answered BUSY on every retry: the
+// connection's work queue stayed full for the whole backoff schedule. The
+// request was never executed.
+var ErrBusy = errors.New("wire: server busy")
+
+// ErrClientClosed is returned by every call after Close.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// ServerError is a StatusErr response: the server executed (or rejected)
+// the request and reported a failure. The connection remains healthy.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "wire: server error: " + e.Msg }
+
+// ClientConfig configures a Client. Only Addr is required.
+type ClientConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+
+	// Conns is the connection-pool size (default 2). Requests round-robin
+	// over the pool and pipeline freely within each connection.
+	Conns int
+
+	// DialTimeout bounds each dial (default 5s).
+	DialTimeout time.Duration
+
+	// RequestTimeout bounds one request/response round trip (default 10s).
+	RequestTimeout time.Duration
+
+	// BusyRetries is how many times a BUSY response is retried before
+	// giving up with ErrBusy (default 8).
+	BusyRetries int
+
+	// RetryBase is the first retry backoff; each retry doubles it and
+	// applies ±50% jitter (default 1ms).
+	RetryBase time.Duration
+
+	// MaxPayload bounds response payloads (default DefaultMaxPayload).
+	MaxPayload int
+}
+
+// Client is a pooled, pipelining client. All methods are safe for
+// concurrent use: in-flight requests are matched to responses by id, so any
+// number of goroutines can share one Client (and one connection).
+type Client struct {
+	cfg    ClientConfig
+	nextID atomic.Uint64
+	rr     atomic.Uint64
+	closed atomic.Bool
+
+	mu sync.Mutex
+	//mcvet:guardedby mu
+	conns []*clientConn
+}
+
+// Dial validates cfg and returns a Client. Connections are established
+// lazily, so Dial itself does not touch the network.
+func Dial(cfg ClientConfig) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("wire: ClientConfig.Addr is required")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 2
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.BusyRetries <= 0 {
+		cfg.BusyRetries = 8
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = time.Millisecond
+	}
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = DefaultMaxPayload
+	}
+	return &Client{cfg: cfg, conns: make([]*clientConn, cfg.Conns)}, nil
+}
+
+// Close closes every pooled connection. In-flight requests fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cc := range c.conns {
+		if cc != nil {
+			cc.fail(ErrClientClosed)
+			c.conns[i] = nil
+		}
+	}
+	return nil
+}
+
+// conn returns a live pooled connection, dialing a replacement for a dead
+// slot.
+func (c *Client) conn() (*clientConn, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	slot := int(c.rr.Add(1)) % c.cfg.Conns
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	cc := c.conns[slot]
+	if cc != nil && !cc.dead.Load() {
+		return cc, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.cfg.Addr, err)
+	}
+	cc = newClientConn(nc, c.cfg.MaxPayload)
+	c.conns[slot] = cc
+	return cc, nil
+}
+
+// do performs one request with retry-on-BUSY and returns the OK payload.
+func (c *Client) do(op byte, payload []byte) ([]byte, error) {
+	backoff := c.cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		cc, err := c.conn()
+		if err != nil {
+			return nil, err
+		}
+		status, resp, err := cc.roundTrip(c.nextID.Add(1), op, payload, c.cfg.RequestTimeout)
+		if err != nil {
+			return nil, err
+		}
+		switch status {
+		case StatusOK:
+			return resp, nil
+		case StatusBusy:
+			if attempt >= c.cfg.BusyRetries {
+				return nil, ErrBusy
+			}
+			// Jittered exponential backoff: sleep backoff ±50%, then
+			// double. Jitter decorrelates a fleet of retrying clients.
+			d := backoff/2 + rand.N(backoff)
+			time.Sleep(d)
+			backoff *= 2
+		case StatusErr:
+			return nil, &ServerError{Msg: string(resp)}
+		default:
+			return nil, protoErrf("unknown response status %d", status)
+		}
+	}
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	_, err := c.do(OpPing, nil)
+	return err
+}
+
+// Get looks up key.
+func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
+	resp, err := c.do(OpGet, appendU64(make([]byte, 0, 8), key))
+	if err != nil {
+		return 0, false, err
+	}
+	cur := cursor{b: resp}
+	f, v := cur.u8(), cur.u64()
+	if !cur.ok() {
+		return 0, false, protoErrf("malformed get response")
+	}
+	return v, f != 0, nil
+}
+
+// Put inserts or updates key.
+func (c *Client) Put(key, value uint64) (mccuckoo.InsertResult, error) {
+	p := appendU64(make([]byte, 0, 16), key)
+	p = appendU64(p, value)
+	resp, err := c.do(OpPut, p)
+	if err != nil {
+		return mccuckoo.InsertResult{}, err
+	}
+	cur := cursor{b: resp}
+	st, kicks := cur.u8(), cur.u32()
+	if !cur.ok() {
+		return mccuckoo.InsertResult{}, protoErrf("malformed put response")
+	}
+	return mccuckoo.InsertResult{Status: mccuckoo.Status(st), Kicks: int(kicks)}, nil
+}
+
+// Del deletes key, reporting whether it was present.
+func (c *Client) Del(key uint64) (bool, error) {
+	resp, err := c.do(OpDel, appendU64(make([]byte, 0, 8), key))
+	if err != nil {
+		return false, err
+	}
+	cur := cursor{b: resp}
+	removed := cur.u8()
+	if !cur.ok() {
+		return false, protoErrf("malformed del response")
+	}
+	return removed != 0, nil
+}
+
+// batchReq builds a BATCH request payload header.
+func batchReq(sub byte, n, recordSize int) []byte {
+	p := make([]byte, 0, 5+n*recordSize)
+	p = appendU8(p, sub)
+	p = appendU32(p, uint32(n))
+	return p
+}
+
+// checkBatchResp validates a BATCH response's echo of sub-op and count and
+// returns the record bytes.
+func checkBatchResp(resp []byte, sub byte, n int) (cursor, error) {
+	c := cursor{b: resp}
+	gotSub, gotN := c.u8(), c.u32()
+	if c.bad || gotSub != sub || int(gotN) != n {
+		return cursor{}, protoErrf("malformed batch response header")
+	}
+	return c, nil
+}
+
+// GetBatch looks up many keys in one round trip.
+func (c *Client) GetBatch(keys []uint64) (values []uint64, found []bool, err error) {
+	p := batchReq(OpGet, len(keys), 8)
+	for _, k := range keys {
+		p = appendU64(p, k)
+	}
+	resp, err := c.do(OpBatch, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur, err := checkBatchResp(resp, OpGet, len(keys))
+	if err != nil {
+		return nil, nil, err
+	}
+	values = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	for i := range keys {
+		found[i] = cur.u8() != 0
+		values[i] = cur.u64()
+	}
+	if !cur.ok() {
+		return nil, nil, protoErrf("malformed batch get response")
+	}
+	return values, found, nil
+}
+
+// PutBatch inserts many pairs in one round trip.
+func (c *Client) PutBatch(keys, values []uint64) ([]mccuckoo.InsertResult, error) {
+	if len(keys) != len(values) {
+		panic("wire: PutBatch called with mismatched key/value lengths")
+	}
+	p := batchReq(OpPut, len(keys), 16)
+	for i, k := range keys {
+		p = appendU64(p, k)
+		p = appendU64(p, values[i])
+	}
+	resp, err := c.do(OpBatch, p)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := checkBatchResp(resp, OpPut, len(keys))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mccuckoo.InsertResult, len(keys))
+	for i := range out {
+		st, kicks := cur.u8(), cur.u32()
+		out[i] = mccuckoo.InsertResult{Status: mccuckoo.Status(st), Kicks: int(kicks)}
+	}
+	if !cur.ok() {
+		return nil, protoErrf("malformed batch put response")
+	}
+	return out, nil
+}
+
+// DelBatch deletes many keys in one round trip.
+func (c *Client) DelBatch(keys []uint64) ([]bool, error) {
+	p := batchReq(OpDel, len(keys), 8)
+	for _, k := range keys {
+		p = appendU64(p, k)
+	}
+	resp, err := c.do(OpBatch, p)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := checkBatchResp(resp, OpDel, len(keys))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(keys))
+	for i := range out {
+		out[i] = cur.u8() != 0
+	}
+	if !cur.ok() {
+		return nil, protoErrf("malformed batch del response")
+	}
+	return out, nil
+}
+
+// Stats fetches the server's table statistics.
+func (c *Client) Stats() (TableStats, error) {
+	resp, err := c.do(OpStats, nil)
+	if err != nil {
+		return TableStats{}, err
+	}
+	var st TableStats
+	if err := json.Unmarshal(resp, &st); err != nil {
+		return TableStats{}, protoErrf("malformed stats response: %v", err)
+	}
+	return st, nil
+}
+
+// result is one demultiplexed response.
+type result struct {
+	status  byte
+	payload []byte
+	err     error
+}
+
+// clientConn is one pooled connection. A single readLoop goroutine
+// demultiplexes responses to waiting callers by request id; writes are
+// serialized by wmu.
+type clientConn struct {
+	nc   net.Conn
+	dead atomic.Bool
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu sync.Mutex
+	//mcvet:guardedby mu
+	pending map[uint64]chan result
+	//mcvet:guardedby mu
+	failure error
+}
+
+func newClientConn(nc net.Conn, maxPayload int) *clientConn {
+	cc := &clientConn{nc: nc, pending: make(map[uint64]chan result)}
+	go cc.readLoop(maxPayload)
+	return cc
+}
+
+// register adds a waiter unless the connection already failed.
+func (cc *clientConn) register(id uint64, ch chan result) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.failure != nil {
+		return cc.failure
+	}
+	cc.pending[id] = ch
+	return nil
+}
+
+func (cc *clientConn) unregister(id uint64) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	delete(cc.pending, id)
+}
+
+// deliver hands a response to its waiter; a response nobody waits for
+// (timed-out request) is dropped.
+func (cc *clientConn) deliver(id uint64, r result) {
+	cc.mu.Lock()
+	ch, ok := cc.pending[id]
+	if ok {
+		delete(cc.pending, id)
+	}
+	cc.mu.Unlock()
+	if ok {
+		ch <- r // buffered; never blocks
+	}
+}
+
+// fail marks the connection dead and errors out every pending request.
+func (cc *clientConn) fail(err error) {
+	cc.dead.Store(true)
+	cc.nc.Close()
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.failure == nil {
+		cc.failure = err
+	}
+	for id, ch := range cc.pending {
+		delete(cc.pending, id)
+		ch <- result{err: cc.failure}
+	}
+}
+
+func (cc *clientConn) readLoop(maxPayload int) {
+	var buf []byte
+	for {
+		f, b, err := ReadFrame(cc.nc, maxPayload, buf)
+		buf = b
+		if err != nil {
+			cc.fail(fmt.Errorf("wire: connection failed: %w", err))
+			return
+		}
+		if !f.IsResponse() {
+			cc.fail(protoErrf("server sent a request frame"))
+			return
+		}
+		// The payload aliases buf; the waiter owns its copy.
+		cc.deliver(f.ID, result{status: f.Status(), payload: append([]byte(nil), f.Payload...)})
+	}
+}
+
+// roundTrip sends one request and waits for its response or the timeout.
+func (cc *clientConn) roundTrip(id uint64, op byte, payload []byte, timeout time.Duration) (byte, []byte, error) {
+	ch := make(chan result, 1)
+	if err := cc.register(id, ch); err != nil {
+		return 0, nil, err
+	}
+	frame := AppendFrame(make([]byte, 0, FrameOverhead+len(payload)), Frame{Type: op, ID: id, Payload: payload})
+	cc.wmu.Lock()
+	cc.nc.SetWriteDeadline(time.Now().Add(timeout))
+	_, err := cc.nc.Write(frame)
+	cc.wmu.Unlock()
+	if err != nil {
+		cc.unregister(id)
+		cc.fail(fmt.Errorf("wire: write failed: %w", err))
+		return 0, nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.status, r.payload, r.err
+	case <-timer.C:
+		cc.unregister(id)
+		return 0, nil, fmt.Errorf("wire: request %d (%s) timed out after %v", id, OpName(op), timeout)
+	}
+}

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServer speaks raw frames and delegates each request to fn; fn
+// returning respond=false swallows the request (for timeout tests).
+// closeAfter > 0 closes each connection after that many responses.
+type fakeServer struct {
+	ln         net.Listener
+	fn         func(f Frame) (status byte, payload []byte, respond bool)
+	closeAfter int
+}
+
+func startFake(t *testing.T, closeAfter int, fn func(f Frame) (byte, []byte, bool)) (string, *fakeServer) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln, fn: fn, closeAfter: closeAfter}
+	t.Cleanup(func() { ln.Close() })
+	go fs.run()
+	return ln.Addr().String(), fs
+}
+
+func (fs *fakeServer) run() {
+	for {
+		nc, err := fs.ln.Accept()
+		if err != nil {
+			return
+		}
+		go fs.serve(nc)
+	}
+}
+
+func (fs *fakeServer) serve(nc net.Conn) {
+	defer nc.Close()
+	var buf []byte
+	responded := 0
+	for {
+		f, b, err := ReadFrame(nc, DefaultMaxPayload, buf)
+		buf = b
+		if err != nil {
+			return
+		}
+		status, payload, respond := fs.fn(f)
+		if !respond {
+			continue
+		}
+		if _, err := nc.Write(respFrame(f.ID, status, payload)); err != nil {
+			return
+		}
+		responded++
+		if fs.closeAfter > 0 && responded >= fs.closeAfter {
+			return
+		}
+	}
+}
+
+func TestClientRetryOnBusy(t *testing.T) {
+	var calls atomic.Int64
+	addr, _ := startFake(t, 0, func(f Frame) (byte, []byte, bool) {
+		if calls.Add(1) <= 2 {
+			return StatusBusy, nil, true
+		}
+		return StatusOK, nil, true
+	})
+	c, err := Dial(ClientConfig{Addr: addr, Conns: 1, BusyRetries: 5, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping despite retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 BUSY + 1 OK)", got)
+	}
+}
+
+func TestClientBusyExhausted(t *testing.T) {
+	var calls atomic.Int64
+	addr, _ := startFake(t, 0, func(f Frame) (byte, []byte, bool) {
+		calls.Add(1)
+		return StatusBusy, nil, true
+	})
+	c, err := Dial(ClientConfig{Addr: addr, Conns: 1, BusyRetries: 2, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); !errors.Is(err, ErrBusy) {
+		t.Fatalf("ping: %v, want ErrBusy", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	addr, _ := startFake(t, 0, func(f Frame) (byte, []byte, bool) {
+		return 0, nil, false // never answer
+	})
+	c, err := Dial(ClientConfig{Addr: addr, Conns: 1, RequestTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Ping()
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("ping: %v, want timeout", err)
+	}
+}
+
+func TestClientServerError(t *testing.T) {
+	addr, _ := startFake(t, 0, func(f Frame) (byte, []byte, bool) {
+		return StatusErr, []byte("nope"), true
+	})
+	c, err := Dial(ClientConfig{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var se *ServerError
+	if err := c.Ping(); !errors.As(err, &se) || se.Msg != "nope" {
+		t.Fatalf("ping: %v, want ServerError(nope)", err)
+	}
+}
+
+// TestClientReconnect: a connection the server drops is replaced on the
+// next request instead of poisoning the pool.
+func TestClientReconnect(t *testing.T) {
+	addr, _ := startFake(t, 1, func(f Frame) (byte, []byte, bool) {
+		return StatusOK, nil, true
+	})
+	c, err := Dial(ClientConfig{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+		// The server closed the connection after responding; wait for the
+		// client's read loop to notice so the next conn() call redials
+		// instead of racing the write against the close.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			c.mu.Lock()
+			dead := c.conns[0] != nil && c.conns[0].dead.Load()
+			c.mu.Unlock()
+			if dead || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	addr, _ := startFake(t, 0, func(f Frame) (byte, []byte, bool) {
+		return StatusOK, nil, true
+	})
+	c, err := Dial(ClientConfig{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Ping(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("ping after close: %v, want ErrClientClosed", err)
+	}
+}

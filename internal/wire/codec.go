@@ -1,0 +1,111 @@
+package wire
+
+import "encoding/binary"
+
+// Payload encodings, little-endian throughout (DESIGN.md §10):
+//
+//	GET  request: key u64                  response: found u8, value u64
+//	PUT  request: key u64, value u64       response: status u8, kicks u32
+//	DEL  request: key u64                  response: removed u8
+//	BATCH request: sub u8, count u32, then count records —
+//	      sub=GET/DEL: key u64             sub=PUT: key u64, value u64
+//	BATCH response: sub u8, count u32, then count records of the matching
+//	      single-op response encoding
+//	STATS request: empty                   response: JSON (TableStats)
+//	PING  request: empty                   response: empty
+//	BUSY  response: empty
+//	ERR   response: UTF-8 message
+//
+// Counts are validated against the actual payload length, so a hostile
+// count cannot size an allocation beyond the bytes that are present.
+
+// cursor is an allocation-free payload reader. Overruns latch bad; callers
+// check ok() once at the end instead of per read.
+type cursor struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+//mcvet:hotpath
+func (c *cursor) u8() byte {
+	if c.off+1 > len(c.b) {
+		c.bad = true
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+//mcvet:hotpath
+func (c *cursor) u32() uint32 {
+	if c.off+4 > len(c.b) {
+		c.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+//mcvet:hotpath
+func (c *cursor) u64() uint64 {
+	if c.off+8 > len(c.b) {
+		c.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+// ok reports that every read succeeded and the payload was consumed
+// exactly — trailing garbage is as malformed as truncation.
+//
+//mcvet:hotpath
+func (c *cursor) ok() bool { return !c.bad && c.off == len(c.b) }
+
+// appendU8/appendU32/appendU64 build payloads. They append, so steady-state
+// callers pass buffers with spare capacity.
+func appendU8(dst []byte, v byte) []byte { return append(dst, v) }
+
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// batchItemSize returns the request record size for a batch sub-op, or 0
+// for an invalid sub-op.
+func batchItemSize(sub byte) int {
+	switch sub {
+	case OpGet, OpDel:
+		return 8
+	case OpPut:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// parseBatchHeader validates a BATCH request payload's sub-op and count
+// against the payload length and returns them with the record bytes.
+func parseBatchHeader(p []byte) (sub byte, count int, records []byte, ok bool) {
+	if len(p) < 5 {
+		return 0, 0, nil, false
+	}
+	sub = p[0]
+	n := int(binary.LittleEndian.Uint32(p[1:5]))
+	size := batchItemSize(sub)
+	if size == 0 || n < 0 || len(p)-5 != n*size {
+		return 0, 0, nil, false
+	}
+	return sub, n, p[5:], true
+}

@@ -1,0 +1,226 @@
+// Package wire is the network serving layer of the McCuckoo tables: a
+// stdlib-only length-prefixed binary protocol (DESIGN.md §10), a pipelined
+// TCP server that binds any mccuckoo.Store, and a pooled client with
+// retry-on-BUSY.
+//
+// # Frame layout
+//
+// Every message in either direction is one frame:
+//
+//	offset  size  field
+//	0       2     magic "MW"
+//	2       1     version (1)
+//	3       1     type: request opcode, or 0x80|status for responses
+//	4       8     request id (little-endian; responses echo it)
+//	12      4     payload length N (little-endian)
+//	16      N     payload
+//	16+N    4     CRC32C over bytes [0, 16+N) — the Castagnoli polynomial,
+//	              the same convention as the snapshot format (§7)
+//
+// Requests and responses are matched by id, never by order: a client may
+// pipeline any number of requests on one connection and the server may
+// answer them as they complete. Payload encodings per opcode are documented
+// on the codec functions below and in DESIGN.md §10.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Protocol constants.
+const (
+	magic0  = 'M'
+	magic1  = 'W'
+	Version = 1
+
+	headerLen = 16
+	crcLen    = 4
+	// FrameOverhead is the fixed per-frame byte cost beyond the payload.
+	FrameOverhead = headerLen + crcLen
+
+	// DefaultMaxPayload bounds a frame payload (1 MiB): large enough for
+	// a ~64k-element batch, small enough that a hostile length prefix
+	// cannot balloon memory.
+	DefaultMaxPayload = 1 << 20
+)
+
+// Request opcodes.
+const (
+	OpGet   byte = 1
+	OpPut   byte = 2
+	OpDel   byte = 3
+	OpBatch byte = 4
+	OpStats byte = 5
+	OpPing  byte = 6
+)
+
+// respFlag marks a frame as a response; the low bits carry the status.
+const respFlag byte = 0x80
+
+// Response statuses.
+const (
+	// StatusOK carries the operation's result payload.
+	StatusOK byte = 0
+	// StatusBusy is the backpressure signal: the connection's work queue
+	// was full when the request arrived. The request was NOT executed;
+	// retry after a backoff.
+	StatusBusy byte = 1
+	// StatusErr carries a human-readable error string as payload. The
+	// connection remains usable.
+	StatusErr byte = 2
+)
+
+// castagnoli is the CRC32C table, shared with the snapshot format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one decoded protocol frame. Payload aliases the buffer it was
+// decoded from; copy it before the next read if it must outlive one.
+type Frame struct {
+	Type    byte
+	ID      uint64
+	Payload []byte
+}
+
+// IsResponse reports whether the frame is a response.
+func (f Frame) IsResponse() bool { return f.Type&respFlag != 0 }
+
+// Status returns the response status (meaningless for requests).
+func (f Frame) Status() byte { return f.Type &^ respFlag }
+
+// OpName returns the mnemonic of a request opcode, for errors and metrics.
+func OpName(op byte) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDel:
+		return "del"
+	case OpBatch:
+		return "batch"
+	case OpStats:
+		return "stats"
+	case OpPing:
+		return "ping"
+	default:
+		return "unknown"
+	}
+}
+
+// ProtocolError is the typed error every frame decoder returns when the
+// input violates the framing (bad magic, unknown version, oversized or
+// truncated payload, checksum mismatch). A ProtocolError on a connection
+// means the stream can no longer be trusted and must be closed.
+type ProtocolError struct{ Reason string }
+
+func (e *ProtocolError) Error() string { return "wire: protocol error: " + e.Reason }
+
+func protoErrf(format string, args ...any) error {
+	return &ProtocolError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// putHeader writes the fixed 16-byte frame header into b.
+//
+//mcvet:hotpath
+func putHeader(b []byte, typ byte, id uint64, payloadLen int) {
+	b[0], b[1], b[2], b[3] = magic0, magic1, Version, typ
+	binary.LittleEndian.PutUint64(b[4:12], id)
+	binary.LittleEndian.PutUint32(b[12:16], uint32(payloadLen))
+}
+
+// parseHeader validates and splits the fixed 16-byte frame header. max
+// bounds the advertised payload length. (Not a //mcvet:hotpath: the
+// rejection paths format errors, which allocates — by design, rejections
+// are the cold path.)
+func parseHeader(b []byte, max int) (typ byte, id uint64, payloadLen int, err error) {
+	if b[0] != magic0 || b[1] != magic1 {
+		return 0, 0, 0, protoErrf("bad magic %#02x%02x", b[0], b[1])
+	}
+	if b[2] != Version {
+		return 0, 0, 0, protoErrf("unsupported version %d", b[2])
+	}
+	typ = b[3]
+	id = binary.LittleEndian.Uint64(b[4:12])
+	n := binary.LittleEndian.Uint32(b[12:16])
+	if int64(n) > int64(max) {
+		return 0, 0, 0, protoErrf("payload length %d exceeds limit %d", n, max)
+	}
+	return typ, id, int(n), nil
+}
+
+// AppendFrame appends the encoded frame to dst and returns the extended
+// slice. Encoding never fails; oversized payloads are the caller's bug and
+// are caught by the peer's decoder.
+func AppendFrame(dst []byte, f Frame) []byte {
+	var hdr [headerLen]byte
+	putHeader(hdr[:], f.Type, f.ID, len(f.Payload))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Payload...)
+	crc := crc32.Update(0, castagnoli, dst[len(dst)-headerLen-len(f.Payload):])
+	var tail [crcLen]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	return append(dst, tail[:]...)
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame
+// and the number of bytes consumed. The returned payload aliases b. It
+// returns io.ErrUnexpectedEOF when b holds a valid prefix of a frame and a
+// *ProtocolError when b cannot be a frame at all.
+func DecodeFrame(b []byte, max int) (Frame, int, error) {
+	if len(b) < headerLen {
+		return Frame{}, 0, io.ErrUnexpectedEOF
+	}
+	typ, id, n, err := parseHeader(b[:headerLen], max)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	total := headerLen + n + crcLen
+	if len(b) < total {
+		return Frame{}, 0, io.ErrUnexpectedEOF
+	}
+	want := binary.LittleEndian.Uint32(b[headerLen+n:])
+	if got := crc32.Checksum(b[:headerLen+n], castagnoli); got != want {
+		return Frame{}, 0, protoErrf("checksum mismatch: computed %08x, frame says %08x", got, want)
+	}
+	return Frame{Type: typ, ID: id, Payload: b[headerLen : headerLen+n]}, total, nil
+}
+
+// ReadFrame reads one frame from r. buf is an optional scratch buffer that
+// is reused (and grown) across calls; the returned slice is the buffer to
+// pass to the next call, and the frame's payload aliases it.
+func ReadFrame(r io.Reader, max int, buf []byte) (Frame, []byte, error) {
+	need := headerLen
+	if cap(buf) < need {
+		buf = make([]byte, headerLen, headerLen+512)
+	}
+	buf = buf[:headerLen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, buf, err
+	}
+	typ, id, n, err := parseHeader(buf, max)
+	if err != nil {
+		return Frame{}, buf, err
+	}
+	total := headerLen + n + crcLen
+	if cap(buf) < total {
+		grown := make([]byte, total)
+		copy(grown, buf[:headerLen])
+		buf = grown
+	}
+	buf = buf[:total]
+	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, err
+	}
+	want := binary.LittleEndian.Uint32(buf[headerLen+n:])
+	if got := crc32.Checksum(buf[:headerLen+n], castagnoli); got != want {
+		return Frame{}, buf, protoErrf("checksum mismatch: computed %08x, frame says %08x", got, want)
+	}
+	return Frame{Type: typ, ID: id, Payload: buf[headerLen : headerLen+n]}, buf, nil
+}

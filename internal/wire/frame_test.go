@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: OpPing, ID: 0},
+		{Type: OpGet, ID: 1, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Type: respFlag | StatusOK, ID: 1 << 60, Payload: bytes.Repeat([]byte{0xab}, 4096)},
+		{Type: respFlag | StatusBusy, ID: ^uint64(0)},
+	}
+	var stream []byte
+	for _, f := range frames {
+		stream = AppendFrame(stream, f)
+	}
+
+	// Decode back out of the concatenated stream.
+	rest := stream
+	for i, want := range frames {
+		got, n, err := DecodeFrame(rest, DefaultMaxPayload)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if n != FrameOverhead+len(want.Payload) {
+			t.Fatalf("frame %d: consumed %d bytes, want %d", i, n, FrameOverhead+len(want.Payload))
+		}
+		if got.Type != want.Type || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: round trip mismatch: %+v", i, got)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+
+	// Same stream through the io.Reader path with buffer reuse.
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i, want := range frames {
+		var got Frame
+		var err error
+		got, buf, err = ReadFrame(r, DefaultMaxPayload, buf)
+		if err != nil {
+			t.Fatalf("frame %d: ReadFrame: %v", i, err)
+		}
+		if got.Type != want.Type || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: ReadFrame mismatch: %+v", i, got)
+		}
+	}
+	if _, _, err := ReadFrame(r, DefaultMaxPayload, buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past end: %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	good := AppendFrame(nil, Frame{Type: OpGet, ID: 7, Payload: []byte{9, 9, 9}})
+
+	var protoErr *ProtocolError
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		max     int
+		isProto bool
+	}{
+		{"empty", func(b []byte) []byte { return nil }, DefaultMaxPayload, false},
+		{"short header", func(b []byte) []byte { return b[:10] }, DefaultMaxPayload, false},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, DefaultMaxPayload, false},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, DefaultMaxPayload, true},
+		{"bad version", func(b []byte) []byte { b[2] = 99; return b }, DefaultMaxPayload, true},
+		{"oversized", func(b []byte) []byte { return b }, 2, true},
+		{"corrupt payload", func(b []byte) []byte { b[headerLen] ^= 0xff; return b }, DefaultMaxPayload, true},
+		{"corrupt crc", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }, DefaultMaxPayload, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), good...))
+			_, _, err := DecodeFrame(b, tc.max)
+			if err == nil {
+				t.Fatal("decode accepted corrupt input")
+			}
+			if got := errors.As(err, &protoErr); got != tc.isProto {
+				t.Fatalf("error %v: ProtocolError=%v, want %v", err, got, tc.isProto)
+			}
+			// The reader path must agree with the slice path.
+			_, _, rerr := ReadFrame(bytes.NewReader(b), tc.max, nil)
+			if rerr == nil {
+				t.Fatal("ReadFrame accepted corrupt input")
+			}
+		})
+	}
+}
+
+// FuzzWireFrame feeds arbitrary bytes to the decoder: it must never panic,
+// and any input it accepts must re-encode byte-identically and decode back
+// to an equal frame.
+func FuzzWireFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MW"))
+	f.Add(AppendFrame(nil, Frame{Type: OpPing, ID: 0}))
+	f.Add(AppendFrame(nil, Frame{Type: OpPut, ID: 42, Payload: bytes.Repeat([]byte{7}, 16)}))
+	f.Add(AppendFrame(nil, Frame{Type: respFlag | StatusErr, ID: 1, Payload: []byte("boom")}))
+	corrupt := AppendFrame(nil, Frame{Type: OpGet, ID: 3, Payload: []byte{1, 2, 3}})
+	corrupt[len(corrupt)-2] ^= 0x40
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b, DefaultMaxPayload)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v but consumed %d bytes", err, n)
+			}
+			return
+		}
+		if n < FrameOverhead || n > len(b) {
+			t.Fatalf("consumed %d bytes of %d", n, len(b))
+		}
+		re := AppendFrame(nil, fr)
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("re-encode differs from accepted input")
+		}
+		fr2, n2, err := DecodeFrame(re, DefaultMaxPayload)
+		if err != nil || n2 != len(re) {
+			t.Fatalf("re-decode: n=%d err=%v", n2, err)
+		}
+		if fr2.Type != fr.Type || fr2.ID != fr.ID || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", fr, fr2)
+		}
+		// The streaming reader must accept exactly the same frame.
+		fr3, _, err := ReadFrame(bytes.NewReader(b), DefaultMaxPayload, nil)
+		if err != nil {
+			t.Fatalf("ReadFrame rejected what DecodeFrame accepted: %v", err)
+		}
+		if fr3.Type != fr.Type || fr3.ID != fr.ID || !bytes.Equal(fr3.Payload, fr.Payload) {
+			t.Fatalf("ReadFrame/DecodeFrame disagree")
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"sync"
+
+	"mccuckoo"
+)
+
+// Locked wraps any BatchStore behind one mutex, making it safe for the
+// server's many-connection concurrency. It is the serving adapter for the
+// single-writer kinds (Table, Blocked): correctness over parallelism. For
+// parallel serving use a Sharded table, which needs no wrapper.
+type Locked struct {
+	mu sync.Mutex
+	//mcvet:guardedby mu
+	inner mccuckoo.BatchStore
+}
+
+var _ mccuckoo.BatchStore = (*Locked)(nil)
+
+// NewLocked wraps inner. The caller must not touch inner directly
+// afterwards except through Do.
+func NewLocked(inner mccuckoo.BatchStore) *Locked {
+	return &Locked{inner: inner}
+}
+
+// Do runs fn with the lock held, giving exclusive access to the wrapped
+// store — the checkpointing hook: mcserved snapshots a locked table with
+// Do(func(s) { mccuckoo.SaveFile(...) }) while requests wait.
+func (l *Locked) Do(fn func(mccuckoo.BatchStore)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fn(l.inner)
+}
+
+func (l *Locked) Insert(key, value uint64) mccuckoo.InsertResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Insert(key, value)
+}
+
+func (l *Locked) Lookup(key uint64) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Lookup(key)
+}
+
+func (l *Locked) Delete(key uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Delete(key)
+}
+
+func (l *Locked) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Len()
+}
+
+func (l *Locked) Capacity() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Capacity()
+}
+
+func (l *Locked) LoadRatio() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.LoadRatio()
+}
+
+func (l *Locked) StashLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.StashLen()
+}
+
+func (l *Locked) Stats() mccuckoo.Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Stats()
+}
+
+func (l *Locked) InsertBatch(keys, values []uint64) []mccuckoo.InsertResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.InsertBatch(keys, values)
+}
+
+func (l *Locked) InsertBatchInto(keys, values []uint64, out []mccuckoo.InsertResult) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.InsertBatchInto(keys, values, out)
+}
+
+func (l *Locked) LookupBatch(keys []uint64) ([]uint64, []bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.LookupBatch(keys)
+}
+
+func (l *Locked) LookupBatchInto(keys []uint64, values []uint64, found []bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.LookupBatchInto(keys, values, found)
+}
+
+func (l *Locked) DeleteBatch(keys []uint64) []bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.DeleteBatch(keys)
+}
+
+func (l *Locked) DeleteBatchInto(keys []uint64, removed []bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.DeleteBatchInto(keys, removed)
+}

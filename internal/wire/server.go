@@ -1,0 +1,609 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mccuckoo"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown begins.
+var ErrServerClosed = errors.New("wire: server closed")
+
+// Config configures a Server. The zero value of every field except Store is
+// usable; defaults are applied by NewServer.
+type Config struct {
+	// Store is the table being served. Required, and must be safe for the
+	// server's concurrency: each connection runs its requests on its own
+	// goroutine, so unless the server has exactly one client connection the
+	// store must be a Sharded table or a Locked wrapper. (A Concurrent
+	// wrapper is NOT enough: two connections can both issue PUTs.)
+	Store mccuckoo.BatchStore
+
+	// MaxConns caps simultaneously served connections (default 256). A
+	// connection beyond the cap receives one ERR frame and is closed.
+	MaxConns int
+
+	// QueueDepth bounds each connection's queue of decoded-but-unexecuted
+	// requests (default 128). A request arriving on a full queue is answered
+	// with BUSY instead of being buffered — backpressure is explicit and
+	// memory per connection stays bounded.
+	QueueDepth int
+
+	// MaxPayload bounds a request frame's payload (default
+	// DefaultMaxPayload).
+	MaxPayload int
+
+	// IdleTimeout closes a connection that sends no frame for this long
+	// (default 2m).
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds each response write (default 10s). A client that
+	// stops reading is disconnected rather than allowed to pin a writer.
+	WriteTimeout time.Duration
+
+	// Logf, when non-nil, receives one line per abnormal connection event
+	// (protocol errors, panics, write failures).
+	Logf func(format string, args ...any)
+}
+
+// Server serves the wire protocol over TCP (or any net.Listener). Requests
+// on one connection are decoded by a reader goroutine, executed in order by
+// a worker goroutine, and written by a writer goroutine, so a client may
+// pipeline any number of requests; responses carry the request id and may
+// be matched out of order with other connections' work.
+type Server struct {
+	cfg Config
+
+	mu sync.Mutex
+	//mcvet:guardedby mu
+	listeners map[net.Listener]struct{}
+	//mcvet:guardedby mu
+	conns map[net.Conn]struct{}
+	//mcvet:guardedby mu
+	draining bool
+
+	// drain is closed when Shutdown begins; per-connection watchers use it
+	// to interrupt blocked reads.
+	drain chan struct{}
+	wg    sync.WaitGroup
+
+	// Metrics. ops is indexed by request opcode.
+	ops       [8]atomic.Int64
+	busy      atomic.Int64
+	errored   atomic.Int64
+	panics    atomic.Int64
+	badFrames atomic.Int64
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	active    atomic.Int64
+}
+
+// NewServer validates cfg, applies defaults, and returns a Server ready for
+// Serve.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("wire: Config.Store is required")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 256
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = DefaultMaxPayload
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	return &Server{
+		cfg:       cfg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		drain:     make(chan struct{}),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error: ErrServerClosed after a clean Shutdown, the Accept error
+// otherwise. Multiple Serve calls on different listeners are allowed.
+func (s *Server) Serve(ln net.Listener) error {
+	if !s.addListener(ln) {
+		ln.Close()
+		return ErrServerClosed
+	}
+	defer s.removeListener(ln)
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.accepted.Add(1)
+		if !s.registerConn(nc) {
+			s.rejected.Add(1)
+			s.rejectConn(nc)
+			continue
+		}
+		s.wg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// Shutdown drains the server: listeners stop accepting, every connection's
+// in-flight and already-queued requests are executed and their responses
+// written, then connections close. If ctx expires first, remaining
+// connections are force-closed and ctx.Err is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) addListener(ln net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.listeners[ln] = struct{}{}
+	return true
+}
+
+func (s *Server) removeListener(ln net.Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.listeners, ln)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	close(s.drain)
+	for ln := range s.listeners {
+		ln.Close()
+	}
+}
+
+// registerConn admits nc unless the server is draining or at MaxConns.
+func (s *Server) registerConn(nc net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[nc] = struct{}{}
+	s.active.Add(1)
+	return true
+}
+
+func (s *Server) unregisterConn(nc net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.conns[nc]; ok {
+		delete(s.conns, nc)
+		s.active.Add(-1)
+	}
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+}
+
+// rejectConn answers an over-limit connection with a single ERR frame
+// (request id 0 — the client has not spoken yet) and closes it.
+func (s *Server) rejectConn(nc net.Conn) {
+	nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	b := respFrame(0, StatusErr, []byte("connection limit reached"))
+	nc.Write(b)
+	nc.Close()
+}
+
+// respFrame encodes one response frame into a fresh buffer.
+func respFrame(id uint64, status byte, payload []byte) []byte {
+	return AppendFrame(make([]byte, 0, FrameOverhead+len(payload)), Frame{
+		Type:    respFlag | status,
+		ID:      id,
+		Payload: payload,
+	})
+}
+
+func (s *Server) errFrame(id uint64, msg string) []byte {
+	s.errored.Add(1)
+	return respFrame(id, StatusErr, []byte(msg))
+}
+
+// serveConn owns one connection: it runs the read loop and shepherds the
+// worker and writer goroutines. Close cascade: the reader stops and closes
+// work; the worker finishes queued requests and closes out; the writer
+// flushes and returns; then the connection closes.
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer s.unregisterConn(nc)
+
+	work := make(chan Frame, s.cfg.QueueDepth)
+	out := make(chan []byte, s.cfg.QueueDepth)
+	connDone := make(chan struct{})
+
+	// Drain watcher: a blocked read is interrupted by expiring its
+	// deadline, so graceful shutdown does not wait out IdleTimeout.
+	go func() {
+		select {
+		case <-s.drain:
+			nc.SetReadDeadline(time.Now())
+		case <-connDone:
+		}
+	}()
+
+	var pipe sync.WaitGroup
+	pipe.Add(2)
+	go func() {
+		defer pipe.Done()
+		h := &connHandler{srv: s}
+		for f := range work {
+			out <- h.handle(f)
+		}
+		close(out)
+	}()
+	go func() {
+		defer pipe.Done()
+		failed := false
+		for b := range out {
+			if failed {
+				continue // drain so the worker never blocks forever
+			}
+			nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if _, err := nc.Write(b); err != nil {
+				s.logf("wire: %s: write: %v", nc.RemoteAddr(), err)
+				failed = true
+				nc.Close() // unblock the reader too
+				continue
+			}
+			s.bytesOut.Add(int64(len(b)))
+		}
+	}()
+
+	s.readLoop(nc, work, out)
+	close(work)
+	pipe.Wait()
+	nc.Close()
+	close(connDone)
+}
+
+// readLoop decodes requests and feeds the work queue. When the queue is
+// full the request is answered with BUSY immediately — never buffered.
+func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte) {
+	var buf []byte
+	for {
+		nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		select {
+		case <-s.drain:
+			return
+		default:
+		}
+		f, b, err := ReadFrame(nc, s.cfg.MaxPayload, buf)
+		buf = b
+		if err != nil {
+			var ne net.Error
+			switch {
+			case errors.Is(err, io.EOF):
+				// Clean disconnect between frames.
+			case errors.As(err, &ne) && ne.Timeout():
+				select {
+				case <-s.drain:
+					// Interrupted by shutdown: graceful exit.
+				default:
+					s.logf("wire: %s: idle timeout", nc.RemoteAddr())
+				}
+			default:
+				s.badFrames.Add(1)
+				s.logf("wire: %s: read: %v", nc.RemoteAddr(), err)
+			}
+			return
+		}
+		s.bytesIn.Add(int64(len(f.Payload) + FrameOverhead))
+		if f.IsResponse() {
+			s.badFrames.Add(1)
+			s.logf("wire: %s: received a response frame", nc.RemoteAddr())
+			return
+		}
+		// The payload aliases buf, which the next ReadFrame overwrites;
+		// queued requests need their own copy.
+		f.Payload = append([]byte(nil), f.Payload...)
+		select {
+		case work <- f:
+		default:
+			s.busy.Add(1)
+			out <- respFrame(f.ID, StatusBusy, nil)
+		}
+	}
+}
+
+// connHandler executes one connection's requests. The scratch slices are
+// reused across batch requests so steady-state batches do not allocate
+// per call.
+type connHandler struct {
+	srv     *Server
+	keys    []uint64
+	vals    []uint64
+	results []mccuckoo.InsertResult
+	founds  []bool
+	removed []bool
+}
+
+// handle executes one request and returns the encoded response frame. A
+// panic in the store is isolated to this request: it is answered with ERR
+// and the connection keeps serving.
+func (h *connHandler) handle(f Frame) (resp []byte) {
+	s := h.srv
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.logf("wire: panic serving %s request: %v", OpName(f.Type), r)
+			resp = s.errFrame(f.ID, fmt.Sprintf("internal error: %v", r))
+		}
+	}()
+	if f.Type >= 1 && f.Type < byte(len(s.ops)) {
+		s.ops[f.Type].Add(1)
+	}
+	store := s.cfg.Store
+	c := cursor{b: f.Payload}
+	switch f.Type {
+	case OpPing:
+		if len(f.Payload) != 0 {
+			return s.errFrame(f.ID, "malformed ping payload")
+		}
+		return respFrame(f.ID, StatusOK, nil)
+	case OpGet:
+		k := c.u64()
+		if !c.ok() {
+			return s.errFrame(f.ID, "malformed get payload")
+		}
+		v, found := store.Lookup(k)
+		p := make([]byte, 0, 9)
+		p = appendU8(p, boolByte(found))
+		p = appendU64(p, v)
+		return respFrame(f.ID, StatusOK, p)
+	case OpPut:
+		k, v := c.u64(), c.u64()
+		if !c.ok() {
+			return s.errFrame(f.ID, "malformed put payload")
+		}
+		r := store.Insert(k, v)
+		p := make([]byte, 0, 5)
+		p = appendU8(p, byte(r.Status))
+		p = appendU32(p, uint32(r.Kicks))
+		return respFrame(f.ID, StatusOK, p)
+	case OpDel:
+		k := c.u64()
+		if !c.ok() {
+			return s.errFrame(f.ID, "malformed del payload")
+		}
+		removed := store.Delete(k)
+		return respFrame(f.ID, StatusOK, appendU8(nil, boolByte(removed)))
+	case OpBatch:
+		return h.handleBatch(f)
+	case OpStats:
+		if len(f.Payload) != 0 {
+			return s.errFrame(f.ID, "malformed stats payload")
+		}
+		p, err := json.Marshal(statsOf(store))
+		if err != nil {
+			return s.errFrame(f.ID, "stats encoding failed: "+err.Error())
+		}
+		return respFrame(f.ID, StatusOK, p)
+	default:
+		return s.errFrame(f.ID, fmt.Sprintf("unknown opcode %d", f.Type))
+	}
+}
+
+// handleBatch decodes a BATCH request into the handler's scratch slices,
+// runs the matching BatchStore Into method, and encodes the per-item
+// results.
+func (h *connHandler) handleBatch(f Frame) []byte {
+	s := h.srv
+	sub, n, records, ok := parseBatchHeader(f.Payload)
+	if !ok {
+		return s.errFrame(f.ID, "malformed batch payload")
+	}
+	h.keys = growU64(h.keys, n)
+	c := cursor{b: records}
+	switch sub {
+	case OpGet:
+		for i := 0; i < n; i++ {
+			h.keys[i] = c.u64()
+		}
+		h.vals = growU64(h.vals, n)
+		h.founds = growBool(h.founds, n)
+		s.cfg.Store.LookupBatchInto(h.keys, h.vals, h.founds)
+		p := make([]byte, 0, 5+9*n)
+		p = appendU8(p, sub)
+		p = appendU32(p, uint32(n))
+		for i := 0; i < n; i++ {
+			p = appendU8(p, boolByte(h.founds[i]))
+			p = appendU64(p, h.vals[i])
+		}
+		return respFrame(f.ID, StatusOK, p)
+	case OpPut:
+		h.vals = growU64(h.vals, n)
+		for i := 0; i < n; i++ {
+			h.keys[i] = c.u64()
+			h.vals[i] = c.u64()
+		}
+		h.results = growResults(h.results, n)
+		s.cfg.Store.InsertBatchInto(h.keys, h.vals, h.results)
+		p := make([]byte, 0, 5+5*n)
+		p = appendU8(p, sub)
+		p = appendU32(p, uint32(n))
+		for i := 0; i < n; i++ {
+			p = appendU8(p, byte(h.results[i].Status))
+			p = appendU32(p, uint32(h.results[i].Kicks))
+		}
+		return respFrame(f.ID, StatusOK, p)
+	case OpDel:
+		for i := 0; i < n; i++ {
+			h.keys[i] = c.u64()
+		}
+		h.removed = growBool(h.removed, n)
+		s.cfg.Store.DeleteBatchInto(h.keys, h.removed)
+		p := make([]byte, 0, 5+n)
+		p = appendU8(p, sub)
+		p = appendU32(p, uint32(n))
+		for i := 0; i < n; i++ {
+			p = appendU8(p, boolByte(h.removed[i]))
+		}
+		return respFrame(f.ID, StatusOK, p)
+	default:
+		return s.errFrame(f.ID, "unknown batch sub-op")
+	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growResults(s []mccuckoo.InsertResult, n int) []mccuckoo.InsertResult {
+	if cap(s) < n {
+		return make([]mccuckoo.InsertResult, n)
+	}
+	return s[:n]
+}
+
+// TableStats is the STATS response payload, JSON with the repo's snake_case
+// convention. Gauges come from the store's accessors, lifetime counters
+// from its Stats.
+type TableStats struct {
+	Len       int     `json:"len"`
+	Capacity  int     `json:"capacity"`
+	LoadRatio float64 `json:"load_ratio"`
+	StashLen  int     `json:"stash_len"`
+
+	Inserts     int64 `json:"inserts"`
+	Updates     int64 `json:"updates"`
+	Kicks       int64 `json:"kicks"`
+	Stashed     int64 `json:"stashed"`
+	Failures    int64 `json:"failures"`
+	Lookups     int64 `json:"lookups"`
+	Hits        int64 `json:"hits"`
+	Deletes     int64 `json:"deletes"`
+	StashProbes int64 `json:"stash_probes"`
+}
+
+func statsOf(store mccuckoo.Store) TableStats {
+	st := store.Stats()
+	return TableStats{
+		Len:       store.Len(),
+		Capacity:  store.Capacity(),
+		LoadRatio: store.LoadRatio(),
+		StashLen:  store.StashLen(),
+
+		Inserts: st.Inserts, Updates: st.Updates, Kicks: st.Kicks,
+		Stashed: st.Stashed, Failures: st.Failures, Lookups: st.Lookups,
+		Hits: st.Hits, Deletes: st.Deletes, StashProbes: st.StashProbes,
+	}
+}
+
+// WritePrometheus writes the server's own metrics in Prometheus text
+// exposition, under the mccuckoo_server_ prefix. It complements (and is
+// mounted next to) the table telemetry exposition.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	p := &serverPromWriter{w: w}
+	p.header("mccuckoo_server_requests_total", "Requests served, by opcode.", "counter")
+	for op := byte(OpGet); op <= OpPing; op++ {
+		p.printf("mccuckoo_server_requests_total{op=%q} %d\n", OpName(op), s.ops[op].Load())
+	}
+	p.simple("mccuckoo_server_busy_total", "Requests rejected with BUSY backpressure.", "counter", s.busy.Load())
+	p.simple("mccuckoo_server_errors_total", "Requests answered with ERR.", "counter", s.errored.Load())
+	p.simple("mccuckoo_server_panics_total", "Request handlers recovered from a panic.", "counter", s.panics.Load())
+	p.simple("mccuckoo_server_bad_frames_total", "Connections dropped for protocol violations.", "counter", s.badFrames.Load())
+	p.simple("mccuckoo_server_connections_accepted_total", "Connections accepted.", "counter", s.accepted.Load())
+	p.simple("mccuckoo_server_connections_rejected_total", "Connections rejected at the MaxConns limit.", "counter", s.rejected.Load())
+	p.simple("mccuckoo_server_bytes_read_total", "Request bytes received (frame overhead included).", "counter", s.bytesIn.Load())
+	p.simple("mccuckoo_server_bytes_written_total", "Response bytes written.", "counter", s.bytesOut.Load())
+	p.simple("mccuckoo_server_connections_active", "Connections currently served.", "gauge", s.active.Load())
+	return p.err
+}
+
+type serverPromWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *serverPromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *serverPromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *serverPromWriter) simple(name, help, typ string, v int64) {
+	p.header(name, help, typ)
+	p.printf("%s %d\n", name, v)
+}

@@ -269,9 +269,20 @@ type Concurrent struct {
 	inner *core.Concurrent
 }
 
+// SingleWriter is the constraint NewConcurrent accepts: exactly the table
+// kinds that are NOT yet safe for concurrent use. Wrapping an
+// already-thread-safe store (Sharded, or a Concurrent itself) would stack a
+// redundant lock on top of its internal synchronization, so those kinds are
+// rejected at compile time — `NewConcurrent(sharded)` does not build.
+type SingleWriter interface {
+	*Table | *Blocked
+}
+
 // NewConcurrent wraps t for concurrent use; t must not be used directly
-// afterwards. t is the result of New or NewBlocked.
-func NewConcurrent[T interface{ *Table | *Blocked }](t T) *Concurrent {
+// afterwards. t is the result of New or NewBlocked. The SingleWriter
+// constraint makes wrapping a thread-safe kind a compile error rather than
+// a silent double-locking bug.
+func NewConcurrent[T SingleWriter](t T) *Concurrent {
 	switch v := any(t).(type) {
 	case *Table:
 		return &Concurrent{inner: core.NewConcurrent(v.inner)}
@@ -296,8 +307,14 @@ func (c *Concurrent) Delete(key uint64) bool { return c.inner.Delete(key) }
 // Len returns the number of live items.
 func (c *Concurrent) Len() int { return c.inner.Len() }
 
+// Capacity returns the wrapped table's total slot count.
+func (c *Concurrent) Capacity() int { return c.inner.Capacity() }
+
 // LoadRatio returns the current load ratio.
 func (c *Concurrent) LoadRatio() float64 { return c.inner.LoadRatio() }
+
+// StashLen returns the wrapped table's stash population.
+func (c *Concurrent) StashLen() int { return c.inner.StashLen() }
 
 // Stats returns merged operation counts.
 func (c *Concurrent) Stats() Stats { return fromStats(c.inner.Stats()) }
