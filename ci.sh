@@ -11,11 +11,15 @@
 # the test failures they predict.
 # Race gate: the concurrency-bearing packages (internal/core's RWMutex
 # wrapper and pathwise inserts, internal/shard's partitioned table,
-# internal/faultinject which drives both, and internal/wire's pipelined
+# internal/faultinject which drives both, internal/wire's pipelined
 # server/client — TestServerUnderTrafficWithScrape is the
 # server-under-traffic smoke, a client fleet hammering a telemetry-scraped
-# sharded table) run again under the race detector, which is what actually
-# exercises the reader/writer interleavings their tests stage.
+# sharded table — and internal/cluster, whose
+# TestClusterKillNodeConvergence runs a 3-node replicated cluster through
+# mixed traffic, a mid-run node kill with zero failed reads, and a
+# snapshot-restart catch-up) run again under the race detector, which is
+# what actually exercises the reader/writer interleavings their tests
+# stage.
 # Fuzz smoke: short bounded runs of the snapshot-loader and wire-frame
 # fuzzers so format changes that break the rejection paths fail in CI,
 # not in a long background fuzz.
@@ -49,7 +53,7 @@ say "go test: full suite"
 go test ./...
 
 say "go test -race: concurrency-bearing packages"
-go test -race ./internal/core/... ./internal/shard/... ./internal/faultinject/... ./internal/telemetry/... ./internal/wire/...
+go test -race ./internal/core/... ./internal/shard/... ./internal/faultinject/... ./internal/telemetry/... ./internal/wire/... ./internal/cluster/...
 
 say "fuzz smoke: snapshot loader"
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=5s ./internal/core

@@ -13,6 +13,17 @@
 // exposition (table telemetry plus mccuckoo_server_* counters) on /metrics
 // and the debug endpoints under /debug/mccuckoo/.
 //
+// With -peers the node joins a cluster (DESIGN.md §11): the store is
+// wrapped in replication bookkeeping, the replication opcodes are enabled,
+// and the node subscribes to every peer's op log, applying the entries it
+// owns under the shared consistent-hash ring (-replicas copies per key,
+// ring seeded by -seed, -vnodes virtual nodes — all of which must match on
+// every node and client). With -snapshot, a replication sidecar is
+// checkpointed next to the snapshot so a restart resumes its subscriptions
+// instead of taking a full resync. /metrics additionally exposes
+// mccuckoo_replica_* and per-peer mccuckoo_peer_* series (replica lag,
+// repair counts, connects).
+//
 // Example:
 //
 //	mcserved -addr :7466 -capacity 1048576 -shards 8 \
@@ -35,6 +46,7 @@ import (
 	"time"
 
 	"mccuckoo"
+	"mccuckoo/internal/cluster"
 	"mccuckoo/internal/wire"
 )
 
@@ -65,6 +77,10 @@ func run(args []string, stdout io.Writer) error {
 		maxConns   = fs.Int("maxconns", 256, "maximum simultaneous connections")
 		queue      = fs.Int("queue", 128, "per-connection work-queue depth (BUSY beyond it)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-drain budget on shutdown")
+		peers      = fs.String("peers", "", "comma-separated addresses of the other cluster nodes (enables replication)")
+		self       = fs.String("self", "", "this node's address in the cluster ring (default -addr)")
+		replicas   = fs.Int("replicas", 2, "copies kept of each key across the cluster")
+		vnodes     = fs.Int("vnodes", 0, "virtual nodes per cluster node (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +91,42 @@ func run(args []string, stdout io.Writer) error {
 	store, err := buildStore(*kind, *capacity, *shards, *seed, *load, tel)
 	if err != nil {
 		return err
+	}
+
+	// Cluster mode: wrap the store in replication bookkeeping and prepare
+	// the peer subscription loops. The ring covers self plus every peer.
+	var rep *wire.Replicated
+	var replicator *cluster.Replicator
+	sidecarPath := ""
+	if *peers != "" {
+		rep = wire.NewReplicated(store, wire.ReplicaConfig{})
+		if *snapshot != "" {
+			sidecarPath = *snapshot + ".replica"
+			if *load != "" {
+				if err := rep.LoadSidecar(sidecarPath); err != nil {
+					if !errors.Is(err, os.ErrNotExist) {
+						logger.Printf("replica sidecar %s: %v (starting with a full resync)", sidecarPath, err)
+					}
+				}
+			}
+		}
+		selfAddr := *self
+		if selfAddr == "" {
+			selfAddr = *addr
+		}
+		nodes := append(splitPeers(*peers), selfAddr)
+		replicator, err = cluster.NewReplicator(rep, cluster.ReplicatorConfig{
+			Self:     selfAddr,
+			Nodes:    nodes,
+			Replicas: *replicas,
+			VNodes:   *vnodes,
+			Seed:     *seed,
+			Logf:     logger.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		store = rep
 	}
 
 	srv, err := wire.NewServer(wire.Config{
@@ -103,6 +155,12 @@ func run(args []string, stdout io.Writer) error {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			tel.WriteMetrics(w)
 			srv.WritePrometheus(w)
+			if rep != nil {
+				rep.WritePrometheus(w)
+			}
+			if replicator != nil {
+				replicator.WritePrometheus(w)
+			}
 		})
 		mux.Handle("/debug/mccuckoo/", tel.Handler())
 		metricsSrv = &http.Server{Handler: mux}
@@ -140,7 +198,7 @@ func run(args []string, stdout io.Writer) error {
 			case <-ticker.C:
 				sampleGauges(store)
 				if *checkpoint > 0 && *snapshot != "" {
-					if err := saveSnapshot(store, *snapshot); err != nil {
+					if err := saveSnapshot(store, *snapshot, sidecarPath); err != nil {
 						logger.Printf("checkpoint: %v", err)
 					}
 				}
@@ -150,6 +208,10 @@ func run(args []string, stdout io.Writer) error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+	if replicator != nil {
+		replicator.Start()
+		fmt.Fprintf(stdout, "replicating with peers %s (replicas=%d)\n", *peers, *replicas)
+	}
 	fmt.Fprintf(stdout, "listening on %s (kind=%s capacity=%d)\n", ln.Addr(), *kind, *capacity)
 
 	select {
@@ -167,6 +229,9 @@ func run(args []string, stdout io.Writer) error {
 	case err := <-serveErr:
 		close(stopHousekeeping)
 		<-housekeepingDone
+		if replicator != nil {
+			replicator.Close()
+		}
 		if metricsSrv != nil {
 			metricsSrv.Close()
 		}
@@ -175,11 +240,14 @@ func run(args []string, stdout io.Writer) error {
 
 	close(stopHousekeeping)
 	<-housekeepingDone
+	if replicator != nil {
+		replicator.Close()
+	}
 	if metricsSrv != nil {
 		metricsSrv.Close()
 	}
 	if *snapshot != "" {
-		if err := saveSnapshot(store, *snapshot); err != nil {
+		if err := saveSnapshot(store, *snapshot, sidecarPath); err != nil {
 			return fmt.Errorf("final snapshot: %w", err)
 		}
 		logger.Printf("snapshot saved to %s", *snapshot)
@@ -238,9 +306,30 @@ func loadStore(path string, tel *mccuckoo.Telemetry) (mccuckoo.BatchStore, error
 	return nil, fmt.Errorf("load %s: no kind accepted the snapshot (%s)", path, strings.Join(errs, "; "))
 }
 
+// splitPeers parses the -peers list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // saveSnapshot checkpoints any kind: Locked wrappers save under their
-// mutex via Do, Sharded saves through its own shard locking.
-func saveSnapshot(store mccuckoo.BatchStore, path string) error {
+// mutex via Do, Sharded saves through its own shard locking. A Replicated
+// store checkpoints the value snapshot and its replication sidecar as one
+// consistent pair.
+func saveSnapshot(store mccuckoo.BatchStore, path, sidecar string) error {
+	if rep, ok := store.(*wire.Replicated); ok {
+		if sidecar == "" {
+			return saveSnapshot(rep.Inner(), path, "")
+		}
+		return rep.CheckpointWith(func() error {
+			return saveSnapshot(rep.Inner(), path, "")
+		}, sidecar)
+	}
 	if l, ok := store.(*wire.Locked); ok {
 		var err error
 		l.Do(func(s mccuckoo.BatchStore) {
@@ -261,6 +350,9 @@ func saveSnapshot(store mccuckoo.BatchStore, path string) error {
 // sampleGauges pushes fresh gauge values for kinds whose telemetry is
 // push-based.
 func sampleGauges(store mccuckoo.BatchStore) {
+	if rep, ok := store.(*wire.Replicated); ok {
+		store = rep.Inner()
+	}
 	if l, ok := store.(*wire.Locked); ok {
 		l.Do(func(s mccuckoo.BatchStore) {
 			if sm, ok := s.(sampler); ok {

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"mccuckoo"
+	"mccuckoo/internal/cluster"
 	"mccuckoo/internal/wire"
 )
 
@@ -163,6 +165,80 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	sigtermSelf(t)
 	if err := <-errCh; err != nil {
 		t.Fatalf("second run: %v", err)
+	}
+}
+
+// TestClusterServe boots a 3-node mcserved cluster with -peers, drives it
+// through the cluster client, and verifies the replication metrics are on
+// /metrics before a single SIGTERM drains all three nodes.
+func TestClusterServe(t *testing.T) {
+	addrs := make([]string, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close() // the node re-binds the same port
+	}
+
+	lineChans := make([]chan string, 3)
+	errChans := make([]chan error, 3)
+	for i, addr := range addrs {
+		var peers []string
+		for j, p := range addrs {
+			if j != i {
+				peers = append(peers, p)
+			}
+		}
+		lineChans[i], errChans[i] = startServed(t,
+			"-addr", addr, "-metrics", "127.0.0.1:0",
+			"-kind", "sharded", "-capacity", "8192", "-shards", "4", "-seed", "42",
+			"-peers", strings.Join(peers, ","), "-replicas", "2",
+		)
+	}
+	var murl string
+	for i := range addrs {
+		if i == 0 {
+			murl = strings.TrimPrefix(waitLine(t, lineChans[i], "metrics on "), "metrics on ")
+		}
+		waitLine(t, lineChans[i], "replicating with peers ")
+		waitLine(t, lineChans[i], "listening on ")
+	}
+
+	c, err := cluster.New(cluster.Config{Nodes: addrs, Replicas: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 200; k++ {
+		if err := c.Put(k, k*5); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	for k := uint64(1); k <= 200; k++ {
+		if v, found, err := c.Get(k); err != nil || !found || v != k*5 {
+			t.Fatalf("get %d: %d,%v,%v", k, v, found, err)
+		}
+	}
+	c.Close()
+
+	resp, err := http.Get(murl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"mccuckoo_replica_applied_seq", "mccuckoo_peer_replica_lag", "mccuckoo_server_subscriptions_active"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %s", want)
+		}
+	}
+
+	sigtermSelf(t)
+	for i := range errChans {
+		if err := <-errChans[i]; err != nil {
+			t.Fatalf("node %d run: %v", i, err)
+		}
 	}
 }
 

@@ -1,0 +1,479 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mccuckoo/internal/wire"
+)
+
+// ErrNoQuorum is wrapped by write errors when fewer than WriteQuorum
+// replicas acknowledged. Some replicas may still have applied the write —
+// a later read repairs the rest.
+var ErrNoQuorum = errors.New("cluster: write quorum not reached")
+
+// ErrAllReplicasFailed is wrapped by read errors when every consulted
+// replica failed at the transport or server level. A read that reaches at
+// least one replica succeeds (possibly returning not-found).
+var ErrAllReplicasFailed = errors.New("cluster: all replicas failed")
+
+// Config configures a cluster Client. Nodes is required; every other field
+// has a usable zero value.
+type Config struct {
+	// Nodes lists every node address in the cluster. All clients and all
+	// nodes must be configured with the same set (order-insensitive), the
+	// same Seed, and the same VNodes — placement is pure configuration.
+	Nodes []string
+
+	// Replicas is R, the copies kept of each key (default 2, capped at the
+	// node count). The cluster tolerates R-1 node losses with zero failed
+	// reads.
+	Replicas int
+
+	// WriteQuorum is W, the acknowledgements a write needs to succeed
+	// (default 1, capped at Replicas). W=1 keeps writes available while a
+	// node is down; the op-log catch-up and read-repair propagate the
+	// copies the write could not deliver itself.
+	WriteQuorum int
+
+	// ReadFanout is how many replicas a read consults (default Replicas).
+	// Consulting all R replicas makes every read a repair opportunity;
+	// lowering it trades freshness detection for round trips.
+	ReadFanout int
+
+	// VNodes and Seed parameterize the ring (defaults DefaultVNodes, 0).
+	VNodes int
+	Seed   uint64
+
+	// NodeID distinguishes this writer's sequence numbers from other
+	// writers in the same millisecond (8 bits used).
+	NodeID uint64
+
+	// Wire is the per-node client template; Addr is overridden per node.
+	Wire wire.ClientConfig
+
+	// SeqSource overrides the write sequence-number source, for
+	// deterministic tests. Sequence numbers must be strictly increasing
+	// per client; the default is a hybrid clock (wall millis in the high
+	// bits, NodeID below, a counter in the low bits).
+	SeqSource func() uint64
+}
+
+// Client fans operations across a cluster of mcserved nodes. Writes are
+// pushed to all R replicas of the key with a write quorum; reads consult
+// the replicas in ring order, answer from the newest copy, and push that
+// copy back to any stale replica (read-repair). All methods are safe for
+// concurrent use.
+type Client struct {
+	cfg  Config
+	ring *Ring
+	// peers is fixed at construction (one pooled wire client per node) and
+	// only read afterwards, so it needs no lock.
+	peers map[string]*peer
+
+	lastSeq atomic.Uint64
+	seqSrc  func() uint64
+
+	reads          atomic.Int64
+	readErrors     atomic.Int64
+	repairs        atomic.Int64
+	writes         atomic.Int64
+	quorumFailures atomic.Int64
+}
+
+// peer is one node's wire client plus its round-trip counter.
+type peer struct {
+	wc    *wire.Client
+	trips atomic.Int64
+}
+
+// New validates cfg, builds the ring, and dials nothing (wire clients
+// connect lazily).
+func New(cfg Config) (*Client, error) {
+	ring, err := NewRing(cfg.Nodes, cfg.VNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > len(ring.Nodes()) {
+		cfg.Replicas = len(ring.Nodes())
+	}
+	if cfg.WriteQuorum <= 0 {
+		cfg.WriteQuorum = 1
+	}
+	if cfg.WriteQuorum > cfg.Replicas {
+		return nil, fmt.Errorf("cluster: write quorum %d exceeds replica count %d", cfg.WriteQuorum, cfg.Replicas)
+	}
+	if cfg.ReadFanout <= 0 || cfg.ReadFanout > cfg.Replicas {
+		cfg.ReadFanout = cfg.Replicas
+	}
+	c := &Client{cfg: cfg, ring: ring, peers: make(map[string]*peer, len(ring.Nodes()))}
+	for _, addr := range ring.Nodes() {
+		wcfg := cfg.Wire
+		wcfg.Addr = addr
+		wc, err := wire.Dial(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		c.peers[addr] = &peer{wc: wc}
+	}
+	c.seqSrc = cfg.SeqSource
+	if c.seqSrc == nil {
+		id := (cfg.NodeID & 0xff) << 14
+		c.seqSrc = func() uint64 {
+			return uint64(time.Now().UnixMilli())<<22 | id
+		}
+	}
+	return c, nil
+}
+
+// Close closes every per-node wire client.
+func (c *Client) Close() error {
+	for _, p := range c.peers {
+		p.wc.Close()
+	}
+	return nil
+}
+
+// Ring returns the client's placement ring.
+func (c *Client) Ring() *Ring { return c.ring }
+
+// nextSeq issues a strictly increasing sequence number: the hybrid-clock
+// candidate, bumped past the previously issued one when the clock has not
+// advanced (or ran backwards).
+func (c *Client) nextSeq() uint64 {
+	for {
+		prev := c.lastSeq.Load()
+		cand := c.seqSrc()
+		if cand <= prev {
+			cand = prev + 1
+		}
+		if c.lastSeq.CompareAndSwap(prev, cand) {
+			return cand
+		}
+	}
+}
+
+// replicasOf returns key's replica addresses in ring order.
+func (c *Client) replicasOf(key uint64) []string {
+	var buf [8]string
+	return c.ring.Replicas(key, c.cfg.Replicas, buf[:0])
+}
+
+// Put writes key/value to all replicas, succeeding once WriteQuorum
+// replicas acknowledged.
+func (c *Client) Put(key, value uint64) error {
+	return c.write(wire.Entry{Op: wire.OpPut, Key: key, Value: value})
+}
+
+// Del deletes key on all replicas (leaving a tombstone), succeeding once
+// WriteQuorum replicas acknowledged.
+func (c *Client) Del(key uint64) error {
+	return c.write(wire.Entry{Op: wire.OpDel, Key: key})
+}
+
+func (c *Client) write(e wire.Entry) error {
+	c.writes.Add(1)
+	e.Seq = c.nextSeq()
+	replicas := c.replicasOf(e.Key)
+	ents := []wire.Entry{e}
+	acks := 0
+	var firstErr error
+	for _, ok := range c.fanPush(replicas, e.Seq, ents, &firstErr) {
+		if ok {
+			acks++
+		}
+	}
+	if acks >= c.cfg.WriteQuorum {
+		return nil
+	}
+	c.quorumFailures.Add(1)
+	return fmt.Errorf("%w (%d/%d acks for key %d): %v", ErrNoQuorum, acks, c.cfg.WriteQuorum, e.Key, firstErr)
+}
+
+// fanPush sends one REPLICATE push to every replica concurrently. oks[i]
+// reports whether replicas[i] durably holds the entries (applied or
+// already-newer); *firstErr receives one representative failure.
+func (c *Client) fanPush(replicas []string, head uint64, ents []wire.Entry, firstErr *error) []bool {
+	oks := make([]bool, len(replicas))
+	errs := make([]error, len(replicas))
+	var wg sync.WaitGroup
+	for i, addr := range replicas {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			p.trips.Add(1)
+			statuses, err := p.wc.Replicate(head, ents)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for _, st := range statuses {
+				if st == wire.ApplyFailed {
+					errs[i] = errors.New("replica table full")
+					return
+				}
+			}
+			oks[i] = true
+		}(i, c.peers[addr])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		for _, err := range errs {
+			if err != nil {
+				*firstErr = err
+				break
+			}
+		}
+	}
+	return oks
+}
+
+// vread is one replica's VGET answer.
+type vread struct {
+	state byte
+	value uint64
+	seq   uint64
+	err   error
+}
+
+// Get reads key: all consulted replicas are queried concurrently, the
+// newest copy wins, and any stale (or missing) replica that answered is
+// repaired with the winning copy before Get returns. Get fails only when
+// every consulted replica failed.
+func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
+	c.reads.Add(1)
+	var buf [8]string
+	replicas := c.ring.Replicas(key, c.cfg.ReadFanout, buf[:0])
+	reads := make([]vread, len(replicas))
+	var wg sync.WaitGroup
+	for i, addr := range replicas {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			p.trips.Add(1)
+			r := &reads[i]
+			r.state, r.value, r.seq, r.err = p.wc.VGet(key)
+		}(i, c.peers[addr])
+	}
+	wg.Wait()
+
+	best := -1
+	answered := 0
+	for i := range reads {
+		if reads[i].err != nil {
+			c.readErrors.Add(1)
+			continue
+		}
+		answered++
+		if best < 0 || reads[i].seq > reads[best].seq {
+			best = i
+		}
+	}
+	if answered == 0 {
+		return 0, false, fmt.Errorf("%w (key %d): %v", ErrAllReplicasFailed, key, reads[0].err)
+	}
+	win := reads[best]
+	c.repair(key, replicas, reads, win)
+	if win.state == wire.VStateLive {
+		return win.value, true, nil
+	}
+	return 0, false, nil
+}
+
+// repair pushes the winning copy to every replica that answered with an
+// older one. Repairs are synchronous — the read returns only after the
+// disagreeing replicas converged — and best-effort: a failed repair is not
+// a read failure.
+func (c *Client) repair(key uint64, replicas []string, reads []vread, win vread) {
+	if win.state == wire.VStateMissing {
+		return // nobody has ever seen the key; nothing to propagate
+	}
+	ent := wire.Entry{Seq: win.seq, Key: key}
+	switch win.state {
+	case wire.VStateLive:
+		ent.Op = wire.OpPut
+		ent.Value = win.value
+	case wire.VStateTomb:
+		ent.Op = wire.OpDel
+	}
+	var stale []string
+	for i := range reads {
+		if reads[i].err != nil {
+			continue
+		}
+		if reads[i].seq < win.seq || reads[i].state == wire.VStateMissing {
+			stale = append(stale, replicas[i])
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	c.repairs.Add(int64(len(stale)))
+	c.fanPush(stale, win.seq, []wire.Entry{ent}, nil)
+}
+
+// PutBatch writes every pair, grouping the per-replica pushes into one
+// REPLICATE frame per node. It fails (with the first per-key error) if any
+// key misses its write quorum; all other keys are still written.
+func (c *Client) PutBatch(keys, values []uint64) error {
+	if len(keys) != len(values) {
+		panic("cluster: PutBatch called with mismatched key/value lengths")
+	}
+	ents := make([]wire.Entry, len(keys))
+	for i, k := range keys {
+		ents[i] = wire.Entry{Seq: c.nextSeq(), Op: wire.OpPut, Key: k, Value: values[i]}
+	}
+	return c.writeBatch(ents)
+}
+
+// DelBatch deletes every key, grouped like PutBatch.
+func (c *Client) DelBatch(keys []uint64) error {
+	ents := make([]wire.Entry, len(keys))
+	for i, k := range keys {
+		ents[i] = wire.Entry{Seq: c.nextSeq(), Op: wire.OpDel, Key: k}
+	}
+	return c.writeBatch(ents)
+}
+
+// writeBatch distributes entries to their replicas, one push per node, and
+// verifies every entry reached its write quorum.
+func (c *Client) writeBatch(ents []wire.Entry) error {
+	c.writes.Add(int64(len(ents)))
+	perNode := make(map[string][]wire.Entry)
+	perNodeIdx := make(map[string][]int)
+	for i := range ents {
+		for _, addr := range c.replicasOf(ents[i].Key) {
+			perNode[addr] = append(perNode[addr], ents[i])
+			perNodeIdx[addr] = append(perNodeIdx[addr], i)
+		}
+	}
+	acks := make([]int, len(ents))
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for addr := range perNode {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			p := c.peers[addr]
+			p.trips.Add(1)
+			statuses, err := p.wc.Replicate(ents[len(ents)-1].Seq, perNode[addr])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for j, st := range statuses {
+				if st == wire.ApplyFailed {
+					if firstErr == nil {
+						firstErr = errors.New("replica table full")
+					}
+					continue
+				}
+				acks[perNodeIdx[addr][j]]++
+			}
+		}(addr)
+	}
+	wg.Wait()
+	for i, n := range acks {
+		if n < c.cfg.WriteQuorum {
+			c.quorumFailures.Add(1)
+			return fmt.Errorf("%w (%d/%d acks for key %d): %v", ErrNoQuorum, n, c.cfg.WriteQuorum, ents[i].Key, firstErr)
+		}
+	}
+	return nil
+}
+
+// GetBatch reads every key with the same replica fan-out and read-repair
+// as Get, a bounded number of keys in flight at once.
+func (c *Client) GetBatch(keys []uint64) (values []uint64, found []bool, err error) {
+	values = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	errs := make([]error, len(keys))
+	sem := make(chan struct{}, 16)
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, k uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			values[i], found[i], errs[i] = c.Get(k)
+		}(i, k)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return values, found, e
+		}
+	}
+	return values, found, nil
+}
+
+// Metrics is a snapshot of the client's counters.
+type Metrics struct {
+	Reads          int64
+	ReadErrors     int64
+	Repairs        int64
+	Writes         int64
+	QuorumFailures int64
+	// PeerTrips counts round trips per node address.
+	PeerTrips map[string]int64
+}
+
+// MetricsSnapshot returns the current counter values.
+func (c *Client) MetricsSnapshot() Metrics {
+	m := Metrics{
+		Reads:          c.reads.Load(),
+		ReadErrors:     c.readErrors.Load(),
+		Repairs:        c.repairs.Load(),
+		Writes:         c.writes.Load(),
+		QuorumFailures: c.quorumFailures.Load(),
+		PeerTrips:      make(map[string]int64, len(c.peers)),
+	}
+	for addr, p := range c.peers {
+		m.PeerTrips[addr] = p.trips.Load()
+	}
+	return m
+}
+
+// WritePrometheus writes the cluster client's metrics in Prometheus text
+// exposition under the mccuckoo_cluster_ prefix.
+func (c *Client) WritePrometheus(w io.Writer) error {
+	m := c.MetricsSnapshot()
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	simple := func(name, help string, v int64) {
+		pf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	simple("mccuckoo_cluster_reads_total", "Cluster reads issued.", m.Reads)
+	simple("mccuckoo_cluster_read_errors_total", "Per-replica read failures.", m.ReadErrors)
+	simple("mccuckoo_cluster_read_repairs_total", "Stale replicas repaired by reads.", m.Repairs)
+	simple("mccuckoo_cluster_writes_total", "Cluster writes issued.", m.Writes)
+	simple("mccuckoo_cluster_quorum_failures_total", "Writes that missed their quorum.", m.QuorumFailures)
+	pf("# HELP mccuckoo_cluster_peer_trips_total Round trips per peer.\n# TYPE mccuckoo_cluster_peer_trips_total counter\n")
+	addrs := make([]string, 0, len(m.PeerTrips))
+	for addr := range m.PeerTrips {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		pf("mccuckoo_cluster_peer_trips_total{peer=%q} %d\n", addr, m.PeerTrips[addr])
+	}
+	return err
+}

@@ -1,0 +1,396 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mccuckoo"
+	"mccuckoo/internal/wire"
+)
+
+const testRingSeed = 7
+
+// testNode is one in-process cluster member, mirroring what
+// cmd/mcserved -peers assembles.
+type testNode struct {
+	addr string
+	tab  *mccuckoo.Sharded
+	rep  *wire.Replicated
+	srv  *wire.Server
+	r    *Replicator
+}
+
+type nodeOpts struct {
+	oplogSize    int
+	noReplicator bool
+	// snap/sidecar, when set, restore the node's state before it serves —
+	// the restart path a crashed mcserved takes.
+	snap, sidecar string
+}
+
+func startTestNode(t *testing.T, addr string, nodes []string, opt nodeOpts) *testNode {
+	t.Helper()
+	var tab *mccuckoo.Sharded
+	var err error
+	if opt.snap != "" {
+		tab, err = mccuckoo.LoadShardedFile(opt.snap)
+	} else {
+		tab, err = mccuckoo.NewSharded(1<<14, 8, mccuckoo.WithSeed(42))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := wire.NewReplicated(tab, wire.ReplicaConfig{OplogSize: opt.oplogSize})
+	if opt.sidecar != "" {
+		if err := rep.LoadSidecar(opt.sidecar); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := wire.NewServer(wire.Config{Store: rep, SubKeepalive: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	n := &testNode{addr: addr, tab: tab, rep: rep, srv: srv}
+	if !opt.noReplicator {
+		n.r, err = NewReplicator(rep, ReplicatorConfig{
+			Self:      addr,
+			Nodes:     nodes,
+			Replicas:  2,
+			Seed:      testRingSeed,
+			RetryBase: 10 * time.Millisecond,
+			RetryMax:  250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.r.Start()
+	}
+	return n
+}
+
+func (n *testNode) stop() {
+	if n.r != nil {
+		n.r.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	n.srv.Shutdown(ctx)
+}
+
+// freeAddrs reserves n distinct loopback addresses so every node can know
+// the full ring before any node is up.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestClusterKillNodeConvergence is the tentpole scenario: a 3-node R=2
+// cluster under mixed traffic loses a node mid-run with zero failed reads,
+// keeps accepting writes and deletes, and the node restarted from its
+// snapshot + replication sidecar converges back to byte-identical state via
+// the op-log catch-up stream.
+func TestClusterKillNodeConvergence(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	nodes := make([]*testNode, 3)
+	for i, addr := range addrs {
+		nodes[i] = startTestNode(t, addr, addrs, nodeOpts{})
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.stop()
+		}
+	}()
+
+	c, err := New(Config{Nodes: addrs, Replicas: 2, Seed: testRingSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const initial = 1500
+	expected := make(map[uint64]uint64, initial)
+	for k := uint64(1); k <= initial; k++ {
+		if err := c.Put(k, k*7); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+		expected[k] = k * 7
+	}
+
+	// Checkpoint node 0 so its restart exercises the snapshot+sidecar
+	// restore path rather than a from-scratch sync.
+	snap := filepath.Join(t.TempDir(), "n0.snap")
+	sidecar := snap + ".replica"
+	if err := nodes[0].rep.CheckpointWith(func() error {
+		return nodes[0].tab.SaveFile(snap)
+	}, sidecar); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Mixed traffic spanning the kill: two writers and a deleter run while
+	// the node goes down.
+	var wg sync.WaitGroup
+	var trafficErrs atomic.Int64
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := uint64(initial + 1 + w*150); k <= uint64(initial+(w+1)*150); k++ {
+				if err := c.Put(k, k*7); err != nil {
+					trafficErrs.Add(1)
+					t.Errorf("put %d during kill window: %v", k, err)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := uint64(1); k <= 100; k++ {
+			if err := c.Del(k); err != nil {
+				trafficErrs.Add(1)
+				t.Errorf("del %d during kill window: %v", k, err)
+			}
+		}
+	}()
+
+	time.Sleep(10 * time.Millisecond)
+	nodes[0].stop()
+
+	// Every key still has a live replica: the full sweep over the untouched
+	// key range must not fail a single read.
+	failed := 0
+	for k := uint64(101); k <= initial; k++ {
+		v, found, err := c.Get(k)
+		if err != nil || !found || v != k*7 {
+			failed++
+		}
+	}
+	if failed != 0 {
+		t.Fatalf("%d failed reads with one node down, want 0", failed)
+	}
+	wg.Wait()
+	if trafficErrs.Load() != 0 {
+		t.Fatalf("%d writes/deletes failed during the kill window", trafficErrs.Load())
+	}
+	for k := uint64(initial + 1); k <= initial+300; k++ {
+		expected[k] = k * 7
+	}
+	deleted := make([]uint64, 0, 100)
+	for k := uint64(1); k <= 100; k++ {
+		delete(expected, k)
+		deleted = append(deleted, k)
+	}
+
+	// Restart node 0 from its checkpoint; the op-log subscriptions resume
+	// from the sidecar's applied sequence and replay what it missed.
+	nodes[0] = startTestNode(t, addrs[0], addrs, nodeOpts{snap: snap, sidecar: sidecar})
+
+	ring := c.Ring()
+	owned := func(k uint64) bool { return ring.Owns(addrs[0], k, 2) }
+	waitFor(t, 15*time.Second, "restarted node to converge", func() bool {
+		for k, v := range expected {
+			if !owned(k) {
+				continue
+			}
+			if st, got, _ := nodes[0].rep.VGet(k); st != wire.VStateLive || got != v {
+				return false
+			}
+		}
+		for _, k := range deleted {
+			if !owned(k) {
+				continue
+			}
+			if st, _, _ := nodes[0].rep.VGet(k); st != wire.VStateTomb {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The whole cluster agrees through the client.
+	for k, v := range expected {
+		got, found, err := c.Get(k)
+		if err != nil || !found || got != v {
+			t.Fatalf("converged get %d: %d,%v,%v want %d,true", k, got, found, err, v)
+		}
+	}
+	for _, k := range deleted {
+		if _, found, err := c.Get(k); err != nil || found {
+			t.Fatalf("deleted key %d still visible (found=%v err=%v)", k, found, err)
+		}
+	}
+
+	st := nodes[0].rep.ReplicaStats()
+	if st.EntriesApplied == 0 {
+		t.Error("restarted node applied no streamed entries")
+	}
+	// The lag gauge must drain to zero even though node 0 owns only a
+	// subset of the keyspace (lag counts streamed entries, not applied).
+	waitFor(t, 5*time.Second, "replica lag to drain", func() bool {
+		return nodes[0].r.MaxLag() == 0
+	})
+	m := c.MetricsSnapshot()
+	if m.ReadErrors == 0 {
+		t.Error("no per-replica read errors recorded despite a dead node")
+	}
+	var b strings.Builder
+	if err := nodes[0].r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mccuckoo_peer_replica_lag", "mccuckoo_peer_entries_applied_total"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("replicator metrics missing %s", want)
+		}
+	}
+	b.Reset()
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mccuckoo_cluster_read_repairs_total") {
+		t.Error("client metrics missing mccuckoo_cluster_read_repairs_total")
+	}
+}
+
+// TestClusterReadRepair creates sequence skew directly (no replicators
+// running, so only the client can heal) and verifies a read answers from
+// the newest copy and pushes it back to the stale replica — for both live
+// values and tombstones.
+func TestClusterReadRepair(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	a := startTestNode(t, addrs[0], addrs, nodeOpts{noReplicator: true})
+	b := startTestNode(t, addrs[1], addrs, nodeOpts{noReplicator: true})
+	defer a.stop()
+	defer b.stop()
+
+	var ctr atomic.Uint64
+	c, err := New(Config{
+		Nodes:     addrs,
+		Replicas:  2,
+		Seed:      testRingSeed,
+		SeqSource: func() uint64 { return ctr.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const key = 12345
+	if err := c.Put(key, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	// Skew: a newer value lands on node A only (as if A alone survived a
+	// partition during the write).
+	wa, err := wire.Dial(wire.ClientConfig{Addr: addrs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wa.Close()
+	if _, err := wa.Replicate(1000, []wire.Entry{{Seq: 1000, Op: wire.OpPut, Key: key, Value: 999}}); err != nil {
+		t.Fatal(err)
+	}
+
+	v, found, err := c.Get(key)
+	if err != nil || !found || v != 999 {
+		t.Fatalf("get after skew: %d,%v,%v want 999,true", v, found, err)
+	}
+	if got := c.MetricsSnapshot().Repairs; got != 1 {
+		t.Fatalf("repairs = %d, want 1", got)
+	}
+	// The stale replica now holds the winning copy at the winning seq.
+	if st, bv, seq := b.rep.VGet(key); st != wire.VStateLive || bv != 999 || seq != 1000 {
+		t.Fatalf("repaired replica: state=%d value=%d seq=%d, want live 999 @1000", st, bv, seq)
+	}
+
+	// Tombstones repair the same way.
+	if _, err := wa.Replicate(2000, []wire.Entry{{Seq: 2000, Op: wire.OpDel, Key: key}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := c.Get(key); err != nil || found {
+		t.Fatalf("get after skewed delete: found=%v err=%v", found, err)
+	}
+	if got := c.MetricsSnapshot().Repairs; got != 2 {
+		t.Fatalf("repairs = %d, want 2", got)
+	}
+	if st, _, seq := b.rep.VGet(key); st != wire.VStateTomb || seq != 2000 {
+		t.Fatalf("repaired tombstone: state=%d seq=%d, want tomb @2000", st, seq)
+	}
+}
+
+// TestClusterBootstrapFullSync starts a node from nothing against a peer
+// whose op log no longer reaches back to sequence zero: the subscription
+// must fall back to a full state dump, after which both nodes (each owning
+// every key at R=2 over two nodes) carry identical state digests.
+func TestClusterBootstrapFullSync(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	// Node A's tiny op log guarantees the 100 writes below overrun it.
+	a := startTestNode(t, addrs[0], addrs, nodeOpts{oplogSize: 8})
+	defer a.stop()
+
+	var ctr atomic.Uint64
+	c, err := New(Config{
+		Nodes:     addrs,
+		Replicas:  2,
+		Seed:      testRingSeed,
+		SeqSource: func() uint64 { return ctr.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Node B is down; W=1 keeps the writes available on A alone.
+	for k := uint64(1); k <= 100; k++ {
+		if err := c.Put(k, k*3); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+
+	b := startTestNode(t, addrs[1], addrs, nodeOpts{})
+	defer b.stop()
+	waitFor(t, 10*time.Second, "bootstrap node to converge", func() bool {
+		return b.rep.Digest() == a.rep.Digest() && b.rep.ReplicaStats().TrackedKeys == 100
+	})
+
+	for k := uint64(1); k <= 100; k++ {
+		if st, v, _ := b.rep.VGet(k); st != wire.VStateLive || v != k*3 {
+			t.Fatalf("bootstrapped key %d: state=%d value=%d", k, st, v)
+		}
+	}
+	if got := a.rep.ReplicaStats().FullSyncs; got < 1 {
+		t.Errorf("peer served %d full syncs, want >= 1", got)
+	}
+	if got := b.r.peerStates[addrs[0]].fullSyncs.Load(); got < 1 {
+		t.Errorf("bootstrap node recorded %d full syncs, want >= 1", got)
+	}
+}

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mccuckoo/internal/wire"
+)
+
+// ReplicatorConfig configures a node-side Replicator.
+type ReplicatorConfig struct {
+	// Self is this node's address as it appears in Nodes — entries for
+	// keys this node does not own (per the ring) are skipped.
+	Self string
+
+	// Nodes, Replicas, VNodes, Seed parameterize the ring and must match
+	// the cluster clients' configuration.
+	Nodes    []string
+	Replicas int
+	VNodes   int
+	Seed     uint64
+
+	// DialTimeout bounds each peer dial (default 5s); ReadTimeout bounds
+	// the wait for the next stream frame (default 10s — comfortably above
+	// the server's keepalive cadence, so an expiry means a dead peer).
+	DialTimeout time.Duration
+	ReadTimeout time.Duration
+
+	// RetryBase is the first reconnect backoff; each failure doubles it up
+	// to RetryMax, with ±50% jitter (defaults 100ms, 3s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// Logf, when non-nil, receives one line per abnormal peer event.
+	Logf func(format string, args ...any)
+}
+
+// Replicator keeps one node's Replicated store converged with its peers: a
+// goroutine per peer subscribes to the peer's op log, resuming from this
+// node's applied sequence number, applies the streamed entries this node
+// owns, and reconnects with backoff when the peer goes away. A restarted
+// node needs no special bootstrap path — its first subscription resumes
+// from whatever its snapshot+sidecar restored, and the peer answers with a
+// full state dump when that point predates its op log.
+type Replicator struct {
+	cfg  ReplicatorConfig
+	ring *Ring
+	rep  *wire.Replicated
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// peerStates is fixed at Start and only read afterwards.
+	peerStates map[string]*peerState
+}
+
+// peerState is the per-peer telemetry the replica-lag metric reads.
+type peerState struct {
+	// lag is the peer's advertised head minus the newest sequence number
+	// seen on its stream, clamped at zero. It is measured before the
+	// ownership filter — a node that skips entries it does not own is not
+	// lagging — so it reads zero exactly when the subscription has drained
+	// everything the peer has.
+	lag       atomic.Int64
+	applied   atomic.Int64
+	stale     atomic.Int64
+	failed    atomic.Int64
+	connects  atomic.Int64
+	errors    atomic.Int64
+	fullSyncs atomic.Int64
+}
+
+// NewReplicator validates cfg and prepares the per-peer loops; Start
+// launches them.
+func NewReplicator(rep *wire.Replicated, cfg ReplicatorConfig) (*Replicator, error) {
+	ring, err := NewRing(cfg.Nodes, cfg.VNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 10 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 3 * time.Second
+	}
+	r := &Replicator{
+		cfg:        cfg,
+		ring:       ring,
+		rep:        rep,
+		stop:       make(chan struct{}),
+		peerStates: make(map[string]*peerState),
+	}
+	for _, addr := range ring.Nodes() {
+		if addr == cfg.Self {
+			continue
+		}
+		r.peerStates[addr] = &peerState{}
+	}
+	return r, nil
+}
+
+func (r *Replicator) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Start launches one subscription loop per peer.
+func (r *Replicator) Start() {
+	for addr, st := range r.peerStates {
+		r.wg.Add(1)
+		go r.peerLoop(addr, st)
+	}
+}
+
+// Close stops every peer loop and waits for them to exit.
+func (r *Replicator) Close() {
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// peerLoop subscribes to one peer forever (until Close), reconnecting with
+// jittered exponential backoff.
+func (r *Replicator) peerLoop(addr string, st *peerState) {
+	defer r.wg.Done()
+	backoff := r.cfg.RetryBase
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		err := r.streamOnce(addr, st)
+		if err == nil {
+			return // stopped
+		}
+		st.errors.Add(1)
+		r.logf("cluster: peer %s: %v", addr, err)
+		d := backoff/2 + rand.N(backoff)
+		backoff *= 2
+		if backoff > r.cfg.RetryMax {
+			backoff = r.cfg.RetryMax
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(d):
+		}
+	}
+}
+
+// streamOnce runs one subscription: dial, handshake, then apply stream
+// frames until the connection breaks (returned as an error) or Close (nil).
+func (r *Replicator) streamOnce(addr string, st *peerState) error {
+	nc, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer nc.Close()
+	st.connects.Add(1)
+
+	// Close interrupts the blocking read below by killing the connection.
+	dead := make(chan struct{})
+	defer close(dead)
+	go func() {
+		select {
+		case <-r.stop:
+			nc.Close()
+		case <-dead:
+		}
+	}()
+
+	fromSeq := r.rep.Applied()
+	sub := wire.AppendFrame(nil, wire.Frame{
+		Type:    wire.OpSub,
+		ID:      1,
+		Payload: wire.AppendSubscribePayload(nil, fromSeq),
+	})
+	nc.SetWriteDeadline(time.Now().Add(r.cfg.DialTimeout))
+	if _, err := nc.Write(sub); err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+
+	var buf []byte
+	var f wire.Frame
+	readFrame := func() error {
+		nc.SetReadDeadline(time.Now().Add(r.cfg.ReadTimeout))
+		f, buf, err = wire.ReadFrame(nc, wire.DefaultMaxPayload, buf)
+		return err
+	}
+	if err := readFrame(); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	if !f.IsResponse() || f.Status() != wire.StatusOK {
+		return fmt.Errorf("handshake rejected: %s", handshakeReject(f))
+	}
+	head, full, ok := wire.ParseSubscribeResponse(f.Payload)
+	if !ok {
+		return fmt.Errorf("malformed subscribe response")
+	}
+	if full {
+		st.fullSyncs.Add(1)
+		r.logf("cluster: peer %s: resume point %d predates op log; taking full sync", addr, fromSeq)
+	}
+	// seen is the newest sequence number this stream has delivered,
+	// counted before the ownership filter. A head above it means entries
+	// are still in flight; a head at or below it means we are current.
+	seen := uint64(0)
+	observeHead(st, head, seen)
+
+	var ents []wire.Entry
+	owned := make([]wire.Entry, 0, 256)
+	for {
+		if err := readFrame(); err != nil {
+			select {
+			case <-r.stop:
+				return nil
+			default:
+			}
+			return fmt.Errorf("stream: %w", err)
+		}
+		if f.IsResponse() {
+			// The only in-band response after the handshake is the ERR the
+			// server sends when the subscription overran the op log.
+			return fmt.Errorf("stream ended: %s", handshakeReject(f))
+		}
+		if f.Type != wire.OpReplicate {
+			return fmt.Errorf("unexpected %s frame on subscription", wire.OpName(f.Type))
+		}
+		head, parsed, ok := wire.ParseReplicatePayload(f.Payload, ents)
+		if !ok {
+			return fmt.Errorf("malformed replicate frame")
+		}
+		ents = parsed
+		owned = owned[:0]
+		for _, e := range ents {
+			if e.Seq > seen {
+				seen = e.Seq
+			}
+			if r.ring.Owns(r.cfg.Self, e.Key, r.cfg.Replicas) {
+				owned = append(owned, e)
+			}
+		}
+		if len(owned) > 0 {
+			applied, stale, failed := r.rep.ApplyStream(owned)
+			st.applied.Add(int64(applied))
+			st.stale.Add(int64(stale))
+			st.failed.Add(int64(failed))
+		}
+		observeHead(st, head, seen)
+	}
+}
+
+// observeHead refreshes the peer's lag gauge: its advertised high-water
+// sequence number minus the newest sequence its stream has delivered,
+// clamped at zero (a peer cannot advertise less than it has sent without
+// the gauge simply reading current).
+func observeHead(st *peerState, head, seen uint64) {
+	lag := int64(0)
+	if head > seen {
+		lag = int64(head - seen)
+	}
+	st.lag.Store(lag)
+}
+
+// handshakeReject renders a rejection frame for an error message.
+func handshakeReject(f wire.Frame) string {
+	if f.IsResponse() && f.Status() == wire.StatusErr {
+		return string(f.Payload)
+	}
+	return fmt.Sprintf("unexpected frame type %#02x", f.Type)
+}
+
+// MaxLag returns the largest per-peer replica lag, in op-log entries.
+func (r *Replicator) MaxLag() int64 {
+	var max int64
+	for _, st := range r.peerStates {
+		if l := st.lag.Load(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// WritePrometheus writes the per-peer replication metrics in Prometheus
+// text exposition under the mccuckoo_peer_ prefix.
+func (r *Replicator) WritePrometheus(w io.Writer) error {
+	addrs := make([]string, 0, len(r.peerStates))
+	for addr := range r.peerStates {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	series := func(name, help, typ string, get func(*peerState) int64) {
+		pf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, addr := range addrs {
+			pf("%s{peer=%q} %d\n", name, addr, get(r.peerStates[addr]))
+		}
+	}
+	series("mccuckoo_peer_replica_lag", "Peer head minus newest streamed sequence number.", "gauge",
+		func(st *peerState) int64 { return st.lag.Load() })
+	series("mccuckoo_peer_entries_applied_total", "Streamed entries applied from this peer.", "counter",
+		func(st *peerState) int64 { return st.applied.Load() })
+	series("mccuckoo_peer_entries_stale_total", "Streamed entries ignored as stale.", "counter",
+		func(st *peerState) int64 { return st.stale.Load() })
+	series("mccuckoo_peer_entries_failed_total", "Streamed entries that lost to table capacity.", "counter",
+		func(st *peerState) int64 { return st.failed.Load() })
+	series("mccuckoo_peer_connects_total", "Subscription connections established to this peer.", "counter",
+		func(st *peerState) int64 { return st.connects.Load() })
+	series("mccuckoo_peer_errors_total", "Subscription failures for this peer.", "counter",
+		func(st *peerState) int64 { return st.errors.Load() })
+	series("mccuckoo_peer_full_syncs_total", "Subscriptions that required a full state dump.", "counter",
+		func(st *peerState) int64 { return st.fullSyncs.Load() })
+	return err
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func testNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("10.0.0.%d:9053", i+1)
+	}
+	return nodes
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0, 1); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+	if _, err := NewRing(testNodes(65), 0, 1); err == nil {
+		t.Fatal(">64 nodes accepted")
+	}
+	dup := []string{"a:1", "b:1", "a:1"}
+	if _, err := NewRing(dup, 0, 1); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+// Same seed + same node set (in any order) must yield the identical replica
+// assignment for every key — placement is pure configuration, so a client
+// and a node that each build their own ring must always agree.
+func TestRingDeterministicAcrossNodeOrder(t *testing.T) {
+	nodes := testNodes(7)
+	const seed = 0x9e3779b97f4a7c15
+
+	ref, err := NewRing(nodes, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		r, err := NewRing(shuffled, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for key := uint64(1); key <= 10_000; key++ {
+			var a, b [8]string
+			want := ref.Replicas(key, 3, a[:0])
+			got := r.Replicas(key, 3, b[:0])
+			if len(want) != len(got) {
+				t.Fatalf("trial %d key %d: %v vs %v", trial, key, want, got)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("trial %d key %d: replica %d is %s, want %s", trial, key, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRingReplicasDistinctAndOwned(t *testing.T) {
+	r, err := NewRing(testNodes(5), 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(1); key <= 2_000; key++ {
+		var buf [8]string
+		reps := r.Replicas(key, 3, buf[:0])
+		if len(reps) != 3 {
+			t.Fatalf("key %d: %d replicas, want 3", key, len(reps))
+		}
+		seen := map[string]bool{}
+		for _, a := range reps {
+			if seen[a] {
+				t.Fatalf("key %d: duplicate replica %s", key, a)
+			}
+			seen[a] = true
+			if !r.Owns(a, key, 3) {
+				t.Fatalf("key %d: Owns(%s) disagrees with Replicas", key, a)
+			}
+		}
+		if r.Owns("nope:1", key, 3) {
+			t.Fatalf("key %d: Owns accepted a non-member", key)
+		}
+	}
+	// Asking for more replicas than nodes returns every node once.
+	var buf [8]string
+	if got := r.Replicas(7, 100, buf[:0]); len(got) != 5 {
+		t.Fatalf("over-asked replicas: got %d, want 5", len(got))
+	}
+}
+
+// Consistent hashing's defining property: growing an N-node ring by one
+// node may only move keys onto the new node — a key's primary never moves
+// between two old nodes — and the moved fraction stays near 1/(N+1).
+func TestRingRebalanceBounds(t *testing.T) {
+	const samples = 20_000
+	for _, n := range []int{4, 8, 16} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			nodes := testNodes(n)
+			before, err := NewRing(nodes, 0, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grown := append(append([]string(nil), nodes...), "10.0.1.1:9053")
+			after, err := NewRing(grown, 0, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for key := uint64(1); key <= samples; key++ {
+				var a, b [8]string
+				oldPrimary := before.Replicas(key, 1, a[:0])[0]
+				newPrimary := after.Replicas(key, 1, b[:0])[0]
+				if oldPrimary == newPrimary {
+					continue
+				}
+				if newPrimary != "10.0.1.1:9053" {
+					t.Fatalf("n=%d seed=%d key %d: primary moved %s -> %s, neither the new node",
+						n, seed, key, oldPrimary, newPrimary)
+				}
+				moved++
+			}
+			frac := float64(moved) / samples
+			ideal := 1.0 / float64(n+1)
+			// With 128 vnodes the load split wobbles around the ideal; allow
+			// a generous factor-of-two band plus an absolute floor so small
+			// fractions don't trip it.
+			if frac > 2*ideal+0.02 {
+				t.Fatalf("n=%d seed=%d: %.3f of keys moved, ideal %.3f", n, seed, frac, ideal)
+			}
+			if moved == 0 {
+				t.Fatalf("n=%d seed=%d: no keys moved to the new node", n, seed)
+			}
+		}
+	}
+}
+
+// The per-node key share should be near 1/N: virtual nodes smooth the split.
+func TestRingBalance(t *testing.T) {
+	const n, samples = 8, 40_000
+	r, err := NewRing(testNodes(n), 0, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for key := uint64(1); key <= samples; key++ {
+		var buf [8]string
+		counts[r.Replicas(key, 1, buf[:0])[0]]++
+	}
+	ideal := samples / n
+	for addr, got := range counts {
+		if got < ideal/2 || got > ideal*2 {
+			t.Fatalf("node %s owns %d of %d keys (ideal %d): imbalance beyond 2x", addr, got, samples, ideal)
+		}
+	}
+}

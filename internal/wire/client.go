@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net"
 	"sync"
@@ -21,6 +22,13 @@ var ErrBusy = errors.New("wire: server busy")
 
 // ErrClientClosed is returned by every call after Close.
 var ErrClientClosed = errors.New("wire: client closed")
+
+// ErrConnFailed wraps every error caused by a pooled connection dying
+// (read failure, write failure, protocol violation by the server): requests
+// pipelined on the dead connection fail fast with it instead of waiting
+// out their timeouts, and the next call on the slot redials. Match with
+// errors.Is.
+var ErrConnFailed = errors.New("wire: connection failed")
 
 // ServerError is a StatusErr response: the server executed (or rejected)
 // the request and reported a failure. The connection remains healthy.
@@ -59,10 +67,11 @@ type ClientConfig struct {
 // concurrent use: in-flight requests are matched to responses by id, so any
 // number of goroutines can share one Client (and one connection).
 type Client struct {
-	cfg    ClientConfig
-	nextID atomic.Uint64
-	rr     atomic.Uint64
-	closed atomic.Bool
+	cfg        ClientConfig
+	nextID     atomic.Uint64
+	rr         atomic.Uint64
+	closed     atomic.Bool
+	reconnects atomic.Int64
 
 	mu sync.Mutex
 	//mcvet:guardedby mu
@@ -131,9 +140,26 @@ func (c *Client) conn() (*clientConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", c.cfg.Addr, err)
 	}
+	if cc != nil {
+		// The slot held a connection that died: this dial is a reconnect,
+		// not pool warm-up.
+		c.reconnects.Add(1)
+	}
 	cc = newClientConn(nc, c.cfg.MaxPayload)
 	c.conns[slot] = cc
 	return cc, nil
+}
+
+// Reconnects reports how many times a pooled connection died and was
+// redialed.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// WritePrometheus writes the client's own metrics in Prometheus text
+// exposition, under the mccuckoo_client_ prefix.
+func (c *Client) WritePrometheus(w io.Writer) error {
+	p := &serverPromWriter{w: w}
+	p.simple("mccuckoo_client_reconnects_total", "Pooled connections redialed after dying.", "counter", c.reconnects.Load())
+	return p.err
 }
 
 // do performs one request with retry-on-BUSY and returns the OK payload.
@@ -329,6 +355,47 @@ func (c *Client) Stats() (TableStats, error) {
 	return st, nil
 }
 
+// VGet fetches key's replication state: missing, live (value and last-write
+// sequence number), or tombstone (deletion sequence number). The server
+// must run a *Replicated store.
+func (c *Client) VGet(key uint64) (state byte, value, seq uint64, err error) {
+	resp, err := c.do(OpVGet, appendU64(make([]byte, 0, 8), key))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cur := cursor{b: resp}
+	state, value, seq = cur.u8(), cur.u64(), cur.u64()
+	if !cur.ok() || state > VStateTomb {
+		return 0, 0, 0, protoErrf("malformed vget response")
+	}
+	return state, value, seq, nil
+}
+
+// Replicate pushes sequence-numbered entries (a cluster write or a
+// read-repair) and returns the per-entry apply statuses. head is the
+// sender's high-water sequence number. The server must run a *Replicated
+// store.
+func (c *Client) Replicate(head uint64, ents []Entry) ([]byte, error) {
+	p := AppendReplicatePayload(make([]byte, 0, replicateHeadLen+len(ents)*entrySize), head, ents)
+	resp, err := c.do(OpReplicate, p)
+	if err != nil {
+		return nil, err
+	}
+	cur := cursor{b: resp}
+	n := int(cur.u32())
+	if cur.bad || n != len(ents) || len(resp)-4 != n {
+		return nil, protoErrf("malformed replicate response")
+	}
+	statuses := make([]byte, n)
+	copy(statuses, resp[4:])
+	for _, st := range statuses {
+		if st > ApplyFailed {
+			return nil, protoErrf("malformed replicate response")
+		}
+	}
+	return statuses, nil
+}
+
 // result is one demultiplexed response.
 type result struct {
 	status  byte
@@ -410,11 +477,11 @@ func (cc *clientConn) readLoop(maxPayload int) {
 		f, b, err := ReadFrame(cc.nc, maxPayload, buf)
 		buf = b
 		if err != nil {
-			cc.fail(fmt.Errorf("wire: connection failed: %w", err))
+			cc.fail(fmt.Errorf("%w: %v", ErrConnFailed, err))
 			return
 		}
 		if !f.IsResponse() {
-			cc.fail(protoErrf("server sent a request frame"))
+			cc.fail(fmt.Errorf("%w: server sent a request frame", ErrConnFailed))
 			return
 		}
 		// The payload aliases buf; the waiter owns its copy.
@@ -435,7 +502,8 @@ func (cc *clientConn) roundTrip(id uint64, op byte, payload []byte, timeout time
 	cc.wmu.Unlock()
 	if err != nil {
 		cc.unregister(id)
-		cc.fail(fmt.Errorf("wire: write failed: %w", err))
+		err = fmt.Errorf("%w: write: %v", ErrConnFailed, err)
+		cc.fail(err)
 		return 0, nil, err
 	}
 	timer := time.NewTimer(timeout)

@@ -13,6 +13,12 @@ import "encoding/binary"
 //	      single-op response encoding
 //	STATS request: empty                   response: JSON (TableStats)
 //	PING  request: empty                   response: empty
+//	VGET  request: key u64                 response: state u8, value u64, seq u64
+//	SUB   request: fromSeq u64             response: head u64, full u8
+//	REPLICATE payload (either direction): head u64, count u32, then count
+//	      records of seq u64, op u8 (OpPut|OpDel), key u64, value u64
+//	REPLICATE response (requests only): count u32, then count apply
+//	      statuses (u8 each: ApplyStale, ApplyApplied, ApplyFailed)
 //	BUSY  response: empty
 //	ERR   response: UTF-8 message
 //
@@ -108,4 +114,113 @@ func parseBatchHeader(p []byte) (sub byte, count int, records []byte, ok bool) {
 		return 0, 0, nil, false
 	}
 	return sub, n, p[5:], true
+}
+
+// Versioned-key states, carried in VGET responses. A tombstone is a deleted
+// key whose deletion sequence number is retained so a stale PUT cannot
+// resurrect it.
+const (
+	VStateMissing byte = 0
+	VStateLive    byte = 1
+	VStateTomb    byte = 2
+)
+
+// Per-entry apply statuses, carried in REPLICATE responses.
+const (
+	// ApplyStale: the store already held a write with an equal or newer
+	// sequence number; the entry was a no-op. Counts as durable for quorum
+	// purposes — the key's state is at least as new as the entry.
+	ApplyStale byte = 0
+	// ApplyApplied: the entry won and was written.
+	ApplyApplied byte = 1
+	// ApplyFailed: the entry should have won but the table rejected the
+	// insert (capacity). The key's sequence number was NOT advanced.
+	ApplyFailed byte = 2
+)
+
+// Entry is one sequence-numbered mutation: the unit of the server op log,
+// the subscription stream, and the read-repair push. Op is OpPut or OpDel
+// (Value is meaningless for deletes). Seq orders writes across the cluster:
+// the higher sequence number wins, ties lose (first write at a seq is
+// authoritative).
+type Entry struct {
+	Seq   uint64
+	Op    byte
+	Key   uint64
+	Value uint64
+}
+
+// entrySize is the wire size of one Entry record.
+const entrySize = 8 + 1 + 8 + 8
+
+// replicateHeadLen is the fixed prefix of a REPLICATE payload: the sender's
+// high-water sequence number (head) plus the record count.
+const replicateHeadLen = 8 + 4
+
+// MaxEntriesPerFrame is how many entries fit a default-sized REPLICATE
+// frame; streams chunk at this bound.
+const MaxEntriesPerFrame = (DefaultMaxPayload - replicateHeadLen) / entrySize
+
+// AppendReplicatePayload appends the REPLICATE payload encoding of ents to
+// dst: head, count, then the fixed-size records.
+func AppendReplicatePayload(dst []byte, head uint64, ents []Entry) []byte {
+	dst = appendU64(dst, head)
+	dst = appendU32(dst, uint32(len(ents)))
+	for _, e := range ents {
+		dst = appendU64(dst, e.Seq)
+		dst = appendU8(dst, e.Op)
+		dst = appendU64(dst, e.Key)
+		dst = appendU64(dst, e.Value)
+	}
+	return dst
+}
+
+// ParseReplicatePayload decodes a REPLICATE payload into ents (reused if
+// its capacity suffices). The count is validated against the payload length
+// and every record's op against the two legal mutations.
+func ParseReplicatePayload(p []byte, ents []Entry) (head uint64, _ []Entry, ok bool) {
+	if len(p) < replicateHeadLen {
+		return 0, nil, false
+	}
+	head = binary.LittleEndian.Uint64(p[0:8])
+	n := int(binary.LittleEndian.Uint32(p[8:12]))
+	if n < 0 || len(p)-replicateHeadLen != n*entrySize {
+		return 0, nil, false
+	}
+	if cap(ents) < n {
+		ents = make([]Entry, n)
+	}
+	ents = ents[:n]
+	c := cursor{b: p, off: replicateHeadLen}
+	for i := 0; i < n; i++ {
+		ents[i].Seq = c.u64()
+		ents[i].Op = c.u8()
+		ents[i].Key = c.u64()
+		ents[i].Value = c.u64()
+		if ents[i].Op != OpPut && ents[i].Op != OpDel {
+			return 0, nil, false
+		}
+	}
+	if !c.ok() {
+		return 0, nil, false
+	}
+	return head, ents, true
+}
+
+// AppendSubscribePayload encodes a SUBSCRIBE request: resume after fromSeq.
+func AppendSubscribePayload(dst []byte, fromSeq uint64) []byte {
+	return appendU64(dst, fromSeq)
+}
+
+// ParseSubscribeResponse decodes a SUBSCRIBE OK response: the server's
+// high-water sequence number and whether a full state dump precedes the
+// incremental stream.
+func ParseSubscribeResponse(p []byte) (head uint64, full bool, ok bool) {
+	c := cursor{b: p}
+	head = c.u64()
+	f := c.u8()
+	if !c.ok() || f > 1 {
+		return 0, false, false
+	}
+	return head, f != 0, true
 }

@@ -56,6 +56,25 @@ const (
 	OpBatch byte = 4
 	OpStats byte = 5
 	OpPing  byte = 6
+
+	// OpVGet is a versioned GET: the response carries the key's state
+	// (missing/live/tombstone), value, and last-write sequence number, the
+	// inputs the cluster tier's read-repair compares across replicas.
+	// Requires the server to run a *Replicated store.
+	OpVGet byte = 7
+
+	// OpSub subscribes the connection to the server's op log. After the OK
+	// response the server pushes OpReplicate frames (echoing the subscribe
+	// request id) and the client must not send further requests on the
+	// connection. Requires a *Replicated store.
+	OpSub byte = 8
+
+	// OpReplicate carries a batch of sequence-numbered entries. As a
+	// request it is the replication push (cluster writes and read-repair):
+	// the server applies each entry newest-write-wins and answers with
+	// per-entry apply statuses. As a server-sent frame on a subscribed
+	// connection it is the op-log stream and has no response.
+	OpReplicate byte = 9
 )
 
 // respFlag marks a frame as a response; the low bits carry the status.
@@ -106,6 +125,12 @@ func OpName(op byte) string {
 		return "stats"
 	case OpPing:
 		return "ping"
+	case OpVGet:
+		return "vget"
+	case OpSub:
+		return "subscribe"
+	case OpReplicate:
+		return "replicate"
 	default:
 		return "unknown"
 	}

@@ -13,6 +13,12 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: OpGet, ID: 1, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
 		{Type: respFlag | StatusOK, ID: 1 << 60, Payload: bytes.Repeat([]byte{0xab}, 4096)},
 		{Type: respFlag | StatusBusy, ID: ^uint64(0)},
+		{Type: OpVGet, ID: 2, Payload: bytes.Repeat([]byte{9}, 8)},
+		{Type: OpSub, ID: 3, Payload: AppendSubscribePayload(nil, 12345)},
+		{Type: OpReplicate, ID: 4, Payload: AppendReplicatePayload(nil, 77, []Entry{
+			{Seq: 77, Op: OpPut, Key: 5, Value: 50},
+			{Seq: 76, Op: OpDel, Key: 6},
+		})},
 	}
 	var stream []byte
 	for _, f := range frames {
@@ -104,6 +110,12 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{Type: OpPing, ID: 0}))
 	f.Add(AppendFrame(nil, Frame{Type: OpPut, ID: 42, Payload: bytes.Repeat([]byte{7}, 16)}))
 	f.Add(AppendFrame(nil, Frame{Type: respFlag | StatusErr, ID: 1, Payload: []byte("boom")}))
+	f.Add(AppendFrame(nil, Frame{Type: OpVGet, ID: 5, Payload: bytes.Repeat([]byte{3}, 8)}))
+	f.Add(AppendFrame(nil, Frame{Type: OpSub, ID: 6, Payload: AppendSubscribePayload(nil, 99)}))
+	f.Add(AppendFrame(nil, Frame{Type: OpReplicate, ID: 7, Payload: AppendReplicatePayload(nil, 4, []Entry{
+		{Seq: 4, Op: OpPut, Key: 1, Value: 2},
+		{Seq: 3, Op: OpDel, Key: 9},
+	})}))
 	corrupt := AppendFrame(nil, Frame{Type: OpGet, ID: 3, Payload: []byte{1, 2, 3}})
 	corrupt[len(corrupt)-2] ^= 0x40
 	f.Add(corrupt)

@@ -33,6 +33,17 @@ func (l *Locked) Do(fn func(mccuckoo.BatchStore)) {
 	fn(l.inner)
 }
 
+// Range forwards to the wrapped store's Range under the lock, so a
+// Replicated over a Locked single-writer kind can seed its bookkeeping.
+// It is a no-op when the wrapped store has no Range.
+func (l *Locked) Range(fn func(key, value uint64) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rng, ok := l.inner.(Ranger); ok {
+		rng.Range(fn)
+	}
+}
+
 func (l *Locked) Insert(key, value uint64) mccuckoo.InsertResult {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -1,0 +1,60 @@
+package wire
+
+// opLog is the server-side replication log: a fixed-capacity ring of the
+// most recent sequence-numbered mutations, addressed by a monotonically
+// increasing absolute position so a subscriber's cursor survives wraps (a
+// cursor that falls behind the retained window is detected as an overrun,
+// not silently skipped).
+//
+// The log has no lock of its own: every access happens under the owning
+// Replicated's mutex.
+type opLog struct {
+	ents []Entry
+	// first and next are absolute positions: the retained window is
+	// [first, next), at most len(ents) wide.
+	first uint64
+	next  uint64
+	// droppedSeqMax is the highest sequence number among entries that have
+	// fallen off the ring. A subscriber resuming from a sequence number
+	// below it cannot be caught up incrementally and needs a full state
+	// dump first.
+	droppedSeqMax uint64
+	dropped       int64
+}
+
+func newOpLog(capacity int) *opLog {
+	return &opLog{ents: make([]Entry, capacity)}
+}
+
+// append records e, evicting the oldest retained entry when full.
+func (l *opLog) append(e Entry) {
+	if l.next-l.first == uint64(len(l.ents)) {
+		old := l.ents[l.first%uint64(len(l.ents))]
+		if old.Seq > l.droppedSeqMax {
+			l.droppedSeqMax = old.Seq
+		}
+		l.first++
+		l.dropped++
+	}
+	l.ents[l.next%uint64(len(l.ents))] = e
+	l.next++
+}
+
+// copySince copies up to cap(dst) retained entries starting at absolute
+// position cursor into dst, returning the filled slice and the advanced
+// cursor. overrun reports that cursor has fallen behind the retained
+// window; the subscriber must resynchronize with a full dump.
+func (l *opLog) copySince(cursor uint64, dst []Entry) (_ []Entry, newCursor uint64, overrun bool) {
+	if cursor < l.first {
+		return dst[:0], cursor, true
+	}
+	n := int(l.next - cursor)
+	if n > cap(dst) {
+		n = cap(dst)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = l.ents[(cursor+uint64(i))%uint64(len(l.ents))]
+	}
+	return dst, cursor + uint64(n), false
+}

@@ -49,6 +49,12 @@ type Config struct {
 	// stops reading is disconnected rather than allowed to pin a writer.
 	WriteTimeout time.Duration
 
+	// SubKeepalive is how often an idle op-log subscription sends an empty
+	// REPLICATE frame (default 500ms). Keepalives refresh the subscriber's
+	// view of the server's high-water sequence number, which is what the
+	// replica-lag metric measures against.
+	SubKeepalive time.Duration
+
 	// Logf, when non-nil, receives one line per abnormal connection event
 	// (protocol errors, panics, write failures).
 	Logf func(format string, args ...any)
@@ -61,6 +67,11 @@ type Config struct {
 // be matched out of order with other connections' work.
 type Server struct {
 	cfg Config
+
+	// rep is non-nil when the served store is a *Replicated; the
+	// replication opcodes (VGET, SUBSCRIBE, REPLICATE) require it and are
+	// answered with ERR otherwise.
+	rep *Replicated
 
 	mu sync.Mutex
 	//mcvet:guardedby mu
@@ -76,7 +87,8 @@ type Server struct {
 	wg    sync.WaitGroup
 
 	// Metrics. ops is indexed by request opcode.
-	ops       [8]atomic.Int64
+	ops       [16]atomic.Int64
+	subs      atomic.Int64
 	busy      atomic.Int64
 	errored   atomic.Int64
 	panics    atomic.Int64
@@ -109,8 +121,13 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 10 * time.Second
 	}
+	if cfg.SubKeepalive <= 0 {
+		cfg.SubKeepalive = 500 * time.Millisecond
+	}
+	rep, _ := cfg.Store.(*Replicated)
 	return &Server{
 		cfg:       cfg,
+		rep:       rep,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		drain:     make(chan struct{}),
@@ -270,6 +287,9 @@ func (s *Server) serveConn(nc net.Conn) {
 	work := make(chan Frame, s.cfg.QueueDepth)
 	out := make(chan []byte, s.cfg.QueueDepth)
 	connDone := make(chan struct{})
+	// connFailed is closed by the writer on a write failure, so a
+	// subscription pump blocked on an idle op log learns the peer is gone.
+	connFailed := make(chan struct{})
 
 	// Drain watcher: a blocked read is interrupted by expiring its
 	// deadline, so graceful shutdown does not wait out IdleTimeout.
@@ -302,6 +322,7 @@ func (s *Server) serveConn(nc net.Conn) {
 			if _, err := nc.Write(b); err != nil {
 				s.logf("wire: %s: write: %v", nc.RemoteAddr(), err)
 				failed = true
+				close(connFailed)
 				nc.Close() // unblock the reader too
 				continue
 			}
@@ -309,7 +330,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		}
 	}()
 
-	s.readLoop(nc, work, out)
+	s.readLoop(nc, work, out, connFailed)
 	close(work)
 	pipe.Wait()
 	nc.Close()
@@ -317,8 +338,11 @@ func (s *Server) serveConn(nc net.Conn) {
 }
 
 // readLoop decodes requests and feeds the work queue. When the queue is
-// full the request is answered with BUSY immediately — never buffered.
-func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte) {
+// full the request is answered with BUSY immediately — never buffered. A
+// SUBSCRIBE request flips the connection into streaming mode: the read
+// goroutine stops decoding requests and becomes the op-log pump until the
+// connection or the server goes down.
+func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte, connFailed <-chan struct{}) {
 	var buf []byte
 	for {
 		nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
@@ -353,6 +377,24 @@ func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte) {
 			s.logf("wire: %s: received a response frame", nc.RemoteAddr())
 			return
 		}
+		if f.Type == OpSub {
+			s.ops[OpSub].Add(1)
+			c := cursor{b: f.Payload}
+			fromSeq := c.u64()
+			if !c.ok() {
+				out <- s.errFrame(f.ID, "malformed subscribe payload")
+				continue
+			}
+			if s.rep == nil {
+				out <- s.errFrame(f.ID, "store is not replicated")
+				continue
+			}
+			// The read deadline was armed for the next request frame; a
+			// subscribed connection sends nothing more, so disarm it.
+			nc.SetReadDeadline(time.Time{})
+			s.runSubscription(f.ID, fromSeq, out, connFailed)
+			return
+		}
 		// The payload aliases buf, which the next ReadFrame overwrites;
 		// queued requests need their own copy.
 		f.Payload = append([]byte(nil), f.Payload...)
@@ -365,16 +407,105 @@ func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte) {
 	}
 }
 
+// streamChunk is how many op-log entries a subscription pump packs into
+// one REPLICATE frame (well under MaxEntriesPerFrame).
+const streamChunk = 1024
+
+// runSubscription is the op-log pump for one subscribed connection. It runs
+// on the connection's read goroutine (which has stopped reading — a
+// subscribed client sends nothing more) and pushes REPLICATE frames, each
+// echoing the subscribe request id, through the writer: first a full state
+// dump when the resume point predates the op log, then retained entries,
+// then new entries as they arrive, with keepalives in between. The worker
+// goroutine sits idle on an empty queue for the connection's lifetime.
+func (s *Server) runSubscription(id uint64, fromSeq uint64, out chan<- []byte, connFailed <-chan struct{}) {
+	rep := s.rep
+	s.subs.Add(1)
+	defer s.subs.Add(-1)
+	sub, head, full, dumpKeys := rep.subscribe(fromSeq)
+	defer rep.unsubscribe(sub)
+
+	okPayload := appendU8(appendU64(make([]byte, 0, 9), head), boolByte(full))
+	if !s.streamSend(out, connFailed, respFrame(id, StatusOK, okPayload)) {
+		return
+	}
+	replicateFrame := func(head uint64, ents []Entry) []byte {
+		p := AppendReplicatePayload(make([]byte, 0, replicateHeadLen+len(ents)*entrySize), head, ents)
+		return AppendFrame(make([]byte, 0, FrameOverhead+len(p)), Frame{Type: OpReplicate, ID: id, Payload: p})
+	}
+
+	scratch := make([]Entry, 0, streamChunk)
+	for len(dumpKeys) > 0 {
+		n := min(streamChunk, len(dumpKeys))
+		ents := rep.dumpEntries(dumpKeys[:n], scratch[:0])
+		dumpKeys = dumpKeys[n:]
+		if len(ents) == 0 {
+			continue
+		}
+		if !s.streamSend(out, connFailed, replicateFrame(head, ents)) {
+			return
+		}
+	}
+
+	keepalive := time.NewTicker(s.cfg.SubKeepalive)
+	defer keepalive.Stop()
+	for {
+		for {
+			ents, head, overrun := rep.pull(sub, scratch[:0])
+			if overrun {
+				// The cursor fell behind the ring (the subscriber was sent
+				// entries slower than new ones arrived for longer than the
+				// ring retains). It must resubscribe and take a full dump.
+				s.streamSend(out, connFailed, s.errFrame(id, "oplog overrun; resubscribe"))
+				return
+			}
+			if len(ents) == 0 {
+				break
+			}
+			if !s.streamSend(out, connFailed, replicateFrame(head, ents)) {
+				return
+			}
+		}
+		select {
+		case <-sub.notify:
+		case <-keepalive.C:
+			if !s.streamSend(out, connFailed, replicateFrame(rep.Applied(), nil)) {
+				return
+			}
+		case <-s.drain:
+			return
+		case <-connFailed:
+			return
+		}
+	}
+}
+
+// streamSend queues one frame for the writer, giving up when the
+// connection has failed or the server is draining. The writer drains out
+// even after a failure, so the send itself cannot wedge.
+func (s *Server) streamSend(out chan<- []byte, connFailed <-chan struct{}, b []byte) bool {
+	select {
+	case out <- b:
+		return true
+	case <-connFailed:
+		return false
+	case <-s.drain:
+		return false
+	}
+}
+
 // connHandler executes one connection's requests. The scratch slices are
 // reused across batch requests so steady-state batches do not allocate
 // per call.
 type connHandler struct {
-	srv     *Server
-	keys    []uint64
-	vals    []uint64
-	results []mccuckoo.InsertResult
-	founds  []bool
-	removed []bool
+	srv      *Server
+	keys     []uint64
+	vals     []uint64
+	results  []mccuckoo.InsertResult
+	founds   []bool
+	removed  []bool
+	ents     []Entry
+	statuses []byte
 }
 
 // handle executes one request and returns the encoded response frame. A
@@ -429,6 +560,34 @@ func (h *connHandler) handle(f Frame) (resp []byte) {
 		return respFrame(f.ID, StatusOK, appendU8(nil, boolByte(removed)))
 	case OpBatch:
 		return h.handleBatch(f)
+	case OpVGet:
+		k := c.u64()
+		if !c.ok() {
+			return s.errFrame(f.ID, "malformed vget payload")
+		}
+		if s.rep == nil {
+			return s.errFrame(f.ID, "store is not replicated")
+		}
+		state, v, seq := s.rep.VGet(k)
+		p := make([]byte, 0, 17)
+		p = appendU8(p, state)
+		p = appendU64(p, v)
+		p = appendU64(p, seq)
+		return respFrame(f.ID, StatusOK, p)
+	case OpReplicate:
+		_, ents, ok := ParseReplicatePayload(f.Payload, h.ents)
+		if !ok {
+			return s.errFrame(f.ID, "malformed replicate payload")
+		}
+		h.ents = ents
+		if s.rep == nil {
+			return s.errFrame(f.ID, "store is not replicated")
+		}
+		h.statuses = s.rep.ApplyPush(ents, h.statuses)
+		p := make([]byte, 0, 4+len(h.statuses))
+		p = appendU32(p, uint32(len(h.statuses)))
+		p = append(p, h.statuses...)
+		return respFrame(f.ID, StatusOK, p)
 	case OpStats:
 		if len(f.Payload) != 0 {
 			return s.errFrame(f.ID, "malformed stats payload")
@@ -550,11 +709,16 @@ type TableStats struct {
 	Hits        int64 `json:"hits"`
 	Deletes     int64 `json:"deletes"`
 	StashProbes int64 `json:"stash_probes"`
+
+	// Replica is present when the served store is a *Replicated: the
+	// cluster tier's convergence checks read the digest and applied
+	// sequence number from here.
+	Replica *ReplicaStats `json:"replica,omitempty"`
 }
 
 func statsOf(store mccuckoo.Store) TableStats {
 	st := store.Stats()
-	return TableStats{
+	ts := TableStats{
 		Len:       store.Len(),
 		Capacity:  store.Capacity(),
 		LoadRatio: store.LoadRatio(),
@@ -564,6 +728,11 @@ func statsOf(store mccuckoo.Store) TableStats {
 		Stashed: st.Stashed, Failures: st.Failures, Lookups: st.Lookups,
 		Hits: st.Hits, Deletes: st.Deletes, StashProbes: st.StashProbes,
 	}
+	if r, ok := store.(*Replicated); ok {
+		rs := r.ReplicaStats()
+		ts.Replica = &rs
+	}
+	return ts
 }
 
 // WritePrometheus writes the server's own metrics in Prometheus text
@@ -572,9 +741,10 @@ func statsOf(store mccuckoo.Store) TableStats {
 func (s *Server) WritePrometheus(w io.Writer) error {
 	p := &serverPromWriter{w: w}
 	p.header("mccuckoo_server_requests_total", "Requests served, by opcode.", "counter")
-	for op := byte(OpGet); op <= OpPing; op++ {
+	for op := byte(OpGet); op <= OpReplicate; op++ {
 		p.printf("mccuckoo_server_requests_total{op=%q} %d\n", OpName(op), s.ops[op].Load())
 	}
+	p.simple("mccuckoo_server_subscriptions_active", "Op-log subscriptions currently streaming.", "gauge", s.subs.Load())
 	p.simple("mccuckoo_server_busy_total", "Requests rejected with BUSY backpressure.", "counter", s.busy.Load())
 	p.simple("mccuckoo_server_errors_total", "Requests answered with ERR.", "counter", s.errored.Load())
 	p.simple("mccuckoo_server_panics_total", "Request handlers recovered from a panic.", "counter", s.panics.Load())
