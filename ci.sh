@@ -14,12 +14,18 @@
 # internal/faultinject which drives both, internal/wire's pipelined
 # server/client — TestServerUnderTrafficWithScrape is the
 # server-under-traffic smoke, a client fleet hammering a telemetry-scraped
-# sharded table — and internal/cluster, whose
-# TestClusterKillNodeConvergence runs a 3-node replicated cluster through
-# mixed traffic, a mid-run node kill with zero failed reads, and a
-# snapshot-restart catch-up) run again under the race detector, which is
-# what actually exercises the reader/writer interleavings their tests
-# stage.
+# sharded table — internal/netchaos's fault-injecting conn wrappers, and
+# internal/cluster, whose TestClusterKillNodeConvergence runs a 3-node
+# replicated cluster through mixed traffic, a mid-run node kill with zero
+# failed reads, and a snapshot-restart catch-up, and whose
+# TestChaosPartitionWritesSurviveAndSweepHeals is the chaos drill — a
+# seeded partition with breaker-degraded writes, then anti-entropy
+# convergence) run again under the race detector, which is what actually
+# exercises the reader/writer interleavings their tests stage. Test gates
+# run with -shuffle=on so inter-test ordering dependencies cannot hide.
+# Chaos smoke: the short-mode netchaos drill (seeded partition + heal +
+# digest-equality) runs standalone so the fault-injection layer itself is
+# exercised — and visibly named — on every run.
 # Fuzz smoke: short bounded runs of the snapshot-loader and wire-frame
 # fuzzers so format changes that break the rejection paths fail in CI,
 # not in a long background fuzz.
@@ -50,10 +56,13 @@ say "go build: compiling all packages"
 go build ./...
 
 say "go test: full suite"
-go test ./...
+go test -shuffle=on ./...
 
 say "go test -race: concurrency-bearing packages"
-go test -race ./internal/core/... ./internal/shard/... ./internal/faultinject/... ./internal/telemetry/... ./internal/wire/... ./internal/cluster/...
+go test -race -shuffle=on ./internal/core/... ./internal/shard/... ./internal/faultinject/... ./internal/telemetry/... ./internal/wire/... ./internal/netchaos/... ./internal/cluster/...
+
+say "chaos smoke: seeded partition + heal + digest equality"
+go test -race -short -run 'TestChaos|TestNetchaos' ./internal/netchaos/... ./internal/cluster/...
 
 say "fuzz smoke: snapshot loader"
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=5s ./internal/core

@@ -24,6 +24,14 @@
 // mccuckoo_replica_* and per-peer mccuckoo_peer_* series (replica lag,
 // repair counts, connects).
 //
+// With -sweep the node also runs background anti-entropy (DESIGN.md §12):
+// every interval it exchanges ring-ownership-filtered XOR digests with each
+// peer, bisects mismatched key ranges (-sweepleaf sets the leaf size), and
+// repairs divergent keys through the replication paths. A peer that keeps
+// failing its sweeps trips a breaker (-breakerfails consecutive failures)
+// and is skipped until a jittered half-open probe (-breakerprobe)
+// succeeds. /metrics gains the mccuckoo_sweep_* series.
+//
 // Example:
 //
 //	mcserved -addr :7466 -capacity 1048576 -shards 8 \
@@ -81,6 +89,10 @@ func run(args []string, stdout io.Writer) error {
 		self       = fs.String("self", "", "this node's address in the cluster ring (default -addr)")
 		replicas   = fs.Int("replicas", 2, "copies kept of each key across the cluster")
 		vnodes     = fs.Int("vnodes", 0, "virtual nodes per cluster node (0 = default)")
+		sweep      = fs.Duration("sweep", 0, "anti-entropy sweep interval (0 disables; needs -peers)")
+		sweepLeaf  = fs.Int("sweepleaf", 0, "anti-entropy bisection leaf size in keys (0 = default)")
+		brkFails   = fs.Int("breakerfails", 0, "consecutive failed sweeps that trip a peer's breaker (0 = default)")
+		brkProbe   = fs.Duration("breakerprobe", 0, "base interval between breaker half-open probes (0 = sweep interval)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +109,7 @@ func run(args []string, stdout io.Writer) error {
 	// the peer subscription loops. The ring covers self plus every peer.
 	var rep *wire.Replicated
 	var replicator *cluster.Replicator
+	var sweeper *cluster.Sweeper
 	sidecarPath := ""
 	if *peers != "" {
 		rep = wire.NewReplicated(store, wire.ReplicaConfig{})
@@ -125,6 +138,32 @@ func run(args []string, stdout io.Writer) error {
 		})
 		if err != nil {
 			return err
+		}
+		if *sweep > 0 {
+			sweeper, err = cluster.NewSweeper(rep, cluster.SweeperConfig{
+				Self:            selfAddr,
+				Nodes:           nodes,
+				Replicas:        *replicas,
+				VNodes:          *vnodes,
+				Seed:            *seed,
+				Interval:        *sweep,
+				LeafKeys:        *sweepLeaf,
+				BreakerFailures: *brkFails,
+				BreakerProbe:    *brkProbe,
+				Logf:            logger.Printf,
+			})
+			if err != nil {
+				return err
+			}
+		} else {
+			// Even without a sweep loop, install the ownership digest
+			// filter so this node answers peers' DIGEST requests over the
+			// key set both sides share.
+			ring, err := cluster.NewRing(nodes, *vnodes, *seed)
+			if err != nil {
+				return err
+			}
+			rep.SetDigestFilter(cluster.DigestFilter(ring, selfAddr, *replicas))
 		}
 		store = rep
 	}
@@ -160,6 +199,9 @@ func run(args []string, stdout io.Writer) error {
 			}
 			if replicator != nil {
 				replicator.WritePrometheus(w)
+			}
+			if sweeper != nil {
+				sweeper.WritePrometheus(w)
 			}
 		})
 		mux.Handle("/debug/mccuckoo/", tel.Handler())
@@ -212,6 +254,10 @@ func run(args []string, stdout io.Writer) error {
 		replicator.Start()
 		fmt.Fprintf(stdout, "replicating with peers %s (replicas=%d)\n", *peers, *replicas)
 	}
+	if sweeper != nil {
+		sweeper.Start()
+		fmt.Fprintf(stdout, "anti-entropy sweeping every %v\n", *sweep)
+	}
 	fmt.Fprintf(stdout, "listening on %s (kind=%s capacity=%d)\n", ln.Addr(), *kind, *capacity)
 
 	select {
@@ -229,6 +275,9 @@ func run(args []string, stdout io.Writer) error {
 	case err := <-serveErr:
 		close(stopHousekeeping)
 		<-housekeepingDone
+		if sweeper != nil {
+			sweeper.Close()
+		}
 		if replicator != nil {
 			replicator.Close()
 		}
@@ -240,6 +289,9 @@ func run(args []string, stdout io.Writer) error {
 
 	close(stopHousekeeping)
 	<-housekeepingDone
+	if sweeper != nil {
+		sweeper.Close()
+	}
 	if replicator != nil {
 		replicator.Close()
 	}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-peer circuit breaker: consecutive failures trip it open,
+// after which requests to the peer are skipped immediately instead of
+// waiting out their timeouts. Once the jittered probe interval elapses a
+// single request is let through (half-open); its success re-closes the
+// breaker, its failure re-arms the open interval. The jitter decorrelates a
+// fleet of clients probing the same recovering node and is drawn from a
+// seeded splitmix64 stream, so a test's probe schedule is a pure function
+// of its seed.
+type breaker struct {
+	threshold  int
+	probeEvery time.Duration
+
+	trips atomic.Int64 // closed→open transitions
+	skips atomic.Int64 // requests skipped while open
+
+	mu sync.Mutex
+	//mcvet:guardedby mu
+	state int
+	//mcvet:guardedby mu
+	fails int // consecutive failures while closed
+	//mcvet:guardedby mu
+	nextProbe time.Time
+	//mcvet:guardedby mu
+	rng uint64
+}
+
+// breakerSeed derives a peer's probe-jitter seed from the ring seed and
+// the peer address (FNV-1a), so a test's breaker schedule reproduces.
+func breakerSeed(seed uint64, addr string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h = (h ^ uint64(addr[i])) * 1099511628211
+	}
+	return seed ^ h
+}
+
+func newBreaker(threshold int, probeEvery time.Duration, seed uint64) *breaker {
+	return &breaker{
+		threshold:  threshold,
+		probeEvery: probeEvery,
+		rng:        seed ^ 0x9e3779b97f4a7c15,
+	}
+}
+
+// next draws from the breaker's splitmix64 stream.
+//
+//mcvet:locked
+func (b *breaker) next() uint64 {
+	b.rng += 0x9e3779b97f4a7c15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// armLocked schedules the next half-open probe: probeEvery ±50% jitter.
+//
+//mcvet:locked
+func (b *breaker) armLocked(now time.Time) {
+	jitter := time.Duration(b.next() % uint64(b.probeEvery))
+	b.nextProbe = now.Add(b.probeEvery/2 + jitter)
+}
+
+// allow reports whether a request to the peer may proceed. While open it
+// returns false (counting a skip) until the probe interval elapses, at
+// which point exactly one caller gets true as the half-open probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Now().Before(b.nextProbe) {
+			b.skips.Add(1)
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	default: // half-open: a probe is already in flight
+		b.skips.Add(1)
+		return false
+	}
+}
+
+// onSuccess records a successful round trip, re-closing the breaker.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// onFailure records a failed round trip: enough consecutive failures trip
+// the breaker; a failed half-open probe re-arms the open interval.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.trips.Add(1)
+			b.armLocked(time.Now())
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.armLocked(time.Now())
+	}
+}
+
+// isOpen reports whether the breaker is currently rejecting requests (for
+// the breaker-state gauge).
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b := newBreaker(3, time.Hour, 1)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.onFailure()
+	}
+	if b.isOpen() {
+		t.Fatal("breaker opened below its threshold")
+	}
+	b.onFailure()
+	if !b.isOpen() {
+		t.Fatal("breaker stayed closed at its threshold")
+	}
+	if b.trips.Load() != 1 {
+		t.Fatalf("trips = %d, want 1", b.trips.Load())
+	}
+	// With the probe an hour out, everything is skipped.
+	for i := 0; i < 5; i++ {
+		if b.allow() {
+			t.Fatal("open breaker admitted a request before its probe time")
+		}
+	}
+	if b.skips.Load() != 5 {
+		t.Fatalf("skips = %d, want 5", b.skips.Load())
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := newBreaker(3, time.Hour, 2)
+	b.onFailure()
+	b.onFailure()
+	b.onSuccess()
+	b.onFailure()
+	b.onFailure()
+	if b.isOpen() {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(1, time.Millisecond, 3)
+	b.onFailure()
+	if !b.isOpen() {
+		t.Fatal("threshold-1 breaker did not trip")
+	}
+	// Wait past the jittered probe time (at most 1.5×probeEvery).
+	time.Sleep(5 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("probe request rejected after the probe interval")
+	}
+	// While that probe is in flight, everyone else is skipped.
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// A failed probe re-arms the open interval…
+	b.onFailure()
+	if b.allow() {
+		t.Fatal("request admitted immediately after a failed probe")
+	}
+	// …and a successful probe re-closes the breaker.
+	time.Sleep(5 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.onSuccess()
+	if b.isOpen() {
+		t.Fatal("breaker still open after a successful probe")
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker rejected a request")
+	}
+}
+
+func TestBreakerJitterIsSeeded(t *testing.T) {
+	draws := func(seed uint64) []time.Duration {
+		b := newBreaker(1, time.Hour, seed)
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			out = append(out, time.Duration(b.next()%uint64(b.probeEvery)))
+		}
+		return out
+	}
+	a, b := draws(7), draws(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v != %v for equal seeds", i, a[i], b[i])
+		}
+	}
+}

@@ -22,6 +22,16 @@ var ErrNoQuorum = errors.New("cluster: write quorum not reached")
 // least one replica succeeds (possibly returning not-found).
 var ErrAllReplicasFailed = errors.New("cluster: all replicas failed")
 
+// errBreakerOpen marks a replica skipped because its breaker was open: the
+// peer failed enough consecutive requests that the client stops paying its
+// timeout until a half-open probe succeeds.
+var errBreakerOpen = errors.New("cluster: peer breaker open")
+
+// errFanDeadline marks replicas that had not answered when the per-op
+// fan-out deadline expired; their round trips keep running in the
+// background and still feed the breakers.
+var errFanDeadline = errors.New("cluster: fan-out deadline expired")
+
 // Config configures a cluster Client. Nodes is required; every other field
 // has a usable zero value.
 type Config struct {
@@ -54,7 +64,25 @@ type Config struct {
 	// writers in the same millisecond (8 bits used).
 	NodeID uint64
 
+	// OpTimeout bounds one fan-out (a write push, a read's VGET round, a
+	// repair push) end to end (default 5s). A hung peer costs at most this
+	// long; replicas that answered within the deadline still satisfy the
+	// quorum, and the laggard's reply feeds its breaker when it arrives.
+	OpTimeout time.Duration
+
+	// BreakerFailures is how many consecutive transport failures trip a
+	// peer's breaker open (default 5). While open, requests to the peer
+	// are skipped immediately instead of waiting out their timeouts.
+	BreakerFailures int
+
+	// BreakerProbe is the base interval between half-open probes of an
+	// open breaker (default 500ms), jittered ±50% from a stream seeded by
+	// Seed and the peer address.
+	BreakerProbe time.Duration
+
 	// Wire is the per-node client template; Addr is overridden per node.
+	// Wire.Dial is where the fault-injection layer (internal/netchaos)
+	// interposes for chaos tests.
 	Wire wire.ClientConfig
 
 	// SeqSource overrides the write sequence-number source, for
@@ -84,12 +112,28 @@ type Client struct {
 	repairs        atomic.Int64
 	writes         atomic.Int64
 	quorumFailures atomic.Int64
+	degradedReads  atomic.Int64
 }
 
-// peer is one node's wire client plus its round-trip counter.
+// peer is one node's wire client plus its health tracking.
 type peer struct {
 	wc    *wire.Client
+	br    *breaker
 	trips atomic.Int64
+}
+
+// call performs one round trip against the peer, feeding the breaker with
+// the transport outcome. fn returns the transport error only; server-side
+// apply failures are the caller's to interpret and do not open the breaker.
+func (p *peer) call(fn func(wc *wire.Client) error) error {
+	p.trips.Add(1)
+	err := fn(p.wc)
+	if err != nil {
+		p.br.onFailure()
+	} else {
+		p.br.onSuccess()
+	}
+	return err
 }
 
 // New validates cfg, builds the ring, and dials nothing (wire clients
@@ -114,6 +158,15 @@ func New(cfg Config) (*Client, error) {
 	if cfg.ReadFanout <= 0 || cfg.ReadFanout > cfg.Replicas {
 		cfg.ReadFanout = cfg.Replicas
 	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 5 * time.Second
+	}
+	if cfg.BreakerFailures <= 0 {
+		cfg.BreakerFailures = 5
+	}
+	if cfg.BreakerProbe <= 0 {
+		cfg.BreakerProbe = 500 * time.Millisecond
+	}
 	c := &Client{cfg: cfg, ring: ring, peers: make(map[string]*peer, len(ring.Nodes()))}
 	for _, addr := range ring.Nodes() {
 		wcfg := cfg.Wire
@@ -122,7 +175,10 @@ func New(cfg Config) (*Client, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.peers[addr] = &peer{wc: wc}
+		c.peers[addr] = &peer{
+			wc: wc,
+			br: newBreaker(cfg.BreakerFailures, cfg.BreakerProbe, breakerSeed(cfg.Seed, addr)),
+		}
 	}
 	c.seqSrc = cfg.SeqSource
 	if c.seqSrc == nil {
@@ -183,57 +239,71 @@ func (c *Client) write(e wire.Entry) error {
 	c.writes.Add(1)
 	e.Seq = c.nextSeq()
 	replicas := c.replicasOf(e.Key)
-	ents := []wire.Entry{e}
-	acks := 0
-	var firstErr error
-	for _, ok := range c.fanPush(replicas, e.Seq, ents, &firstErr) {
-		if ok {
-			acks++
-		}
-	}
+	acks, err := c.fanPush(replicas, e.Seq, []wire.Entry{e}, c.cfg.WriteQuorum)
 	if acks >= c.cfg.WriteQuorum {
 		return nil
 	}
 	c.quorumFailures.Add(1)
-	return fmt.Errorf("%w (%d/%d acks for key %d): %v", ErrNoQuorum, acks, c.cfg.WriteQuorum, e.Key, firstErr)
+	return fmt.Errorf("%w (%d/%d acks for key %d): %w", ErrNoQuorum, acks, c.cfg.WriteQuorum, e.Key, err)
 }
 
-// fanPush sends one REPLICATE push to every replica concurrently. oks[i]
-// reports whether replicas[i] durably holds the entries (applied or
-// already-newer); *firstErr receives one representative failure.
-func (c *Client) fanPush(replicas []string, head uint64, ents []wire.Entry, firstErr *error) []bool {
-	oks := make([]bool, len(replicas))
-	errs := make([]error, len(replicas))
-	var wg sync.WaitGroup
-	for i, addr := range replicas {
-		wg.Add(1)
-		go func(i int, p *peer) {
-			defer wg.Done()
-			p.trips.Add(1)
-			statuses, err := p.wc.Replicate(head, ents)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			for _, st := range statuses {
-				if st == wire.ApplyFailed {
-					errs[i] = errors.New("replica table full")
-					return
+// fanPush sends one REPLICATE push to every replica concurrently, skipping
+// peers with an open breaker. It returns as soon as need replicas
+// acknowledged durably (applied or already-newer); need <= 0 waits for
+// every launched push. Replicas still silent when OpTimeout expires are
+// abandoned — their goroutines only write to a buffered channel and the
+// breaker, so a hung peer costs one deadline, never a stall. The returned
+// error joins every per-replica failure observed, so a multi-peer outage
+// is diagnosable from one log line.
+func (c *Client) fanPush(replicas []string, head uint64, ents []wire.Entry, need int) (int, error) {
+	ch := make(chan error, len(replicas))
+	launched := 0
+	var errs []error
+	for _, addr := range replicas {
+		p := c.peers[addr]
+		if !p.br.allow() {
+			errs = append(errs, fmt.Errorf("%w: %s", errBreakerOpen, addr))
+			continue
+		}
+		launched++
+		go func(p *peer, addr string) {
+			var statuses []byte
+			err := p.call(func(wc *wire.Client) error {
+				var err error
+				statuses, err = wc.Replicate(head, ents)
+				return err
+			})
+			if err == nil {
+				for _, st := range statuses {
+					if st == wire.ApplyFailed {
+						err = fmt.Errorf("cluster: %s: replica table full", addr)
+						break
+					}
 				}
 			}
-			oks[i] = true
-		}(i, c.peers[addr])
+			ch <- err
+		}(p, addr)
 	}
-	wg.Wait()
-	if firstErr != nil {
-		for _, err := range errs {
+	acks := 0
+	timer := time.NewTimer(c.cfg.OpTimeout)
+	defer timer.Stop()
+	for done := 0; done < launched; done++ {
+		select {
+		case err := <-ch:
 			if err != nil {
-				*firstErr = err
-				break
+				errs = append(errs, err)
+				continue
 			}
+			acks++
+			if need > 0 && acks >= need {
+				return acks, nil
+			}
+		case <-timer.C:
+			errs = append(errs, fmt.Errorf("%w after %v (%d/%d replies)", errFanDeadline, c.cfg.OpTimeout, done, launched))
+			return acks, errors.Join(errs...)
 		}
 	}
-	return oks
+	return acks, errors.Join(errs...)
 }
 
 // vread is one replica's VGET answer.
@@ -246,24 +316,55 @@ type vread struct {
 
 // Get reads key: all consulted replicas are queried concurrently, the
 // newest copy wins, and any stale (or missing) replica that answered is
-// repaired with the winning copy before Get returns. Get fails only when
-// every consulted replica failed.
+// repaired with the winning copy before Get returns. Peers with an open
+// breaker are skipped and peers still silent at OpTimeout are abandoned;
+// a read that succeeds without a full fan-out counts as degraded. Get
+// fails only when every consulted replica failed.
 func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
 	c.reads.Add(1)
 	var buf [8]string
 	replicas := c.ring.Replicas(key, c.cfg.ReadFanout, buf[:0])
 	reads := make([]vread, len(replicas))
-	var wg sync.WaitGroup
-	for i, addr := range replicas {
-		wg.Add(1)
-		go func(i int, p *peer) {
-			defer wg.Done()
-			p.trips.Add(1)
-			r := &reads[i]
-			r.state, r.value, r.seq, r.err = p.wc.VGet(key)
-		}(i, c.peers[addr])
+	type rres struct {
+		i int
+		r vread
 	}
-	wg.Wait()
+	// Results travel through a buffered channel: a goroutine abandoned at
+	// the deadline writes only here and to its breaker, never to state the
+	// caller still reads.
+	ch := make(chan rres, len(replicas))
+	launched := 0
+	for i, addr := range replicas {
+		p := c.peers[addr]
+		if !p.br.allow() {
+			reads[i].err = fmt.Errorf("%w: %s", errBreakerOpen, addr)
+			continue
+		}
+		// Overwritten on arrival; left standing for replicas that miss the
+		// deadline.
+		reads[i].err = fmt.Errorf("%w: %s", errFanDeadline, addr)
+		launched++
+		go func(i int, p *peer) {
+			var r vread
+			r.err = p.call(func(wc *wire.Client) error {
+				var err error
+				r.state, r.value, r.seq, err = wc.VGet(key)
+				return err
+			})
+			ch <- rres{i, r}
+		}(i, p)
+	}
+	timer := time.NewTimer(c.cfg.OpTimeout)
+	defer timer.Stop()
+collect:
+	for done := 0; done < launched; done++ {
+		select {
+		case rr := <-ch:
+			reads[rr.i] = rr.r
+		case <-timer.C:
+			break collect
+		}
+	}
 
 	best := -1
 	answered := 0
@@ -278,7 +379,10 @@ func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
 		}
 	}
 	if answered == 0 {
-		return 0, false, fmt.Errorf("%w (key %d): %v", ErrAllReplicasFailed, key, reads[0].err)
+		return 0, false, fmt.Errorf("%w (key %d): %w", ErrAllReplicasFailed, key, errors.Join(readErrsOf(reads)...))
+	}
+	if answered < len(replicas) {
+		c.degradedReads.Add(1)
 	}
 	win := reads[best]
 	c.repair(key, replicas, reads, win)
@@ -286,6 +390,17 @@ func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
 		return win.value, true, nil
 	}
 	return 0, false, nil
+}
+
+// readErrsOf collects the per-replica failures of a read fan-out.
+func readErrsOf(reads []vread) []error {
+	var errs []error
+	for i := range reads {
+		if reads[i].err != nil {
+			errs = append(errs, reads[i].err)
+		}
+	}
+	return errs
 }
 
 // repair pushes the winning copy to every replica that answered with an
@@ -317,7 +432,7 @@ func (c *Client) repair(key uint64, replicas []string, reads []vread, win vread)
 		return
 	}
 	c.repairs.Add(int64(len(stale)))
-	c.fanPush(stale, win.seq, []wire.Entry{ent}, nil)
+	c.fanPush(stale, win.seq, []wire.Entry{ent}, 0)
 }
 
 // PutBatch writes every pair, grouping the per-replica pushes into one
@@ -344,7 +459,9 @@ func (c *Client) DelBatch(keys []uint64) error {
 }
 
 // writeBatch distributes entries to their replicas, one push per node, and
-// verifies every entry reached its write quorum.
+// verifies every entry reached its write quorum. Nodes with an open
+// breaker are skipped; nodes silent at OpTimeout are abandoned. A quorum
+// failure reports every per-node error joined.
 func (c *Client) writeBatch(ents []wire.Entry) error {
 	c.writes.Add(int64(len(ents)))
 	perNode := make(map[string][]wire.Entry)
@@ -355,41 +472,59 @@ func (c *Client) writeBatch(ents []wire.Entry) error {
 			perNodeIdx[addr] = append(perNodeIdx[addr], i)
 		}
 	}
+	type bres struct {
+		addr     string
+		statuses []byte
+		err      error
+	}
+	ch := make(chan bres, len(perNode))
+	launched := 0
+	var errs []error
+	for addr, batch := range perNode {
+		p := c.peers[addr]
+		if !p.br.allow() {
+			errs = append(errs, fmt.Errorf("%w: %s", errBreakerOpen, addr))
+			continue
+		}
+		launched++
+		go func(addr string, p *peer, batch []wire.Entry) {
+			var statuses []byte
+			err := p.call(func(wc *wire.Client) error {
+				var err error
+				statuses, err = wc.Replicate(batch[len(batch)-1].Seq, batch)
+				return err
+			})
+			ch <- bres{addr, statuses, err}
+		}(addr, p, batch)
+	}
 	acks := make([]int, len(ents))
-	var mu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	for addr := range perNode {
-		wg.Add(1)
-		go func(addr string) {
-			defer wg.Done()
-			p := c.peers[addr]
-			p.trips.Add(1)
-			statuses, err := p.wc.Replicate(ents[len(ents)-1].Seq, perNode[addr])
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
+	timer := time.NewTimer(c.cfg.OpTimeout)
+	defer timer.Stop()
+collect:
+	for done := 0; done < launched; done++ {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				errs = append(errs, fmt.Errorf("cluster: %s: %w", r.addr, r.err))
+				continue
 			}
-			for j, st := range statuses {
+			for j, st := range r.statuses {
 				if st == wire.ApplyFailed {
-					if firstErr == nil {
-						firstErr = errors.New("replica table full")
-					}
+					errs = append(errs, fmt.Errorf("cluster: %s: replica table full (key %d)", r.addr, perNode[r.addr][j].Key))
 					continue
 				}
-				acks[perNodeIdx[addr][j]]++
+				acks[perNodeIdx[r.addr][j]]++
 			}
-		}(addr)
+		case <-timer.C:
+			errs = append(errs, fmt.Errorf("%w after %v (%d/%d replies)", errFanDeadline, c.cfg.OpTimeout, done, launched))
+			break collect
+		}
 	}
-	wg.Wait()
+	joined := errors.Join(errs...)
 	for i, n := range acks {
 		if n < c.cfg.WriteQuorum {
 			c.quorumFailures.Add(1)
-			return fmt.Errorf("%w (%d/%d acks for key %d): %v", ErrNoQuorum, n, c.cfg.WriteQuorum, ents[i].Key, firstErr)
+			return fmt.Errorf("%w (%d/%d acks for key %d): %w", ErrNoQuorum, n, c.cfg.WriteQuorum, ents[i].Key, joined)
 		}
 	}
 	return nil
@@ -428,8 +563,18 @@ type Metrics struct {
 	Repairs        int64
 	Writes         int64
 	QuorumFailures int64
+	// DegradedReads counts reads that succeeded without hearing from every
+	// consulted replica (peer skipped by its breaker, failed, or silent at
+	// the deadline).
+	DegradedReads int64
 	// PeerTrips counts round trips per node address.
 	PeerTrips map[string]int64
+	// BreakerOpen reports which peers' breakers are currently rejecting.
+	BreakerOpen map[string]bool
+	// BreakerTrips counts closed→open transitions per peer.
+	BreakerTrips map[string]int64
+	// BreakerSkips counts requests skipped by an open breaker per peer.
+	BreakerSkips map[string]int64
 }
 
 // MetricsSnapshot returns the current counter values.
@@ -440,10 +585,17 @@ func (c *Client) MetricsSnapshot() Metrics {
 		Repairs:        c.repairs.Load(),
 		Writes:         c.writes.Load(),
 		QuorumFailures: c.quorumFailures.Load(),
+		DegradedReads:  c.degradedReads.Load(),
 		PeerTrips:      make(map[string]int64, len(c.peers)),
+		BreakerOpen:    make(map[string]bool, len(c.peers)),
+		BreakerTrips:   make(map[string]int64, len(c.peers)),
+		BreakerSkips:   make(map[string]int64, len(c.peers)),
 	}
 	for addr, p := range c.peers {
 		m.PeerTrips[addr] = p.trips.Load()
+		m.BreakerOpen[addr] = p.br.isOpen()
+		m.BreakerTrips[addr] = p.br.trips.Load()
+		m.BreakerSkips[addr] = p.br.skips.Load()
 	}
 	return m
 }
@@ -466,14 +618,30 @@ func (c *Client) WritePrometheus(w io.Writer) error {
 	simple("mccuckoo_cluster_read_repairs_total", "Stale replicas repaired by reads.", m.Repairs)
 	simple("mccuckoo_cluster_writes_total", "Cluster writes issued.", m.Writes)
 	simple("mccuckoo_cluster_quorum_failures_total", "Writes that missed their quorum.", m.QuorumFailures)
-	pf("# HELP mccuckoo_cluster_peer_trips_total Round trips per peer.\n# TYPE mccuckoo_cluster_peer_trips_total counter\n")
+	simple("mccuckoo_cluster_degraded_reads_total", "Reads that succeeded without a full replica fan-out.", m.DegradedReads)
 	addrs := make([]string, 0, len(m.PeerTrips))
 	for addr := range m.PeerTrips {
 		addrs = append(addrs, addr)
 	}
 	sort.Strings(addrs)
-	for _, addr := range addrs {
-		pf("mccuckoo_cluster_peer_trips_total{peer=%q} %d\n", addr, m.PeerTrips[addr])
+	perPeer := func(name, help, typ string, v func(addr string) int64) {
+		pf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, addr := range addrs {
+			pf("%s{peer=%q} %d\n", name, addr, v(addr))
+		}
 	}
+	perPeer("mccuckoo_cluster_peer_trips_total", "Round trips per peer.", "counter",
+		func(addr string) int64 { return m.PeerTrips[addr] })
+	perPeer("mccuckoo_cluster_breaker_open", "1 while the peer's breaker rejects requests.", "gauge",
+		func(addr string) int64 {
+			if m.BreakerOpen[addr] {
+				return 1
+			}
+			return 0
+		})
+	perPeer("mccuckoo_cluster_breaker_trips_total", "Breaker closed-to-open transitions per peer.", "counter",
+		func(addr string) int64 { return m.BreakerTrips[addr] })
+	perPeer("mccuckoo_cluster_breaker_skips_total", "Requests skipped by an open breaker per peer.", "counter",
+		func(addr string) int64 { return m.BreakerSkips[addr] })
 	return err
 }

@@ -32,6 +32,10 @@ type ReplicatorConfig struct {
 	DialTimeout time.Duration
 	ReadTimeout time.Duration
 
+	// Dial, when non-nil, replaces net.DialTimeout for peer subscriptions.
+	// The fault-injection layer (internal/netchaos) interposes here.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+
 	// RetryBase is the first reconnect backoff; each failure doubles it up
 	// to RetryMax, with ±50% jitter (defaults 100ms, 3s).
 	RetryBase time.Duration
@@ -167,7 +171,13 @@ func (r *Replicator) peerLoop(addr string, st *peerState) {
 // streamOnce runs one subscription: dial, handshake, then apply stream
 // frames until the connection breaks (returned as an error) or Close (nil).
 func (r *Replicator) streamOnce(addr string, st *peerState) error {
-	nc, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
+	dial := r.cfg.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(addr, r.cfg.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("dial: %w", err)
 	}
@@ -191,7 +201,11 @@ func (r *Replicator) streamOnce(addr string, st *peerState) error {
 		ID:      1,
 		Payload: wire.AppendSubscribePayload(nil, fromSeq),
 	})
-	nc.SetWriteDeadline(time.Now().Add(r.cfg.DialTimeout))
+	// A failed deadline arm is a connection failure — proceeding without
+	// the deadline could hang the subscribe write on a dead peer.
+	if err := nc.SetWriteDeadline(time.Now().Add(r.cfg.DialTimeout)); err != nil {
+		return fmt.Errorf("subscribe: set write deadline: %w", err)
+	}
 	if _, err := nc.Write(sub); err != nil {
 		return fmt.Errorf("subscribe: %w", err)
 	}
@@ -199,7 +213,9 @@ func (r *Replicator) streamOnce(addr string, st *peerState) error {
 	var buf []byte
 	var f wire.Frame
 	readFrame := func() error {
-		nc.SetReadDeadline(time.Now().Add(r.cfg.ReadTimeout))
+		if derr := nc.SetReadDeadline(time.Now().Add(r.cfg.ReadTimeout)); derr != nil {
+			return fmt.Errorf("set read deadline: %w", derr)
+		}
 		f, buf, err = wire.ReadFrame(nc, wire.DefaultMaxPayload, buf)
 		return err
 	}

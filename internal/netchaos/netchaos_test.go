@@ -1,0 +1,257 @@
+package netchaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back, optionally
+// through the fault plane.
+func echoServer(t *testing.T, n *Network, name string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrapped net.Listener = ln
+	if n != nil {
+		wrapped = n.Listener(name, ln)
+	}
+	go func() {
+		for {
+			c, err := wrapped.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+func roundTrip(t *testing.T, c net.Conn, msg []byte) []byte {
+	t.Helper()
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return buf
+}
+
+func TestNetchaosCleanLinkPassesThrough(t *testing.T) {
+	n := New(1)
+	addr := echoServer(t, nil, "")
+	c, err := n.Dialer("client")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := roundTrip(t, c, []byte("hello")); !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("echo = %q", got)
+	}
+	if st := n.Stats(); st != (Stats{}) {
+		t.Fatalf("clean link injected faults: %+v", st)
+	}
+}
+
+func TestNetchaosPartitionBlocksDialsAndResetsConns(t *testing.T) {
+	n := New(2)
+	addr := echoServer(t, nil, "")
+	dial := n.Dialer("client")
+
+	c, err := dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	roundTrip(t, c, []byte("pre"))
+
+	n.Partition("client", addr)
+	if _, err := dial(addr, time.Second); !errors.Is(err, ErrCut) {
+		t.Fatalf("dial through partition: %v, want ErrCut", err)
+	}
+	// The established connection was reset, not left dangling.
+	if _, err := c.Write([]byte("post")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write on reset conn: %v, want ErrReset", err)
+	}
+
+	n.Heal("client", addr)
+	c2, err := dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer c2.Close()
+	roundTrip(t, c2, []byte("healed"))
+
+	st := n.Stats()
+	if st.DialsBlocked == 0 || st.ConnsReset == 0 {
+		t.Fatalf("stats after partition: %+v", st)
+	}
+}
+
+func TestNetchaosAsymmetricPartition(t *testing.T) {
+	n := New(3)
+	addr := echoServer(t, nil, "")
+	c, err := n.Dialer("client")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	roundTrip(t, c, []byte("warm"))
+
+	// Cut only client→server: the connection survives, reads of data the
+	// server already sent still work, but new writes fail.
+	n.PartitionOneWay("client", addr)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrCut) {
+		t.Fatalf("write on one-way cut: %v, want ErrCut", err)
+	}
+	// The reverse direction is untouched: heal the out direction, write,
+	// then cut the in direction and watch the read fail instead.
+	n.Heal("client", addr)
+	if _, err := c.Write([]byte("y")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	n.PartitionOneWay(addr, "client")
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); !errors.Is(err, ErrCut) {
+		t.Fatalf("read on inbound cut: %v, want ErrCut", err)
+	}
+	if st := n.Stats(); st.WritesCut == 0 || st.ReadsCut == 0 {
+		t.Fatalf("stats after asymmetric cuts: %+v", st)
+	}
+}
+
+func TestNetchaosLatencyAndJitterAreSeeded(t *testing.T) {
+	// The jitter stream must be a pure function of the seed.
+	a, b := New(42), New(42)
+	p := Profile{Jitter: time.Hour}
+	var da, db []time.Duration
+	for i := 0; i < 16; i++ {
+		da = append(da, a.delayFor(p))
+		db = append(db, b.delayFor(p))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("jitter draw %d: %v != %v for equal seeds", i, da[i], db[i])
+		}
+	}
+	if c := New(43).delayFor(p); c == da[0] {
+		t.Log("different seed drew an equal first jitter (possible but unlikely)")
+	}
+
+	// And latency is actually injected on the wire.
+	n := New(7)
+	addr := echoServer(t, nil, "")
+	const lat = 30 * time.Millisecond
+	n.SetLink("client", addr, Profile{Latency: lat})
+	c, err := n.Dialer("client")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	roundTrip(t, c, []byte("slow"))
+	if el := time.Since(start); el < lat {
+		t.Fatalf("round trip took %v, want >= %v", el, lat)
+	}
+	if n.Stats().Delays == 0 {
+		t.Fatal("no delays recorded")
+	}
+}
+
+func TestNetchaosTrickleDeliversInChunks(t *testing.T) {
+	n := New(9)
+	addr := echoServer(t, nil, "")
+	n.SetLink("client", addr, Profile{TrickleBytes: 3, TricklePause: time.Millisecond})
+	c, err := n.Dialer("client")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := bytes.Repeat([]byte("abc"), 10)
+	if got := roundTrip(t, c, msg); !bytes.Equal(got, msg) {
+		t.Fatalf("trickled echo mismatch: %q", got)
+	}
+	// 30 bytes at 3 per chunk = 10 chunks, 9 pauses.
+	if st := n.Stats(); st.Delays < 9 {
+		t.Fatalf("delays = %d, want >= 9 trickle pauses", st.Delays)
+	}
+}
+
+func TestNetchaosDropAfterBytes(t *testing.T) {
+	n := New(11)
+	addr := echoServer(t, nil, "")
+	n.SetLink("client", addr, Profile{DropAfterBytes: 8})
+	c, err := n.Dialer("client")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// First 8 bytes cross; the 9th kills the connection.
+	if _, err := c.Write(bytes.Repeat([]byte{1}, 8)); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if _, err := c.Write([]byte{2}); !errors.Is(err, ErrReset) {
+		t.Fatalf("write past budget: %v, want ErrReset", err)
+	}
+	if _, err := c.Write([]byte{3}); !errors.Is(err, ErrReset) {
+		t.Fatalf("write on dead conn: %v, want ErrReset", err)
+	}
+	if n.Stats().ConnsReset != 1 {
+		t.Fatalf("ConnsReset = %d, want 1", n.Stats().ConnsReset)
+	}
+}
+
+func TestNetchaosListenerWildcardRules(t *testing.T) {
+	n := New(13)
+	addr := echoServer(t, n, "server")
+	c, err := n.Dialer("client")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	roundTrip(t, c, []byte("ok"))
+
+	// Cutting server→* silences the server's responses (the echo crosses
+	// the server-side wrapper's write path, whose remote is the wildcard).
+	n.SetLink("server", Wildcard, Profile{Cut: true})
+	if _, err := c.Write([]byte("q")); err != nil {
+		t.Fatalf("client write should still pass: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read should not deliver data across a cut server direction")
+	}
+	if n.Stats().WritesCut == 0 {
+		t.Fatal("server-side write was not cut")
+	}
+}
+
+func TestNetchaosSteeringAffectsEstablishedConns(t *testing.T) {
+	n := New(17)
+	addr := echoServer(t, nil, "")
+	c, err := n.Dialer("client")(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	roundTrip(t, c, []byte("1"))
+	n.SetLink("client", addr, Profile{Cut: true})
+	if _, err := c.Write([]byte("2")); !errors.Is(err, ErrCut) {
+		t.Fatalf("steered cut not applied to live conn: %v", err)
+	}
+	n.HealAll()
+	roundTrip(t, c, []byte("3"))
+}

@@ -48,6 +48,11 @@ type ClientConfig struct {
 	// DialTimeout bounds each dial (default 5s).
 	DialTimeout time.Duration
 
+	// Dial, when non-nil, replaces net.DialTimeout for pool connections.
+	// The fault-injection layer (internal/netchaos) interposes here so
+	// tests can cut, slow, or reset individual peer links.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+
 	// RequestTimeout bounds one request/response round trip (default 10s).
 	RequestTimeout time.Duration
 
@@ -136,7 +141,13 @@ func (c *Client) conn() (*clientConn, error) {
 	if cc != nil && !cc.dead.Load() {
 		return cc, nil
 	}
-	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	dial := c.cfg.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", c.cfg.Addr, err)
 	}
@@ -396,6 +407,23 @@ func (c *Client) Replicate(head uint64, ents []Entry) ([]byte, error) {
 	return statuses, nil
 }
 
+// DigestRange fetches the server's XOR digest over keys in [lo, hi] that
+// the named requester co-owns with the server, plus the matched-key count;
+// when the count is at most maxKeys the keys are enumerated. The server
+// must run a *Replicated store.
+func (c *Client) DigestRange(name string, lo, hi uint64, maxKeys int) (digest, count uint64, keys []DigestEntry, err error) {
+	p := AppendDigestRequest(make([]byte, 0, 24+len(name)), lo, hi, maxKeys, name)
+	resp, err := c.do(OpDigest, p)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	digest, count, keys, ok := ParseDigestResponse(resp)
+	if !ok {
+		return 0, 0, nil, protoErrf("malformed digest response")
+	}
+	return digest, count, keys, nil
+}
+
 // result is one demultiplexed response.
 type result struct {
 	status  byte
@@ -497,8 +525,12 @@ func (cc *clientConn) roundTrip(id uint64, op byte, payload []byte, timeout time
 	}
 	frame := AppendFrame(make([]byte, 0, FrameOverhead+len(payload)), Frame{Type: op, ID: id, Payload: payload})
 	cc.wmu.Lock()
-	cc.nc.SetWriteDeadline(time.Now().Add(timeout))
-	_, err := cc.nc.Write(frame)
+	// A failed deadline arm is a connection failure: without it a dead
+	// peer could pin this write forever.
+	err := cc.nc.SetWriteDeadline(time.Now().Add(timeout))
+	if err == nil {
+		_, err = cc.nc.Write(frame)
+	}
 	cc.wmu.Unlock()
 	if err != nil {
 		cc.unregister(id)

@@ -15,6 +15,9 @@ import "encoding/binary"
 //	PING  request: empty                   response: empty
 //	VGET  request: key u64                 response: state u8, value u64, seq u64
 //	SUB   request: fromSeq u64             response: head u64, full u8
+//	DIGEST request: lo u64, hi u64, maxKeys u32, nameLen u32, name bytes
+//	DIGEST response: digest u64, count u64, included u32, then included
+//	      records of key u64, meta u64 (included is 0 when count > maxKeys)
 //	REPLICATE payload (either direction): head u64, count u32, then count
 //	      records of seq u64, op u8 (OpPut|OpDel), key u64, value u64
 //	REPLICATE response (requests only): count u32, then count apply
@@ -205,6 +208,88 @@ func ParseReplicatePayload(p []byte, ents []Entry) (head uint64, _ []Entry, ok b
 		return 0, nil, false
 	}
 	return head, ents, true
+}
+
+// DigestEntry is one (key, meta) pair enumerated by a DIGEST response when
+// the requested range is small enough; the anti-entropy sweeper's bisection
+// bottoms out on these.
+type DigestEntry struct {
+	Key  uint64
+	Meta uint64
+}
+
+// maxDigestName bounds the requester name carried in a DIGEST request; node
+// names are host:port strings, so this is generous.
+const maxDigestName = 256
+
+// digestEntrySize is the wire size of one DigestEntry record.
+const digestEntrySize = 8 + 8
+
+// MaxDigestKeys is how many DigestEntry records fit a default-sized DIGEST
+// response frame; servers clamp enumeration at this bound.
+const MaxDigestKeys = (DefaultMaxPayload - 20) / digestEntrySize
+
+// AppendDigestRequest encodes a DIGEST request: digest keys in [lo, hi]
+// that the named requester co-owns with the serving node, enumerating them
+// when the range holds at most maxKeys.
+func AppendDigestRequest(dst []byte, lo, hi uint64, maxKeys int, name string) []byte {
+	dst = appendU64(dst, lo)
+	dst = appendU64(dst, hi)
+	dst = appendU32(dst, uint32(maxKeys))
+	dst = appendU32(dst, uint32(len(name)))
+	return append(dst, name...)
+}
+
+// ParseDigestRequest decodes a DIGEST request, validating the name length
+// against the payload and bounding maxKeys to what fits a response frame.
+func ParseDigestRequest(p []byte) (lo, hi uint64, maxKeys int, name string, ok bool) {
+	c := cursor{b: p}
+	lo, hi = c.u64(), c.u64()
+	mk := c.u32()
+	nameLen := c.u32()
+	if c.bad || nameLen > maxDigestName || len(p)-c.off != int(nameLen) || lo > hi {
+		return 0, 0, 0, "", false
+	}
+	if mk > MaxDigestKeys {
+		mk = MaxDigestKeys
+	}
+	return lo, hi, int(mk), string(p[c.off:]), true
+}
+
+// AppendDigestResponse encodes a DIGEST response. count is the number of
+// keys matched in the range; keys enumerates them when the server chose to
+// (len(keys) is 0 when count exceeded the request's maxKeys).
+func AppendDigestResponse(dst []byte, digest, count uint64, keys []DigestEntry) []byte {
+	dst = appendU64(dst, digest)
+	dst = appendU64(dst, count)
+	dst = appendU32(dst, uint32(len(keys)))
+	for _, e := range keys {
+		dst = appendU64(dst, e.Key)
+		dst = appendU64(dst, e.Meta)
+	}
+	return dst
+}
+
+// ParseDigestResponse decodes a DIGEST response; the included count is
+// validated against the payload length.
+func ParseDigestResponse(p []byte) (digest, count uint64, keys []DigestEntry, ok bool) {
+	c := cursor{b: p}
+	digest, count = c.u64(), c.u64()
+	n := int(c.u32())
+	if c.bad || n > MaxDigestKeys || len(p)-c.off != n*digestEntrySize || uint64(n) > count {
+		return 0, 0, nil, false
+	}
+	if n > 0 {
+		keys = make([]DigestEntry, n)
+		for i := range keys {
+			keys[i].Key = c.u64()
+			keys[i].Meta = c.u64()
+		}
+	}
+	if !c.ok() {
+		return 0, 0, nil, false
+	}
+	return digest, count, keys, true
 }
 
 // AppendSubscribePayload encodes a SUBSCRIBE request: resume after fromSeq.

@@ -75,6 +75,13 @@ const (
 	// per-entry apply statuses. As a server-sent frame on a subscribed
 	// connection it is the op-log stream and has no response.
 	OpReplicate byte = 9
+
+	// OpDigest asks for the XOR state digest over a key range, filtered to
+	// keys the named requester shares replica ownership of with this node.
+	// When the range holds few enough keys the response enumerates them
+	// (key, meta pairs), which is how the anti-entropy sweeper's bisection
+	// bottoms out. Requires a *Replicated store.
+	OpDigest byte = 10
 )
 
 // respFlag marks a frame as a response; the low bits carry the status.
@@ -131,6 +138,8 @@ func OpName(op byte) string {
 		return "subscribe"
 	case OpReplicate:
 		return "replicate"
+	case OpDigest:
+		return "digest"
 	default:
 		return "unknown"
 	}

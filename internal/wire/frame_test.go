@@ -19,6 +19,7 @@ func TestFrameRoundTrip(t *testing.T) {
 			{Seq: 77, Op: OpPut, Key: 5, Value: 50},
 			{Seq: 76, Op: OpDel, Key: 6},
 		})},
+		{Type: OpDigest, ID: 5, Payload: AppendDigestRequest(nil, 0, ^uint64(0), 128, "node-a:7000")},
 	}
 	var stream []byte
 	for _, f := range frames {
@@ -116,6 +117,7 @@ func FuzzWireFrame(f *testing.F) {
 		{Seq: 4, Op: OpPut, Key: 1, Value: 2},
 		{Seq: 3, Op: OpDel, Key: 9},
 	})}))
+	f.Add(AppendFrame(nil, Frame{Type: OpDigest, ID: 8, Payload: AppendDigestRequest(nil, 10, 20, 64, "n1")}))
 	corrupt := AppendFrame(nil, Frame{Type: OpGet, ID: 3, Payload: []byte{1, 2, 3}})
 	corrupt[len(corrupt)-2] ^= 0x40
 	f.Add(corrupt)

@@ -77,6 +77,11 @@ type Replicated struct {
 	log *opLog
 	//mcvet:guardedby mu
 	subs map[*logSub]struct{}
+	// filter restricts DigestRange to keys the requesting peer co-owns
+	// with this node (set by the cluster tier; nil means no restriction).
+	// Kept ring-agnostic: package wire never imports the ring.
+	//mcvet:guardedby mu
+	filter func(peer string, key uint64) bool
 
 	entriesApplied atomic.Int64
 	entriesStale   atomic.Int64
@@ -147,6 +152,76 @@ func (r *Replicated) Digest() uint64 {
 //mcvet:deterministic
 func DigestTerm(key, value, meta uint64) uint64 {
 	return hashutil.Mix64(hashutil.Mix64(hashutil.Mix64(key)^value) ^ meta)
+}
+
+// SetDigestFilter installs the ownership filter applied by DigestRange: a
+// key contributes to a peer's range digest only when fn(peer, key) is true.
+// The cluster tier sets fn to "peer owns key AND this node owns key" so the
+// two sides of an anti-entropy exchange digest the same key set; nil
+// removes the restriction.
+func (r *Replicated) SetDigestFilter(fn func(peer string, key uint64) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.filter = fn
+}
+
+// DigestRange computes the XOR digest over tracked keys in [lo, hi] that
+// pass the digest filter for peer, plus their count. When the count is at
+// most maxKeys the keys are enumerated as (key, meta) pairs — the
+// reconciliation unit for anti-entropy bisection. maxKeys <= 0 disables
+// enumeration.
+func (r *Replicated) DigestRange(peer string, lo, hi uint64, maxKeys int) (digest, count uint64, keys []DigestEntry) {
+	if maxKeys > MaxDigestKeys {
+		maxKeys = MaxDigestKeys
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for k, meta := range r.seqs {
+		if k < lo || k > hi {
+			continue
+		}
+		if r.filter != nil && !r.filter(peer, k) {
+			continue
+		}
+		var val uint64
+		if meta&1 == 0 {
+			if v, ok := r.inner.Lookup(k); ok {
+				val = v
+			}
+		}
+		digest ^= DigestTerm(k, val, meta)
+		count++
+		if maxKeys > 0 && len(keys) < maxKeys {
+			keys = append(keys, DigestEntry{Key: k, Meta: meta})
+		}
+	}
+	if uint64(len(keys)) < count {
+		// The range overflowed the enumeration budget: the caller must
+		// bisect, so a partial listing is only misleading.
+		keys = nil
+	}
+	return digest, count, keys
+}
+
+// CompactTombstones drops tombstones whose deletion sequence number is
+// strictly below beforeSeq, returning how many were reclaimed. The caller
+// owns the safety argument: a tombstone may only be dropped once every
+// replica has applied past its sequence number, otherwise a partitioned
+// replica's stale PUT could resurrect the key. Digest terms are XORed out,
+// so two replicas compacting at the same watermark keep equal digests.
+func (r *Replicated) CompactTombstones(beforeSeq uint64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for k, meta := range r.seqs {
+		if meta&1 == 1 && meta>>1 < beforeSeq {
+			r.digest ^= DigestTerm(k, 0, meta)
+			delete(r.seqs, k)
+			r.tombs--
+			n++
+		}
+	}
+	return n
 }
 
 // MetaOf rebuilds the internal meta word from a VGET response, for digest

@@ -352,6 +352,7 @@ func TestSubscribeCodecRoundTrip(t *testing.T) {
 func TestOpNameCoversReplicationOpcodes(t *testing.T) {
 	want := map[byte]string{
 		OpVGet: "vget", OpSub: "subscribe", OpReplicate: "replicate",
+		OpDigest: "digest",
 	}
 	for op, name := range want {
 		if got := OpName(op); got != name {

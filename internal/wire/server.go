@@ -256,9 +256,12 @@ func (s *Server) closeConns() {
 // rejectConn answers an over-limit connection with a single ERR frame
 // (request id 0 — the client has not spoken yet) and closes it.
 func (s *Server) rejectConn(nc net.Conn) {
-	nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	b := respFrame(0, StatusErr, []byte("connection limit reached"))
-	nc.Write(b)
+	if err := nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err == nil {
+		// Without a deadline an unread ERR frame could pin this goroutine;
+		// skip the courtesy frame and just close.
+		b := respFrame(0, StatusErr, []byte("connection limit reached"))
+		nc.Write(b)
+	}
 	nc.Close()
 }
 
@@ -296,7 +299,11 @@ func (s *Server) serveConn(nc net.Conn) {
 	go func() {
 		select {
 		case <-s.drain:
-			nc.SetReadDeadline(time.Now())
+			if err := nc.SetReadDeadline(time.Now()); err != nil {
+				// Cannot interrupt the read by deadline; closing the
+				// connection interrupts it the hard way.
+				nc.Close()
+			}
 		case <-connDone:
 		}
 	}()
@@ -318,8 +325,11 @@ func (s *Server) serveConn(nc net.Conn) {
 			if failed {
 				continue // drain so the worker never blocks forever
 			}
-			nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-			if _, err := nc.Write(b); err != nil {
+			err := nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err == nil {
+				_, err = nc.Write(b)
+			}
+			if err != nil {
 				s.logf("wire: %s: write: %v", nc.RemoteAddr(), err)
 				failed = true
 				close(connFailed)
@@ -345,7 +355,12 @@ func (s *Server) serveConn(nc net.Conn) {
 func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte, connFailed <-chan struct{}) {
 	var buf []byte
 	for {
-		nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			// A connection that cannot arm its idle deadline is failing;
+			// treat it like any other dead connection.
+			s.logf("wire: %s: set read deadline: %v", nc.RemoteAddr(), err)
+			return
+		}
 		select {
 		case <-s.drain:
 			return
@@ -390,8 +405,14 @@ func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte, con
 				continue
 			}
 			// The read deadline was armed for the next request frame; a
-			// subscribed connection sends nothing more, so disarm it.
-			nc.SetReadDeadline(time.Time{})
+			// subscribed connection sends nothing more, so disarm it. If
+			// that fails the deadline would kill the stream spuriously, so
+			// refuse the subscription instead.
+			if err := nc.SetReadDeadline(time.Time{}); err != nil {
+				s.logf("wire: %s: disarm read deadline: %v", nc.RemoteAddr(), err)
+				out <- s.errFrame(f.ID, "connection failed")
+				return
+			}
 			s.runSubscription(f.ID, fromSeq, out, connFailed)
 			return
 		}
@@ -588,6 +609,17 @@ func (h *connHandler) handle(f Frame) (resp []byte) {
 		p = appendU32(p, uint32(len(h.statuses)))
 		p = append(p, h.statuses...)
 		return respFrame(f.ID, StatusOK, p)
+	case OpDigest:
+		lo, hi, maxKeys, name, ok := ParseDigestRequest(f.Payload)
+		if !ok {
+			return s.errFrame(f.ID, "malformed digest payload")
+		}
+		if s.rep == nil {
+			return s.errFrame(f.ID, "store is not replicated")
+		}
+		digest, count, keys := s.rep.DigestRange(name, lo, hi, maxKeys)
+		p := AppendDigestResponse(make([]byte, 0, 20+len(keys)*digestEntrySize), digest, count, keys)
+		return respFrame(f.ID, StatusOK, p)
 	case OpStats:
 		if len(f.Payload) != 0 {
 			return s.errFrame(f.ID, "malformed stats payload")
@@ -741,7 +773,7 @@ func statsOf(store mccuckoo.Store) TableStats {
 func (s *Server) WritePrometheus(w io.Writer) error {
 	p := &serverPromWriter{w: w}
 	p.header("mccuckoo_server_requests_total", "Requests served, by opcode.", "counter")
-	for op := byte(OpGet); op <= OpReplicate; op++ {
+	for op := byte(OpGet); op <= OpDigest; op++ {
 		p.printf("mccuckoo_server_requests_total{op=%q} %d\n", OpName(op), s.ops[op].Load())
 	}
 	p.simple("mccuckoo_server_subscriptions_active", "Op-log subscriptions currently streaming.", "gauge", s.subs.Load())
