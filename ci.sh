@@ -26,12 +26,18 @@
 # Chaos smoke: the short-mode netchaos drill (seeded partition + heal +
 # digest-equality) runs standalone so the fault-injection layer itself is
 # exercised — and visibly named — on every run.
+# Trace smoke: a traced mctrace replay against a live two-node replicated
+# pair, asserting the wire-propagated context yields a cross-node span
+# tree — the distributed-tracing tentpole end to end.
 # Fuzz smoke: short bounded runs of the snapshot-loader and wire-frame
 # fuzzers so format changes that break the rejection paths fail in CI,
-# not in a long background fuzz.
-# Benchmark smoke: the telemetry benchmarks run once so the disabled-path
-# zero-allocation claim and the enabled-path overhead stay measurable (the
-# hard allocation assertion lives in TestDisabledPathZeroAlloc).
+# not in a long background fuzz. The wire-frame corpus includes traced
+# frames (flag bit 0x40 + 16-byte context prefix) and their rejection
+# cases.
+# Benchmark smoke: the telemetry and trace benchmarks run once so the
+# disabled-path zero-allocation claims and the enabled-path overheads stay
+# measurable (the hard allocation assertions live in
+# TestDisabledPathZeroAlloc and TestUntracedPathZeroAlloc).
 set -eu
 
 say() { printf '==> %s\n' "$*"; }
@@ -59,10 +65,15 @@ say "go test: full suite"
 go test -shuffle=on ./...
 
 say "go test -race: concurrency-bearing packages"
+# The ./internal/telemetry/... wildcard covers the trace subpackage, whose
+# seqlock span ring and concurrent-scrape tests are race-gated here.
 go test -race -shuffle=on ./internal/core/... ./internal/shard/... ./internal/faultinject/... ./internal/telemetry/... ./internal/wire/... ./internal/netchaos/... ./internal/cluster/...
 
 say "chaos smoke: seeded partition + heal + digest equality"
 go test -race -short -run 'TestChaos|TestNetchaos' ./internal/netchaos/... ./internal/cluster/...
+
+say "trace smoke: traced replay over a two-node cluster"
+go test -race -short -count=1 -run 'TestTracedClusterReplaySmoke' ./cmd/mctrace
 
 say "fuzz smoke: snapshot loader"
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=5s ./internal/core
@@ -72,5 +83,8 @@ go test -run='^$' -fuzz=FuzzWireFrame -fuzztime=5s ./internal/wire
 
 say "benchmark smoke: telemetry overhead"
 go test -run='^$' -bench=Telemetry -benchtime=1x ./internal/telemetry
+
+say "benchmark smoke: trace overhead"
+go test -run='^$' -bench=Trace -benchtime=1x ./internal/telemetry/trace
 
 say "ci.sh: all gates green"

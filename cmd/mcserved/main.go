@@ -10,8 +10,17 @@
 // shutdown, so a restart with -load resumes where the server left off.
 //
 // With -metrics an HTTP listener exposes the combined Prometheus
-// exposition (table telemetry plus mccuckoo_server_* counters) on /metrics
-// and the debug endpoints under /debug/mccuckoo/.
+// exposition (table telemetry, mccuckoo_server_* counters, Go runtime
+// health) on /metrics, the debug endpoints under /debug/mccuckoo/, and the
+// standard pprof profiles under /debug/pprof/.
+//
+// With -trace the node keeps a flight recorder of request spans (DESIGN.md
+// §13): incoming frames carrying a trace context get server-side spans
+// (queue wait, table op, kick-chain length), head-sampled traces started
+// here get 1-in-N sampling (-tracesample), and any op slower than
+// -traceslow is captured regardless of sampling. The recorder is dumped at
+// /debug/mccuckoo/trace (filters: ?trace=<hex id>, ?minns=<dur>,
+// ?limit=<n>) and its counters join /metrics.
 //
 // With -peers the node joins a cluster (DESIGN.md §11): the store is
 // wrapped in replication bookkeeping, the replication opcodes are enabled,
@@ -47,6 +56,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,6 +65,8 @@ import (
 
 	"mccuckoo"
 	"mccuckoo/internal/cluster"
+	"mccuckoo/internal/telemetry"
+	"mccuckoo/internal/telemetry/trace"
 	"mccuckoo/internal/wire"
 )
 
@@ -93,11 +105,25 @@ func run(args []string, stdout io.Writer) error {
 		sweepLeaf  = fs.Int("sweepleaf", 0, "anti-entropy bisection leaf size in keys (0 = default)")
 		brkFails   = fs.Int("breakerfails", 0, "consecutive failed sweeps that trip a peer's breaker (0 = default)")
 		brkProbe   = fs.Duration("breakerprobe", 0, "base interval between breaker half-open probes (0 = sweep interval)")
+		traceOn    = fs.Bool("trace", false, "record request spans into the flight recorder")
+		traceSamp  = fs.Int("tracesample", 64, "head-sample 1 in N traces started at this node (needs -trace)")
+		traceSlow  = fs.Duration("traceslow", 100*time.Millisecond, "capture any op slower than this even when unsampled (needs -trace; 0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := log.New(os.Stderr, "mcserved: ", log.LstdFlags)
+
+	// The recorder stays nil without -trace: every span call site treats a
+	// nil recorder as a no-op, so the untraced server runs the exact same
+	// code it did before tracing existed.
+	var rec *trace.Recorder
+	if *traceOn {
+		rec = trace.New(trace.Options{
+			Sample:    *traceSamp,
+			SlowNanos: traceSlow.Nanoseconds(),
+		})
+	}
 
 	tel := mccuckoo.NewTelemetry()
 	store, err := buildStore(*kind, *capacity, *shards, *seed, *load, tel)
@@ -135,6 +161,7 @@ func run(args []string, stdout io.Writer) error {
 			VNodes:   *vnodes,
 			Seed:     *seed,
 			Logf:     logger.Printf,
+			Trace:    rec,
 		})
 		if err != nil {
 			return err
@@ -151,6 +178,7 @@ func run(args []string, stdout io.Writer) error {
 				BreakerFailures: *brkFails,
 				BreakerProbe:    *brkProbe,
 				Logf:            logger.Printf,
+				Trace:           rec,
 			})
 			if err != nil {
 				return err
@@ -173,6 +201,7 @@ func run(args []string, stdout io.Writer) error {
 		MaxConns:   *maxConns,
 		QueueDepth: *queue,
 		Logf:       logger.Printf,
+		Trace:      rec,
 	})
 	if err != nil {
 		return err
@@ -189,22 +218,33 @@ func run(args []string, stdout io.Writer) error {
 			ln.Close()
 			return err
 		}
+		// One merged exposition instead of ad-hoc writer concatenation;
+		// MergedHandler skips the contributors this configuration left nil.
+		parts := []telemetry.MetricsWriter{tel.WriteMetrics, srv.WritePrometheus}
+		if rep != nil {
+			parts = append(parts, rep.WritePrometheus)
+		}
+		if replicator != nil {
+			parts = append(parts, replicator.WritePrometheus)
+		}
+		if sweeper != nil {
+			parts = append(parts, sweeper.WritePrometheus)
+		}
+		if rec != nil {
+			parts = append(parts, rec.WritePrometheus)
+		}
+		parts = append(parts, telemetry.WriteRuntimeMetrics)
 		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			tel.WriteMetrics(w)
-			srv.WritePrometheus(w)
-			if rep != nil {
-				rep.WritePrometheus(w)
-			}
-			if replicator != nil {
-				replicator.WritePrometheus(w)
-			}
-			if sweeper != nil {
-				sweeper.WritePrometheus(w)
-			}
-		})
+		mux.Handle("/metrics", telemetry.MergedHandler(parts...))
 		mux.Handle("/debug/mccuckoo/", tel.Handler())
+		if rec != nil {
+			mux.Handle("/debug/mccuckoo/trace", rec.Handler())
+		}
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		metricsSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := metricsSrv.Serve(mln); err != nil && !errors.Is(err, http.ErrServerClosed) {

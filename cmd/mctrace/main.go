@@ -18,6 +18,16 @@
 // — so a trace can be validated against what a network client would see.
 // The public API hides the memory meter, so the traffic lines of those two
 // schemes read zero.
+//
+// With -nodes the replay instead drives a live mcserved cluster through the
+// replicated client (writes fan to -replicas copies with a -quorum ack
+// requirement), and -trace records distributed request spans: the summary
+// then includes per-operation span statistics and the slowest -tracetop
+// requests rendered as span trees, each tree stitching the client fan-out
+// to the per-replica round trips:
+//
+//	mctrace replay -in ops.trace -nodes 10.0.0.1:7466,10.0.0.2:7466 \
+//	        -replicas 2 -quorum 2 -trace -tracetop 5
 package main
 
 import (
@@ -27,16 +37,19 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"mccuckoo"
+	"mccuckoo/internal/cluster"
 	"mccuckoo/internal/core"
 	"mccuckoo/internal/cuckoo"
 	"mccuckoo/internal/hashutil"
 	"mccuckoo/internal/kv"
 	"mccuckoo/internal/memmodel"
 	"mccuckoo/internal/telemetry"
+	"mccuckoo/internal/telemetry/trace"
 	"mccuckoo/internal/workload"
 )
 
@@ -125,6 +138,14 @@ func runReplay(args []string, out io.Writer) error {
 		stashMax = fs.Int("stashmax", 0, "cap the stash population (0 = unbounded); inserts beyond the cap fail and make the replay exit non-zero")
 		metrics  = fs.String("metrics", "", "serve telemetry on this address (/metrics, /debug/mccuckoo/*) during the replay")
 		linger   = fs.Duration("linger", 0, "keep serving -metrics this long after the replay finishes")
+		nodes    = fs.String("nodes", "", "comma-separated mcserved addresses: replay over the cluster client instead of in-process (-scheme is ignored; -seed doubles as the ring seed)")
+		replicas = fs.Int("replicas", 2, "cluster copies per key (needs -nodes; must match the nodes)")
+		quorum   = fs.Int("quorum", 1, "write quorum W (needs -nodes)")
+		vnodes   = fs.Int("vnodes", 0, "ring virtual nodes (needs -nodes; must match the nodes)")
+		traceOn  = fs.Bool("trace", false, "record client-side request spans during a -nodes replay")
+		traceSmp = fs.Int("tracesample", 1, "head-sample 1 in N traces (needs -trace)")
+		traceSlw = fs.Duration("traceslow", 0, "also capture ops slower than this even when unsampled (needs -trace; 0 disables)")
+		traceTop = fs.Int("tracetop", 3, "span trees to print for the slowest sampled requests (needs -trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +161,19 @@ func runReplay(args []string, out io.Writer) error {
 	f.Close()
 	if err != nil {
 		return err
+	}
+	if *nodes != "" {
+		return runClusterReplay(stream, clusterReplayConfig{
+			nodes:    *nodes,
+			replicas: *replicas,
+			quorum:   *quorum,
+			vnodes:   *vnodes,
+			seed:     *seed,
+			traceOn:  *traceOn,
+			sample:   *traceSmp,
+			slow:     *traceSlw,
+			top:      *traceTop,
+		}, out)
 	}
 	tab, err := buildScheme(*scheme, *capacity, *maxloop, *seed, *stashMax, *shards)
 	if err != nil {
@@ -246,6 +280,135 @@ func runReplay(args []string, out io.Writer) error {
 		return fmt.Errorf("replay: %d of %d inserts failed outright", failed, counts[workload.OpInsert])
 	}
 	return nil
+}
+
+// clusterReplayConfig carries the -nodes replay flags.
+type clusterReplayConfig struct {
+	nodes    string
+	replicas int
+	quorum   int
+	vnodes   int
+	seed     uint64
+	traceOn  bool
+	sample   int
+	slow     time.Duration
+	top      int
+}
+
+// runClusterReplay replays the trace against a live cluster through the
+// replicated client, then summarizes the recorded client-side spans: one
+// line per operation kind (count, mean, max) and the slowest requests as
+// indented span trees. Insert failures (quorum misses included) make the
+// replay exit non-zero, mirroring the in-process path.
+func runClusterReplay(stream []workload.Op, cfg clusterReplayConfig, out io.Writer) error {
+	var rec *trace.Recorder
+	if cfg.traceOn {
+		rec = trace.New(trace.Options{Sample: cfg.sample, SlowNanos: cfg.slow.Nanoseconds()})
+	}
+	c, err := cluster.New(cluster.Config{
+		Nodes:       splitNodes(cfg.nodes),
+		Replicas:    cfg.replicas,
+		WriteQuorum: cfg.quorum,
+		VNodes:      cfg.vnodes,
+		Seed:        cfg.seed,
+		Trace:       rec,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	start := time.Now()
+	var hits, misses, failed int64
+	for _, op := range stream {
+		switch op.Kind {
+		case workload.OpInsert:
+			if err := c.Put(op.Key, op.Key); err != nil {
+				failed++
+			}
+		case workload.OpLookup:
+			if _, found, err := c.Get(op.Key); err == nil && found {
+				hits++
+			} else {
+				misses++
+			}
+		case workload.OpDelete:
+			if err := c.Del(op.Key); err != nil {
+				failed++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(out, "replayed %d ops in %v (%.2f Mops/s) against cluster %s (R=%d W=%d)\n",
+		len(stream), elapsed.Round(time.Millisecond),
+		float64(len(stream))/elapsed.Seconds()/1e6, cfg.nodes, cfg.replicas, cfg.quorum)
+	fmt.Fprintf(out, "lookups: %d hits, %d misses; %d failed writes\n", hits, misses, failed)
+	if rec != nil {
+		writeTraceSummary(out, rec, cfg.top)
+	}
+	if failed > 0 {
+		return fmt.Errorf("replay: %d of %d writes failed", failed, len(stream))
+	}
+	return nil
+}
+
+// writeTraceSummary renders the per-phase span statistics and the slowest-N
+// span trees from one recorder's flight ring.
+func writeTraceSummary(out io.Writer, rec *trace.Recorder, top int) {
+	spans := rec.Spans()
+	type agg struct {
+		n        int
+		sum, max int64
+	}
+	byOp := map[byte]*agg{}
+	for _, sp := range spans {
+		if sp.Kind != trace.KindClientOp {
+			continue
+		}
+		a := byOp[sp.Op]
+		if a == nil {
+			a = &agg{}
+			byOp[sp.Op] = a
+		}
+		a.n++
+		a.sum += sp.Dur
+		if sp.Dur > a.max {
+			a.max = sp.Dur
+		}
+	}
+	ops := make([]byte, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		a := byOp[op]
+		fmt.Fprintf(out, "trace %s: %d sampled, mean %.3gµs, max %.3gµs\n",
+			trace.OpString(op), a.n, float64(a.sum)/float64(a.n)/1e3, float64(a.max)/1e3)
+	}
+	roots := trace.Trees(spans)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Span.Dur > roots[j].Span.Dur })
+	if top > len(roots) {
+		top = len(roots)
+	}
+	if top > 0 {
+		fmt.Fprintf(out, "slowest %d of %d traces:\n", top, len(roots))
+		for _, n := range roots[:top] {
+			n.Write(out, 1)
+		}
+	}
+}
+
+// splitNodes parses the -nodes list.
+func splitNodes(s string) []string {
+	var nodes []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
 }
 
 // replayGauges samples the table for the telemetry gauges. The kv.Table

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"io"
+	"net"
 	"net/http"
 	"path/filepath"
 	"regexp"
@@ -9,6 +11,11 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mccuckoo"
+	"mccuckoo/internal/cluster"
+	"mccuckoo/internal/telemetry/trace"
+	"mccuckoo/internal/wire"
 )
 
 func TestUsageErrors(t *testing.T) {
@@ -105,6 +112,132 @@ func TestReplayFailedInsertsExitNonZero(t *testing.T) {
 	}
 	if !strings.Contains(rb.String(), "failed inserts") {
 		t.Fatalf("summary missing failure count:\n%s", rb.String())
+	}
+}
+
+// replayNode is one in-process cluster member for the traced replay smoke:
+// a replicated store served over TCP with a span recorder, subscribed to
+// the other node's op log — what two `mcserved -peers -trace` processes
+// would be.
+type replayNode struct {
+	rec *trace.Recorder
+	srv *wire.Server
+	r   *cluster.Replicator
+}
+
+func startReplayNode(t *testing.T, addr string, nodes []string, ringSeed uint64) *replayNode {
+	t.Helper()
+	tab, err := mccuckoo.NewSharded(1<<12, 4, mccuckoo.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := wire.NewReplicated(tab, wire.ReplicaConfig{})
+	rec := trace.New(trace.Options{Sample: 1})
+	srv, err := wire.NewServer(wire.Config{Store: rep, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	r, err := cluster.NewReplicator(rep, cluster.ReplicatorConfig{
+		Self:      addr,
+		Nodes:     nodes,
+		Replicas:  2,
+		Seed:      ringSeed,
+		RetryBase: 10 * time.Millisecond,
+		Trace:     rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	n := &replayNode{rec: rec, srv: srv, r: r}
+	t.Cleanup(func() {
+		n.r.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		n.srv.Shutdown(ctx)
+	})
+	return n
+}
+
+// TestTracedClusterReplaySmoke replays a small traced run against a live
+// two-node replicated pair and asserts the tracing tentpole end to end: the
+// summary reports per-op span statistics and slowest trees, and at least
+// one trace started by the replay client reached BOTH nodes — a cross-node
+// span tree, reassembled here from the two server-side flight recorders.
+func TestTracedClusterReplaySmoke(t *testing.T) {
+	const ringSeed = 7
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	nodes := make([]*replayNode, 2)
+	for i, addr := range addrs {
+		nodes[i] = startReplayNode(t, addr, addrs, ringSeed)
+	}
+
+	tracePath := filepath.Join(t.TempDir(), "cluster.trace")
+	var sb strings.Builder
+	if err := run([]string{"gen", "-out", tracePath, "-ops", "600", "-keyspace", "150",
+		"-mix", "3:5:1", "-seed", "11"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rb strings.Builder
+	err := run([]string{"replay", "-in", tracePath,
+		"-nodes", strings.Join(addrs, ","), "-replicas", "2", "-quorum", "2",
+		"-seed", "7", "-trace", "-tracesample", "1", "-tracetop", "2"}, &rb)
+	if err != nil {
+		t.Fatalf("cluster replay: %v\n%s", err, rb.String())
+	}
+	outStr := rb.String()
+	for _, want := range []string{"against cluster", "trace put:", "trace get:", "slowest 2 of"} {
+		if !strings.Contains(outStr, want) {
+			t.Errorf("replay output missing %q:\n%s", want, outStr)
+		}
+	}
+
+	// Cross-node span tree: with R=2 over two nodes every write fans to
+	// both, so some trace id must appear in both flight recorders, carried
+	// there by the wire protocol's context prefix (Hop 1 on arrival).
+	ids := func(n *replayNode) map[uint64]bool {
+		m := map[uint64]bool{}
+		for _, sp := range n.rec.Spans() {
+			if sp.Kind == trace.KindServerOp && sp.Hop == 1 {
+				m[sp.TraceID] = true
+			}
+		}
+		return m
+	}
+	a, b := ids(nodes[0]), ids(nodes[1])
+	shared := uint64(0)
+	for id := range a {
+		if b[id] {
+			shared = id
+			break
+		}
+	}
+	if shared == 0 {
+		t.Fatalf("no trace id reached both nodes (%d vs %d server traces)", len(a), len(b))
+	}
+	all := append(nodes[0].rec.Spans(), nodes[1].rec.Spans()...)
+	var cross []trace.Span
+	for _, sp := range all {
+		if sp.TraceID == shared {
+			cross = append(cross, sp)
+		}
+	}
+	trees := trace.Trees(cross)
+	if len(trees) < 2 {
+		t.Fatalf("expected server-side trees on both nodes for trace %016x, got %d", shared, len(trees))
 	}
 }
 

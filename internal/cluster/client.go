@@ -9,6 +9,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/telemetry"
+	"mccuckoo/internal/telemetry/trace"
 	"mccuckoo/internal/wire"
 )
 
@@ -90,6 +93,12 @@ type Config struct {
 	// per client; the default is a hybrid clock (wall millis in the high
 	// bits, NodeID below, a counter in the low bits).
 	SeqSource func() uint64
+
+	// Trace, when non-nil, records client-side spans: one root per Get/
+	// Put/Del (head-sampled by the recorder) with a replica_rtt child per
+	// fan-out round trip, and the sampled context rides the wire so servers
+	// continue the same trace. Nil disables tracing at zero cost.
+	Trace *trace.Recorder
 }
 
 // Client fans operations across a cluster of mcserved nodes. Writes are
@@ -106,6 +115,7 @@ type Client struct {
 
 	lastSeq atomic.Uint64
 	seqSrc  func() uint64
+	tr      *trace.Recorder
 
 	reads          atomic.Int64
 	readErrors     atomic.Int64
@@ -113,12 +123,21 @@ type Client struct {
 	writes         atomic.Int64
 	quorumFailures atomic.Int64
 	degradedReads  atomic.Int64
+
+	// ackSkew is the quorum ack-latency histogram: for every multi-replica
+	// push, each durable ack observes its delay (ns) behind the fan-out's
+	// first ack — 0 for the winner. Under W>1 this distribution IS the
+	// consistency window: a read landing inside it can see replicas
+	// disagree.
+	ackSkew telemetry.Hist
 }
 
 // peer is one node's wire client plus its health tracking.
 type peer struct {
-	wc    *wire.Client
-	br    *breaker
+	wc *wire.Client
+	br *breaker
+	// hash identifies the peer in trace spans (trace.PeerHash of the addr).
+	hash  uint32
 	trips atomic.Int64
 }
 
@@ -176,10 +195,12 @@ func New(cfg Config) (*Client, error) {
 			return nil, err
 		}
 		c.peers[addr] = &peer{
-			wc: wc,
-			br: newBreaker(cfg.BreakerFailures, cfg.BreakerProbe, breakerSeed(cfg.Seed, addr)),
+			wc:   wc,
+			br:   newBreaker(cfg.BreakerFailures, cfg.BreakerProbe, breakerSeed(cfg.Seed, addr)),
+			hash: trace.PeerHash(addr),
 		}
 	}
+	c.tr = cfg.Trace
 	c.seqSrc = cfg.SeqSource
 	if c.seqSrc == nil {
 		id := (cfg.NodeID & 0xff) << 14
@@ -238,8 +259,11 @@ func (c *Client) Del(key uint64) error {
 func (c *Client) write(e wire.Entry) error {
 	c.writes.Add(1)
 	e.Seq = c.nextSeq()
+	root := c.tr.Start(c.tr.Begin(), trace.KindClientOp)
+	root.Op, root.Key = e.Op, hashutil.Mix64(e.Key)
 	replicas := c.replicasOf(e.Key)
-	acks, err := c.fanPush(replicas, e.Seq, []wire.Entry{e}, c.cfg.WriteQuorum)
+	acks, err := c.fanPush(replicas, e.Seq, []wire.Entry{e}, c.cfg.WriteQuorum, root)
+	root.Finish()
 	if acks >= c.cfg.WriteQuorum {
 		return nil
 	}
@@ -251,14 +275,22 @@ func (c *Client) write(e wire.Entry) error {
 // peers with an open breaker. It returns as soon as need replicas
 // acknowledged durably (applied or already-newer); need <= 0 waits for
 // every launched push. Replicas still silent when OpTimeout expires are
-// abandoned — their goroutines only write to a buffered channel and the
-// breaker, so a hung peer costs one deadline, never a stall. The returned
-// error joins every per-replica failure observed, so a multi-peer outage
-// is diagnosable from one log line.
-func (c *Client) fanPush(replicas []string, head uint64, ents []wire.Entry, need int) (int, error) {
+// abandoned — their goroutines only write to a buffered channel, the
+// breaker, and the ack-skew histogram, so a hung peer costs one deadline,
+// never a stall. The returned error joins every per-replica failure
+// observed, so a multi-peer outage is diagnosable from one log line.
+//
+// root is the caller's span, passed BY VALUE: each replica goroutine opens
+// a replica_rtt child from its own copy, so an abandoned goroutine never
+// races the caller's Finish. Durable acks of a multi-replica push feed the
+// ack-skew histogram even when they arrive after the quorum returned — the
+// consistency window is exactly the part the caller no longer waits for.
+func (c *Client) fanPush(replicas []string, head uint64, ents []wire.Entry, need int, root trace.Span) (int, error) {
 	ch := make(chan error, len(replicas))
 	launched := 0
 	var errs []error
+	var firstAck atomic.Int64
+	multi := len(replicas) > 1
 	for _, addr := range replicas {
 		p := c.peers[addr]
 		if !p.br.allow() {
@@ -267,10 +299,12 @@ func (c *Client) fanPush(replicas []string, head uint64, ents []wire.Entry, need
 		}
 		launched++
 		go func(p *peer, addr string) {
+			rsp := root.StartChild(trace.KindReplicaRTT)
+			rsp.Op, rsp.Peer = wire.OpReplicate, p.hash
 			var statuses []byte
 			err := p.call(func(wc *wire.Client) error {
 				var err error
-				statuses, err = wc.Replicate(head, ents)
+				statuses, err = wc.ReplicateCtx(rsp.Context(), head, ents)
 				return err
 			})
 			if err == nil {
@@ -279,6 +313,16 @@ func (c *Client) fanPush(replicas []string, head uint64, ents []wire.Entry, need
 						err = fmt.Errorf("cluster: %s: replica table full", addr)
 						break
 					}
+				}
+			}
+			rsp.Finish()
+			if err == nil && multi {
+				now := time.Now().UnixNano()
+				if firstAck.CompareAndSwap(0, now) {
+					c.ackSkew.Observe(0)
+				} else {
+					// Observe clamps the rare negative from two CAS races.
+					c.ackSkew.Observe(now - firstAck.Load())
 				}
 			}
 			ch <- err
@@ -322,6 +366,9 @@ type vread struct {
 // fails only when every consulted replica failed.
 func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
 	c.reads.Add(1)
+	root := c.tr.Start(c.tr.Begin(), trace.KindClientOp)
+	root.Op, root.Key = wire.OpGet, hashutil.Mix64(key)
+	defer root.Finish()
 	var buf [8]string
 	replicas := c.ring.Replicas(key, c.cfg.ReadFanout, buf[:0])
 	reads := make([]vread, len(replicas))
@@ -331,7 +378,7 @@ func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
 	}
 	// Results travel through a buffered channel: a goroutine abandoned at
 	// the deadline writes only here and to its breaker, never to state the
-	// caller still reads.
+	// caller still reads. Each goroutine traces from its own copy of root.
 	ch := make(chan rres, len(replicas))
 	launched := 0
 	for i, addr := range replicas {
@@ -345,12 +392,15 @@ func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
 		reads[i].err = fmt.Errorf("%w: %s", errFanDeadline, addr)
 		launched++
 		go func(i int, p *peer) {
+			rsp := root.StartChild(trace.KindReplicaRTT)
+			rsp.Op, rsp.Peer = wire.OpVGet, p.hash
 			var r vread
 			r.err = p.call(func(wc *wire.Client) error {
 				var err error
-				r.state, r.value, r.seq, err = wc.VGet(key)
+				r.state, r.value, r.seq, err = wc.VGetCtx(rsp.Context(), key)
 				return err
 			})
+			rsp.Finish()
 			ch <- rres{i, r}
 		}(i, p)
 	}
@@ -385,7 +435,7 @@ collect:
 		c.degradedReads.Add(1)
 	}
 	win := reads[best]
-	c.repair(key, replicas, reads, win)
+	c.repair(key, replicas, reads, win, root)
 	if win.state == wire.VStateLive {
 		return win.value, true, nil
 	}
@@ -406,8 +456,9 @@ func readErrsOf(reads []vread) []error {
 // repair pushes the winning copy to every replica that answered with an
 // older one. Repairs are synchronous — the read returns only after the
 // disagreeing replicas converged — and best-effort: a failed repair is not
-// a read failure.
-func (c *Client) repair(key uint64, replicas []string, reads []vread, win vread) {
+// a read failure. The repair pushes trace as children of the read's root
+// span, so a trace shows which read triggered which repair.
+func (c *Client) repair(key uint64, replicas []string, reads []vread, win vread, root trace.Span) {
 	if win.state == wire.VStateMissing {
 		return // nobody has ever seen the key; nothing to propagate
 	}
@@ -432,7 +483,7 @@ func (c *Client) repair(key uint64, replicas []string, reads []vread, win vread)
 		return
 	}
 	c.repairs.Add(int64(len(stale)))
-	c.fanPush(stale, win.seq, []wire.Entry{ent}, 0)
+	c.fanPush(stale, win.seq, []wire.Entry{ent}, 0, root)
 }
 
 // PutBatch writes every pair, grouping the per-replica pushes into one
@@ -461,7 +512,9 @@ func (c *Client) DelBatch(keys []uint64) error {
 // writeBatch distributes entries to their replicas, one push per node, and
 // verifies every entry reached its write quorum. Nodes with an open
 // breaker are skipped; nodes silent at OpTimeout are abandoned. A quorum
-// failure reports every per-node error joined.
+// failure reports every per-node error joined. Batch pushes are untraced:
+// one frame carries many keys, so no single-request span tree fits — the
+// per-op path (Put/Del/Get) is the traced one.
 func (c *Client) writeBatch(ents []wire.Entry) error {
 	c.writes.Add(int64(len(ents)))
 	perNode := make(map[string][]wire.Entry)
@@ -575,6 +628,10 @@ type Metrics struct {
 	BreakerTrips map[string]int64
 	// BreakerSkips counts requests skipped by an open breaker per peer.
 	BreakerSkips map[string]int64
+	// AckSkew is the quorum ack-latency histogram (nanoseconds): each
+	// durable ack of a multi-replica push observed relative to that push's
+	// first ack. Its spread is the staleness window W>1 readers can see.
+	AckSkew telemetry.HistSnapshot
 }
 
 // MetricsSnapshot returns the current counter values.
@@ -590,6 +647,7 @@ func (c *Client) MetricsSnapshot() Metrics {
 		BreakerOpen:    make(map[string]bool, len(c.peers)),
 		BreakerTrips:   make(map[string]int64, len(c.peers)),
 		BreakerSkips:   make(map[string]int64, len(c.peers)),
+		AckSkew:        c.ackSkew.Snapshot(),
 	}
 	for addr, p := range c.peers {
 		m.PeerTrips[addr] = p.trips.Load()
@@ -643,5 +701,10 @@ func (c *Client) WritePrometheus(w io.Writer) error {
 		func(addr string) int64 { return m.BreakerTrips[addr] })
 	perPeer("mccuckoo_cluster_breaker_skips_total", "Requests skipped by an open breaker per peer.", "counter",
 		func(addr string) int64 { return m.BreakerSkips[addr] })
-	return err
+	if err != nil {
+		return err
+	}
+	return telemetry.WriteHistogram(w, "mccuckoo_cluster_ack_skew_seconds",
+		"Per-replica durable-ack delay behind a multi-replica push's first ack: the W>1 consistency window.",
+		"", m.AckSkew, 1e9)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mccuckoo"
+	"mccuckoo/internal/telemetry/trace"
 	"mccuckoo/internal/wire"
 )
 
@@ -32,6 +33,9 @@ type nodeOpts struct {
 	// snap/sidecar, when set, restore the node's state before it serves —
 	// the restart path a crashed mcserved takes.
 	snap, sidecar string
+	// trace, when set, is the node's flight recorder, threaded into both
+	// the server and the replicator exactly as cmd/mcserved -trace does.
+	trace *trace.Recorder
 }
 
 func startTestNode(t *testing.T, addr string, nodes []string, opt nodeOpts) *testNode {
@@ -52,7 +56,7 @@ func startTestNode(t *testing.T, addr string, nodes []string, opt nodeOpts) *tes
 			t.Fatal(err)
 		}
 	}
-	srv, err := wire.NewServer(wire.Config{Store: rep, SubKeepalive: 50 * time.Millisecond})
+	srv, err := wire.NewServer(wire.Config{Store: rep, SubKeepalive: 50 * time.Millisecond, Trace: opt.trace})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,6 +74,7 @@ func startTestNode(t *testing.T, addr string, nodes []string, opt nodeOpts) *tes
 			Seed:      testRingSeed,
 			RetryBase: 10 * time.Millisecond,
 			RetryMax:  250 * time.Millisecond,
+			Trace:     opt.trace,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mccuckoo/internal/telemetry/trace"
 	"mccuckoo/internal/wire"
 )
 
@@ -43,6 +44,13 @@ type ReplicatorConfig struct {
 
 	// Logf, when non-nil, receives one line per abnormal peer event.
 	Logf func(format string, args ...any)
+
+	// Trace, when non-nil, records a repl_apply span around each streamed
+	// batch apply (entries applied in Kicks, stream lag in Wait). Stream
+	// applies have no client context, so these spans surface only through
+	// the recorder's slow-capture threshold — the interesting case, an
+	// apply stalling behind a kick storm. Nil disables tracing.
+	Trace *trace.Recorder
 }
 
 // Replicator keeps one node's Replicated store converged with its peers: a
@@ -56,6 +64,7 @@ type Replicator struct {
 	cfg  ReplicatorConfig
 	ring *Ring
 	rep  *wire.Replicated
+	tr   *trace.Recorder
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -78,6 +87,13 @@ type peerState struct {
 	connects  atomic.Int64
 	errors    atomic.Int64
 	fullSyncs atomic.Int64
+
+	// lastFrame is the unix-nano timestamp of the newest frame received on
+	// this peer's subscription, zero before the first handshake completes.
+	// The stream-age gauge derives from it: a lag gauge stuck at zero can
+	// mean "current" or "stream dead and nothing advertised" — the frame
+	// age distinguishes the two.
+	lastFrame atomic.Int64
 }
 
 // NewReplicator validates cfg and prepares the per-peer loops; Start
@@ -106,6 +122,7 @@ func NewReplicator(rep *wire.Replicated, cfg ReplicatorConfig) (*Replicator, err
 		cfg:        cfg,
 		ring:       ring,
 		rep:        rep,
+		tr:         cfg.Trace,
 		stop:       make(chan struct{}),
 		peerStates: make(map[string]*peerState),
 	}
@@ -217,6 +234,9 @@ func (r *Replicator) streamOnce(addr string, st *peerState) error {
 			return fmt.Errorf("set read deadline: %w", derr)
 		}
 		f, buf, err = wire.ReadFrame(nc, wire.DefaultMaxPayload, buf)
+		if err == nil {
+			st.lastFrame.Store(time.Now().UnixNano())
+		}
 		return err
 	}
 	if err := readFrame(); err != nil {
@@ -273,7 +293,17 @@ func (r *Replicator) streamOnce(addr string, st *peerState) error {
 			}
 		}
 		if len(owned) > 0 {
+			// No client context reaches a stream apply, so the span's trace
+			// id is zero and only the recorder's slow-capture threshold can
+			// surface it — exactly the apply-stall case worth keeping.
+			asp := r.tr.Start(trace.Context{}, trace.KindReplApply)
+			asp.Op, asp.Peer = wire.OpReplicate, trace.PeerHash(addr)
 			applied, stale, failed := r.rep.ApplyStream(owned)
+			asp.Kicks = int32(applied)
+			if head > seen {
+				asp.Wait = int64(head - seen)
+			}
+			asp.Finish()
 			st.applied.Add(int64(applied))
 			st.stale.Add(int64(stale))
 			st.failed.Add(int64(failed))
@@ -300,6 +330,24 @@ func handshakeReject(f wire.Frame) string {
 		return string(f.Payload)
 	}
 	return fmt.Sprintf("unexpected frame type %#02x", f.Type)
+}
+
+// StreamAges reports, per peer, the seconds since the last frame arrived on
+// its subscription stream, or -1 for a peer whose stream has never produced
+// a frame. Keepalives count, so a healthy idle stream stays young while a
+// dead one ages past the server's keepalive cadence.
+func (r *Replicator) StreamAges() map[string]float64 {
+	now := time.Now().UnixNano()
+	ages := make(map[string]float64, len(r.peerStates))
+	for addr, st := range r.peerStates {
+		last := st.lastFrame.Load()
+		if last == 0 {
+			ages[addr] = -1
+			continue
+		}
+		ages[addr] = float64(now-last) / 1e9
+	}
+	return ages
 }
 
 // MaxLag returns the largest per-peer replica lag, in op-log entries.
@@ -347,5 +395,12 @@ func (r *Replicator) WritePrometheus(w io.Writer) error {
 		func(st *peerState) int64 { return st.errors.Load() })
 	series("mccuckoo_peer_full_syncs_total", "Subscriptions that required a full state dump.", "counter",
 		func(st *peerState) int64 { return st.fullSyncs.Load() })
+	ages := r.StreamAges()
+	pf("# HELP %s %s\n# TYPE %s %s\n", "mccuckoo_peer_stream_age_seconds",
+		"Seconds since the last subscription frame from this peer (-1: never connected).",
+		"mccuckoo_peer_stream_age_seconds", "gauge")
+	for _, addr := range addrs {
+		pf("%s{peer=%q} %g\n", "mccuckoo_peer_stream_age_seconds", addr, ages[addr])
+	}
 	return err
 }

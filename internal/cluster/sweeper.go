@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mccuckoo/internal/telemetry/trace"
 	"mccuckoo/internal/wire"
 )
 
@@ -72,6 +73,13 @@ type SweeperConfig struct {
 	// Logf, when non-nil, receives one line per repaired key range and per
 	// sweep error.
 	Logf func(format string, args ...any)
+
+	// Trace, when non-nil, records a sweep_repair root span per peer sweep
+	// (keys repaired in Kicks) and propagates its context into the digest,
+	// pull, and push frames — so a key repaired by anti-entropy shows up on
+	// the remote node's flight recorder parented to the sweep, not as an
+	// anonymous write. Nil disables tracing.
+	Trace *trace.Recorder
 }
 
 // Sweeper runs anti-entropy sweeps between one node's Replicated store and
@@ -81,6 +89,7 @@ type Sweeper struct {
 	cfg      SweeperConfig
 	ring     *Ring
 	rep      *wire.Replicated
+	tr       *trace.Recorder
 	peers    map[string]*wire.Client
 	breakers map[string]*breaker
 
@@ -136,6 +145,7 @@ func NewSweeper(rep *wire.Replicated, cfg SweeperConfig) (*Sweeper, error) {
 		cfg:      cfg,
 		ring:     ring,
 		rep:      rep,
+		tr:       cfg.Trace,
 		peers:    make(map[string]*wire.Client),
 		breakers: make(map[string]*breaker),
 		stop:     make(chan struct{}),
@@ -221,8 +231,19 @@ func (s *Sweeper) SweepOnce() (repaired int, err error) {
 type krange struct{ lo, hi uint64 }
 
 // sweepPeer reconciles the keys this node shares with one peer by range
-// bisection over the full u64 key space.
+// bisection over the full u64 key space. Each peer sweep is a fresh trace
+// root: the digest, pull, and push frames carry the sweep's context, so a
+// repair arriving at the peer is attributable to anti-entropy rather than
+// indistinguishable from client traffic.
 func (s *Sweeper) sweepPeer(addr string, wc *wire.Client) (repaired int, err error) {
+	root := s.tr.Start(s.tr.Begin(), trace.KindSweepRepair)
+	root.Op, root.Peer = wire.OpDigest, trace.PeerHash(addr)
+	defer func() {
+		root.Kicks = int32(repaired)
+		root.Finish()
+	}()
+	tc := root.Context()
+
 	stack := []krange{{0, ^uint64(0)}}
 	budget := s.cfg.MaxRanges
 	for len(stack) > 0 && budget > 0 {
@@ -231,7 +252,7 @@ func (s *Sweeper) sweepPeer(addr string, wc *wire.Client) (repaired int, err err
 		budget--
 		s.ranges.Add(1)
 
-		rd, rc, rkeys, err := wc.DigestRange(s.cfg.Self, rg.lo, rg.hi, s.cfg.LeafKeys)
+		rd, rc, rkeys, err := wc.DigestRangeCtx(tc, s.cfg.Self, rg.lo, rg.hi, s.cfg.LeafKeys)
 		if err != nil {
 			return repaired, fmt.Errorf("digest [%d,%d]: %w", rg.lo, rg.hi, err)
 		}
@@ -241,7 +262,7 @@ func (s *Sweeper) sweepPeer(addr string, wc *wire.Client) (repaired int, err err
 		}
 		s.mismatches.Add(1)
 		if rc <= uint64(s.cfg.LeafKeys) && lc <= uint64(s.cfg.LeafKeys) {
-			n, err := s.reconcileLeaf(addr, wc, rkeys, lkeys)
+			n, err := s.reconcileLeaf(tc, addr, wc, rkeys, lkeys)
 			repaired += n
 			if err != nil {
 				return repaired, err
@@ -264,7 +285,7 @@ func (s *Sweeper) sweepPeer(addr string, wc *wire.Client) (repaired int, err err
 // divergent key wins — pulled from the peer via VGET and applied through
 // the versioned stream path, or pushed to the peer via REPLICATE (the same
 // push read-repair uses).
-func (s *Sweeper) reconcileLeaf(addr string, wc *wire.Client, remote, local []wire.DigestEntry) (repaired int, err error) {
+func (s *Sweeper) reconcileLeaf(tc trace.Context, addr string, wc *wire.Client, remote, local []wire.DigestEntry) (repaired int, err error) {
 	lmeta := make(map[uint64]uint64, len(local))
 	for _, e := range local {
 		lmeta[e.Key] = e.Meta
@@ -278,7 +299,7 @@ func (s *Sweeper) reconcileLeaf(addr string, wc *wire.Client, remote, local []wi
 		switch {
 		case !ok || re.Meta>>1 > lm>>1:
 			// The peer is newer: pull its copy.
-			n, err := s.pullKey(wc, re)
+			n, err := s.pullKey(tc, wc, re)
 			repaired += n
 			if err != nil {
 				return repaired, err
@@ -299,7 +320,7 @@ func (s *Sweeper) reconcileLeaf(addr string, wc *wire.Client, remote, local []wi
 		}
 	}
 	if len(push) > 0 {
-		if _, err := wc.Replicate(push[len(push)-1].Seq, push); err != nil {
+		if _, err := wc.ReplicateCtx(tc, push[len(push)-1].Seq, push); err != nil {
 			return repaired, fmt.Errorf("push %d repairs: %w", len(push), err)
 		}
 		repaired += len(push)
@@ -310,14 +331,14 @@ func (s *Sweeper) reconcileLeaf(addr string, wc *wire.Client, remote, local []wi
 
 // pullKey fetches one divergent key from the peer and applies it locally
 // through the versioned apply path.
-func (s *Sweeper) pullKey(wc *wire.Client, re wire.DigestEntry) (int, error) {
+func (s *Sweeper) pullKey(tc trace.Context, wc *wire.Client, re wire.DigestEntry) (int, error) {
 	if re.Meta&1 == 1 {
 		// A tombstone's meta already carries everything: apply directly.
 		s.rep.ApplyStream([]wire.Entry{{Seq: re.Meta >> 1, Op: wire.OpDel, Key: re.Key}})
 		s.pulled.Add(1)
 		return 1, nil
 	}
-	state, value, seq, err := wc.VGet(re.Key)
+	state, value, seq, err := wc.VGetCtx(tc, re.Key)
 	if err != nil {
 		return 0, fmt.Errorf("pull key %d: %w", re.Key, err)
 	}

@@ -95,6 +95,18 @@ func braced(labels string) string {
 	return "{" + labels + "}"
 }
 
+// WriteHistogram writes one histogram snapshot in Prometheus cumulative-
+// bucket exposition under name, for packages that keep their own Hist
+// outside a Sink (the cluster tier's ack-skew histogram). labels is a raw
+// label list ("peer=\"a\"" or ""); scale divides the raw bucket bounds (1e9
+// turns nanosecond observations into seconds).
+func WriteHistogram(w io.Writer, name, help, labels string, s HistSnapshot, scale float64) error {
+	p := &promWriter{w: w}
+	p.header(name, help, "histogram")
+	p.hist(name, labels, s, scale)
+	return p.err
+}
+
 // WritePrometheus writes the full exposition. Nil-safe: a nil sink writes
 // nothing and returns nil.
 func (s *Sink) WritePrometheus(w io.Writer) error {

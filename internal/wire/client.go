@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mccuckoo"
+	"mccuckoo/internal/telemetry/trace"
 
 	"encoding/json"
 )
@@ -173,15 +174,23 @@ func (c *Client) WritePrometheus(w io.Writer) error {
 	return p.err
 }
 
-// do performs one request with retry-on-BUSY and returns the OK payload.
+// do performs one untraced request with retry-on-BUSY and returns the OK
+// payload.
 func (c *Client) do(op byte, payload []byte) ([]byte, error) {
+	return c.doCtx(trace.Context{}, op, payload)
+}
+
+// doCtx is do carrying a trace context: when tc is valid the request frame
+// is flagged and prefixed so the server can continue the trace. The zero
+// context produces a byte-identical untraced frame.
+func (c *Client) doCtx(tc trace.Context, op byte, payload []byte) ([]byte, error) {
 	backoff := c.cfg.RetryBase
 	for attempt := 0; ; attempt++ {
 		cc, err := c.conn()
 		if err != nil {
 			return nil, err
 		}
-		status, resp, err := cc.roundTrip(c.nextID.Add(1), op, payload, c.cfg.RequestTimeout)
+		status, resp, err := cc.roundTrip(c.nextID.Add(1), op, payload, tc, c.cfg.RequestTimeout)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +222,12 @@ func (c *Client) Ping() error {
 
 // Get looks up key.
 func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
-	resp, err := c.do(OpGet, appendU64(make([]byte, 0, 8), key))
+	return c.GetCtx(trace.Context{}, key)
+}
+
+// GetCtx is Get carrying a trace context.
+func (c *Client) GetCtx(tc trace.Context, key uint64) (value uint64, found bool, err error) {
+	resp, err := c.doCtx(tc, OpGet, appendU64(make([]byte, 0, 8), key))
 	if err != nil {
 		return 0, false, err
 	}
@@ -227,9 +241,14 @@ func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
 
 // Put inserts or updates key.
 func (c *Client) Put(key, value uint64) (mccuckoo.InsertResult, error) {
+	return c.PutCtx(trace.Context{}, key, value)
+}
+
+// PutCtx is Put carrying a trace context.
+func (c *Client) PutCtx(tc trace.Context, key, value uint64) (mccuckoo.InsertResult, error) {
 	p := appendU64(make([]byte, 0, 16), key)
 	p = appendU64(p, value)
-	resp, err := c.do(OpPut, p)
+	resp, err := c.doCtx(tc, OpPut, p)
 	if err != nil {
 		return mccuckoo.InsertResult{}, err
 	}
@@ -243,7 +262,12 @@ func (c *Client) Put(key, value uint64) (mccuckoo.InsertResult, error) {
 
 // Del deletes key, reporting whether it was present.
 func (c *Client) Del(key uint64) (bool, error) {
-	resp, err := c.do(OpDel, appendU64(make([]byte, 0, 8), key))
+	return c.DelCtx(trace.Context{}, key)
+}
+
+// DelCtx is Del carrying a trace context.
+func (c *Client) DelCtx(tc trace.Context, key uint64) (bool, error) {
+	resp, err := c.doCtx(tc, OpDel, appendU64(make([]byte, 0, 8), key))
 	if err != nil {
 		return false, err
 	}
@@ -370,7 +394,12 @@ func (c *Client) Stats() (TableStats, error) {
 // sequence number), or tombstone (deletion sequence number). The server
 // must run a *Replicated store.
 func (c *Client) VGet(key uint64) (state byte, value, seq uint64, err error) {
-	resp, err := c.do(OpVGet, appendU64(make([]byte, 0, 8), key))
+	return c.VGetCtx(trace.Context{}, key)
+}
+
+// VGetCtx is VGet carrying a trace context.
+func (c *Client) VGetCtx(tc trace.Context, key uint64) (state byte, value, seq uint64, err error) {
+	resp, err := c.doCtx(tc, OpVGet, appendU64(make([]byte, 0, 8), key))
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -387,8 +416,13 @@ func (c *Client) VGet(key uint64) (state byte, value, seq uint64, err error) {
 // sender's high-water sequence number. The server must run a *Replicated
 // store.
 func (c *Client) Replicate(head uint64, ents []Entry) ([]byte, error) {
+	return c.ReplicateCtx(trace.Context{}, head, ents)
+}
+
+// ReplicateCtx is Replicate carrying a trace context.
+func (c *Client) ReplicateCtx(tc trace.Context, head uint64, ents []Entry) ([]byte, error) {
 	p := AppendReplicatePayload(make([]byte, 0, replicateHeadLen+len(ents)*entrySize), head, ents)
-	resp, err := c.do(OpReplicate, p)
+	resp, err := c.doCtx(tc, OpReplicate, p)
 	if err != nil {
 		return nil, err
 	}
@@ -412,8 +446,13 @@ func (c *Client) Replicate(head uint64, ents []Entry) ([]byte, error) {
 // when the count is at most maxKeys the keys are enumerated. The server
 // must run a *Replicated store.
 func (c *Client) DigestRange(name string, lo, hi uint64, maxKeys int) (digest, count uint64, keys []DigestEntry, err error) {
+	return c.DigestRangeCtx(trace.Context{}, name, lo, hi, maxKeys)
+}
+
+// DigestRangeCtx is DigestRange carrying a trace context.
+func (c *Client) DigestRangeCtx(tc trace.Context, name string, lo, hi uint64, maxKeys int) (digest, count uint64, keys []DigestEntry, err error) {
 	p := AppendDigestRequest(make([]byte, 0, 24+len(name)), lo, hi, maxKeys, name)
-	resp, err := c.do(OpDigest, p)
+	resp, err := c.doCtx(tc, OpDigest, p)
 	if err != nil {
 		return 0, 0, nil, err
 	}
@@ -518,12 +557,13 @@ func (cc *clientConn) readLoop(maxPayload int) {
 }
 
 // roundTrip sends one request and waits for its response or the timeout.
-func (cc *clientConn) roundTrip(id uint64, op byte, payload []byte, timeout time.Duration) (byte, []byte, error) {
+func (cc *clientConn) roundTrip(id uint64, op byte, payload []byte, tc trace.Context, timeout time.Duration) (byte, []byte, error) {
 	ch := make(chan result, 1)
 	if err := cc.register(id, ch); err != nil {
 		return 0, nil, err
 	}
-	frame := AppendFrame(make([]byte, 0, FrameOverhead+len(payload)), Frame{Type: op, ID: id, Payload: payload})
+	frame := AppendFrame(make([]byte, 0, FrameOverhead+trace.ContextSize+len(payload)),
+		Frame{Type: op, ID: id, Payload: payload, Trace: tc})
 	cc.wmu.Lock()
 	// A failed deadline arm is a connection failure: without it a dead
 	// peer could pin this write forever.

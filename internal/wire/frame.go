@@ -10,7 +10,8 @@
 //	offset  size  field
 //	0       2     magic "MW"
 //	2       1     version (1)
-//	3       1     type: request opcode, or 0x80|status for responses
+//	3       1     type: request opcode (0x40 bit = traced, see below),
+//	              or 0x80|status for responses
 //	4       8     request id (little-endian; responses echo it)
 //	12      4     payload length N (little-endian)
 //	16      N     payload
@@ -21,6 +22,18 @@
 // pipeline any number of requests on one connection and the server may
 // answer them as they complete. Payload encodings per opcode are documented
 // on the codec functions below and in DESIGN.md §10.
+//
+// # Traced frames
+//
+// A request whose type byte carries the 0x40 flag bit additionally prefixes
+// its payload with a 16-byte trace context (internal/telemetry/trace,
+// DESIGN.md §13). The advertised payload length and the CRC cover the
+// prefix; the decoder strips both the flag and the prefix, so handlers see
+// the opcode and payload exactly as in the untraced case. Untraced frames
+// are byte-identical to the pre-tracing protocol and the version byte stays
+// 1 (the §10 policy): an old decoder sees a traced frame only as an unknown
+// opcode and answers ERR, never misparses it. Responses and server-pushed
+// stream frames are never traced.
 package wire
 
 import (
@@ -29,7 +42,16 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
+
+	"mccuckoo/internal/telemetry/trace"
 )
+
+func init() {
+	// Give the trace package (which cannot import wire) opcode names for
+	// its span dumps and tree renders.
+	trace.RegisterOpNames(OpName)
+}
 
 // Protocol constants.
 const (
@@ -87,6 +109,10 @@ const (
 // respFlag marks a frame as a response; the low bits carry the status.
 const respFlag byte = 0x80
 
+// flagTraced marks a request frame whose payload begins with a 16-byte
+// trace context (see the package comment). Valid on requests only.
+const flagTraced byte = 0x40
+
 // Response statuses.
 const (
 	// StatusOK carries the operation's result payload.
@@ -109,6 +135,15 @@ type Frame struct {
 	Type    byte
 	ID      uint64
 	Payload []byte
+
+	// Trace is the frame's trace context. On decode it is filled from the
+	// traced-frame prefix (zero for untraced frames); on encode a valid
+	// context on a request sets the flag bit and writes the prefix.
+	Trace trace.Context
+
+	// recvAt is when the server's read loop decoded the frame, the basis of
+	// the queue-wait measurement in server spans. Zero when untraced.
+	recvAt time.Time
 }
 
 // IsResponse reports whether the frame is a response.
@@ -188,16 +223,45 @@ func parseHeader(b []byte, max int) (typ byte, id uint64, payloadLen int, err er
 
 // AppendFrame appends the encoded frame to dst and returns the extended
 // slice. Encoding never fails; oversized payloads are the caller's bug and
-// are caught by the peer's decoder.
+// are caught by the peer's decoder. A valid f.Trace on a request sets the
+// traced flag bit and prefixes the payload with the 16-byte context.
 func AppendFrame(dst []byte, f Frame) []byte {
+	typ, n := f.Type, len(f.Payload)
+	traced := f.Trace.Valid() && typ&respFlag == 0
+	if traced {
+		typ |= flagTraced
+		n += trace.ContextSize
+	}
 	var hdr [headerLen]byte
-	putHeader(hdr[:], f.Type, f.ID, len(f.Payload))
+	putHeader(hdr[:], typ, f.ID, n)
 	dst = append(dst, hdr[:]...)
+	if traced {
+		dst = trace.AppendContext(dst, f.Trace)
+	}
 	dst = append(dst, f.Payload...)
-	crc := crc32.Update(0, castagnoli, dst[len(dst)-headerLen-len(f.Payload):])
+	crc := crc32.Update(0, castagnoli, dst[len(dst)-headerLen-n:])
 	var tail [crcLen]byte
 	binary.LittleEndian.PutUint32(tail[:], crc)
 	return append(dst, tail[:]...)
+}
+
+// assembleFrame builds the decoded Frame from a checksum-verified header
+// and payload, stripping the traced-frame flag and prefix. It rejects the
+// flag on responses and any prefix AppendContext could not have produced
+// (short payload, zero trace id, nonzero reserved bytes), so every accepted
+// frame re-encodes byte-identically.
+func assembleFrame(typ byte, id uint64, payload []byte) (Frame, error) {
+	if typ&flagTraced == 0 {
+		return Frame{Type: typ, ID: id, Payload: payload}, nil
+	}
+	if typ&respFlag != 0 {
+		return Frame{}, protoErrf("trace flag on response frame (type %#02x)", typ)
+	}
+	tc, ok := trace.ParseContext(payload)
+	if !ok {
+		return Frame{}, protoErrf("traced frame with invalid trace prefix (payload %d bytes)", len(payload))
+	}
+	return Frame{Type: typ &^ flagTraced, ID: id, Payload: payload[trace.ContextSize:], Trace: tc}, nil
 }
 
 // DecodeFrame decodes one frame from the front of b, returning the frame
@@ -220,7 +284,11 @@ func DecodeFrame(b []byte, max int) (Frame, int, error) {
 	if got := crc32.Checksum(b[:headerLen+n], castagnoli); got != want {
 		return Frame{}, 0, protoErrf("checksum mismatch: computed %08x, frame says %08x", got, want)
 	}
-	return Frame{Type: typ, ID: id, Payload: b[headerLen : headerLen+n]}, total, nil
+	f, err := assembleFrame(typ, id, b[headerLen:headerLen+n])
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	return f, total, nil
 }
 
 // ReadFrame reads one frame from r. buf is an optional scratch buffer that
@@ -256,5 +324,9 @@ func ReadFrame(r io.Reader, max int, buf []byte) (Frame, []byte, error) {
 	if got := crc32.Checksum(buf[:headerLen+n], castagnoli); got != want {
 		return Frame{}, buf, protoErrf("checksum mismatch: computed %08x, frame says %08x", got, want)
 	}
-	return Frame{Type: typ, ID: id, Payload: buf[headerLen : headerLen+n]}, buf, nil
+	f, err := assembleFrame(typ, id, buf[headerLen:headerLen+n])
+	if err != nil {
+		return Frame{}, buf, err
+	}
+	return f, buf, nil
 }

@@ -5,7 +5,72 @@ import (
 	"errors"
 	"io"
 	"testing"
+
+	"mccuckoo/internal/telemetry/trace"
 )
+
+func TestTracedFrameRoundTrip(t *testing.T) {
+	tc := trace.Context{TraceID: 0x1122334455667788, SpanID: 99, Hop: 2, Flags: trace.FlagSampled}
+	payload := []byte("key-bytes")
+	b := AppendFrame(nil, Frame{Type: OpPut, ID: 41, Payload: payload, Trace: tc})
+	if want := FrameOverhead + trace.ContextSize + len(payload); len(b) != want {
+		t.Fatalf("traced frame is %d bytes, want %d", len(b), want)
+	}
+	if b[3] != OpPut|flagTraced {
+		t.Fatalf("type byte %#02x, want flag set", b[3])
+	}
+	fr, n, err := DecodeFrame(b, DefaultMaxPayload)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if fr.Type != OpPut || fr.Trace != tc || !bytes.Equal(fr.Payload, payload) {
+		t.Fatalf("decoded %+v", fr)
+	}
+	if re := AppendFrame(nil, fr); !bytes.Equal(re, b) {
+		t.Fatal("re-encode of traced frame not byte-identical")
+	}
+	fr2, _, err := ReadFrame(bytes.NewReader(b), DefaultMaxPayload, nil)
+	if err != nil || fr2.Type != OpPut || fr2.Trace != tc || !bytes.Equal(fr2.Payload, payload) {
+		t.Fatalf("ReadFrame: %+v err=%v", fr2, err)
+	}
+
+	// A context on a response frame must encode nothing: responses are
+	// never traced and stay byte-identical to the untraced encoding.
+	resp := AppendFrame(nil, Frame{Type: respFlag | StatusOK, ID: 41, Payload: payload, Trace: tc})
+	plain := AppendFrame(nil, Frame{Type: respFlag | StatusOK, ID: 41, Payload: payload})
+	if !bytes.Equal(resp, plain) {
+		t.Fatal("response frame encoding changed by a trace context")
+	}
+
+	// An untraced request stays byte-identical to the pre-tracing protocol.
+	if got, want := AppendFrame(nil, Frame{Type: OpPut, ID: 41, Payload: payload}),
+		AppendFrame(nil, Frame{Type: OpPut, ID: 41, Payload: payload, Trace: trace.Context{}}); !bytes.Equal(got, want) {
+		t.Fatal("zero trace context changed the encoding")
+	}
+}
+
+func TestTracedFrameRejections(t *testing.T) {
+	var protoErr *ProtocolError
+	cases := map[string][]byte{
+		"flag with short payload": AppendFrame(nil, Frame{Type: OpGet | flagTraced, ID: 1, Payload: []byte{1, 2, 3}}),
+		"flag with empty payload": AppendFrame(nil, Frame{Type: OpGet | flagTraced, ID: 2}),
+		"flag on response": AppendFrame(nil, Frame{Type: respFlag | StatusOK | flagTraced, ID: 3,
+			Payload: trace.AppendContext(nil, trace.Context{TraceID: 9})}),
+		"zero trace id": AppendFrame(nil, Frame{Type: OpGet | flagTraced, ID: 4,
+			Payload: make([]byte, trace.ContextSize)}),
+	}
+	bad := trace.AppendContext(nil, trace.Context{TraceID: 9})
+	bad[15] = 7
+	cases["nonzero reserved byte"] = AppendFrame(nil, Frame{Type: OpGet | flagTraced, ID: 5, Payload: bad})
+	for name, b := range cases {
+		if _, _, err := DecodeFrame(b, DefaultMaxPayload); err == nil || !errors.As(err, &protoErr) {
+			t.Errorf("%s: err=%v, want ProtocolError", name, err)
+		}
+		if _, _, err := ReadFrame(bytes.NewReader(b), DefaultMaxPayload, nil); err == nil || !errors.As(err, &protoErr) {
+			t.Errorf("%s (reader): err=%v, want ProtocolError", name, err)
+		}
+	}
+}
 
 func TestFrameRoundTrip(t *testing.T) {
 	frames := []Frame{
@@ -121,6 +186,18 @@ func FuzzWireFrame(f *testing.F) {
 	corrupt := AppendFrame(nil, Frame{Type: OpGet, ID: 3, Payload: []byte{1, 2, 3}})
 	corrupt[len(corrupt)-2] ^= 0x40
 	f.Add(corrupt)
+	// Traced frames: a valid one, plus encodings only a broken encoder
+	// could emit — flag with a short payload, flag on a response, nonzero
+	// reserved prefix bytes — which must be rejected, never panic.
+	f.Add(AppendFrame(nil, Frame{Type: OpPut, ID: 9, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		Trace: trace.Context{TraceID: 0xabcdef, SpanID: 77, Hop: 1, Flags: trace.FlagSampled}}))
+	shortTraced := AppendFrame(nil, Frame{Type: OpPing | flagTraced, ID: 10, Payload: []byte{1, 2, 3}})
+	f.Add(shortTraced)
+	f.Add(AppendFrame(nil, Frame{Type: respFlag | StatusOK | flagTraced, ID: 11,
+		Payload: trace.AppendContext(nil, trace.Context{TraceID: 5, Flags: trace.FlagSampled})}))
+	badReserved := trace.AppendContext(nil, trace.Context{TraceID: 5})
+	badReserved[14] = 1
+	f.Add(AppendFrame(nil, Frame{Type: OpGet | flagTraced, ID: 12, Payload: badReserved}))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		fr, n, err := DecodeFrame(b, DefaultMaxPayload)
@@ -141,7 +218,7 @@ func FuzzWireFrame(f *testing.F) {
 		if err != nil || n2 != len(re) {
 			t.Fatalf("re-decode: n=%d err=%v", n2, err)
 		}
-		if fr2.Type != fr.Type || fr2.ID != fr.ID || !bytes.Equal(fr2.Payload, fr.Payload) {
+		if fr2.Type != fr.Type || fr2.ID != fr.ID || !bytes.Equal(fr2.Payload, fr.Payload) || fr2.Trace != fr.Trace {
 			t.Fatalf("round trip mismatch: %+v vs %+v", fr, fr2)
 		}
 		// The streaming reader must accept exactly the same frame.
@@ -149,7 +226,7 @@ func FuzzWireFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("ReadFrame rejected what DecodeFrame accepted: %v", err)
 		}
-		if fr3.Type != fr.Type || fr3.ID != fr.ID || !bytes.Equal(fr3.Payload, fr.Payload) {
+		if fr3.Type != fr.Type || fr3.ID != fr.ID || !bytes.Equal(fr3.Payload, fr.Payload) || fr3.Trace != fr.Trace {
 			t.Fatalf("ReadFrame/DecodeFrame disagree")
 		}
 	})

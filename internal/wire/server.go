@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"mccuckoo"
+	"mccuckoo/internal/hashutil"
+	"mccuckoo/internal/telemetry/trace"
 )
 
 // ErrServerClosed is returned by Serve after Shutdown begins.
@@ -58,6 +60,13 @@ type Config struct {
 	// Logf, when non-nil, receives one line per abnormal connection event
 	// (protocol errors, panics, write failures).
 	Logf func(format string, args ...any)
+
+	// Trace, when non-nil, records server-side spans (request execution
+	// with queue wait, table ops with kick counts, replication applies,
+	// recovered panics) for requests carrying a sampled trace context —
+	// plus slow and panicking requests regardless of context, per the
+	// recorder's options. Nil disables tracing at zero cost.
+	Trace *trace.Recorder
 }
 
 // Server serves the wire protocol over TCP (or any net.Listener). Requests
@@ -386,7 +395,17 @@ func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte, con
 			}
 			return
 		}
-		s.bytesIn.Add(int64(len(f.Payload) + FrameOverhead))
+		n := len(f.Payload) + FrameOverhead
+		if f.Trace.Valid() {
+			// The decoder stripped the trace prefix from the payload; the
+			// wire still carried it.
+			n += trace.ContextSize
+		}
+		s.bytesIn.Add(int64(n))
+		if s.cfg.Trace.Enabled() {
+			// Stamp arrival so the handler can report queue wait.
+			f.recvAt = time.Now()
+		}
 		if f.IsResponse() {
 			s.badFrames.Add(1)
 			s.logf("wire: %s: received a response frame", nc.RemoteAddr())
@@ -530,13 +549,20 @@ type connHandler struct {
 }
 
 // handle executes one request and returns the encoded response frame. A
-// panic in the store is isolated to this request: it is answered with ERR
+// panic in the store is isolated to this request: it is answered with ERR,
+// counted in mccuckoo_server_panics_total, flight-recorded with the opcode,
 // and the connection keeps serving.
 func (h *connHandler) handle(f Frame) (resp []byte) {
 	s := h.srv
+	tr := s.cfg.Trace
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
+			// Forced span: a panic is recorded even when the request is
+			// untraced and the sampler would have skipped it.
+			psp := tr.StartForced(f.Trace, trace.KindPanic)
+			psp.Op = f.Type
+			psp.FinishForced()
 			s.logf("wire: panic serving %s request: %v", OpName(f.Type), r)
 			resp = s.errFrame(f.ID, fmt.Sprintf("internal error: %v", r))
 		}
@@ -544,6 +570,12 @@ func (h *connHandler) handle(f Frame) (resp []byte) {
 	if f.Type >= 1 && f.Type < byte(len(s.ops)) {
 		s.ops[f.Type].Add(1)
 	}
+	sp := tr.Start(f.Trace, trace.KindServerOp)
+	sp.Op = f.Type
+	if !f.recvAt.IsZero() {
+		sp.Wait = time.Since(f.recvAt).Nanoseconds()
+	}
+	defer sp.Finish()
 	store := s.cfg.Store
 	c := cursor{b: f.Payload}
 	switch f.Type {
@@ -557,7 +589,10 @@ func (h *connHandler) handle(f Frame) (resp []byte) {
 		if !c.ok() {
 			return s.errFrame(f.ID, "malformed get payload")
 		}
+		tsp := sp.StartChild(trace.KindTableOp)
 		v, found := store.Lookup(k)
+		tsp.Op, tsp.Key = f.Type, hashutil.Mix64(k)
+		tsp.Finish()
 		p := make([]byte, 0, 9)
 		p = appendU8(p, boolByte(found))
 		p = appendU64(p, v)
@@ -567,7 +602,10 @@ func (h *connHandler) handle(f Frame) (resp []byte) {
 		if !c.ok() {
 			return s.errFrame(f.ID, "malformed put payload")
 		}
+		tsp := sp.StartChild(trace.KindTableOp)
 		r := store.Insert(k, v)
+		tsp.Op, tsp.Key, tsp.Kicks = f.Type, hashutil.Mix64(k), int32(r.Kicks)
+		tsp.Finish()
 		p := make([]byte, 0, 5)
 		p = appendU8(p, byte(r.Status))
 		p = appendU32(p, uint32(r.Kicks))
@@ -577,7 +615,10 @@ func (h *connHandler) handle(f Frame) (resp []byte) {
 		if !c.ok() {
 			return s.errFrame(f.ID, "malformed del payload")
 		}
+		tsp := sp.StartChild(trace.KindTableOp)
 		removed := store.Delete(k)
+		tsp.Op, tsp.Key = f.Type, hashutil.Mix64(k)
+		tsp.Finish()
 		return respFrame(f.ID, StatusOK, appendU8(nil, boolByte(removed)))
 	case OpBatch:
 		return h.handleBatch(f)
@@ -589,7 +630,10 @@ func (h *connHandler) handle(f Frame) (resp []byte) {
 		if s.rep == nil {
 			return s.errFrame(f.ID, "store is not replicated")
 		}
+		tsp := sp.StartChild(trace.KindTableOp)
 		state, v, seq := s.rep.VGet(k)
+		tsp.Op, tsp.Key = f.Type, hashutil.Mix64(k)
+		tsp.Finish()
 		p := make([]byte, 0, 17)
 		p = appendU8(p, state)
 		p = appendU64(p, v)
@@ -604,7 +648,10 @@ func (h *connHandler) handle(f Frame) (resp []byte) {
 		if s.rep == nil {
 			return s.errFrame(f.ID, "store is not replicated")
 		}
+		asp := sp.StartChild(trace.KindReplApply)
 		h.statuses = s.rep.ApplyPush(ents, h.statuses)
+		asp.Op, asp.Kicks = f.Type, int32(len(ents))
+		asp.Finish()
 		p := make([]byte, 0, 4+len(h.statuses))
 		p = appendU32(p, uint32(len(h.statuses)))
 		p = append(p, h.statuses...)
