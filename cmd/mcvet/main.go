@@ -2,18 +2,22 @@
 // given package patterns, like a multichecker built from the analyzers in
 // internal/analysis/mcvetchecks. It is a tier-1 CI gate: ci.sh runs
 //
-//	go run ./cmd/mcvet ./...
+//	go run ./cmd/mcvet -json ./...
 //
 // before the test suite, so invariant violations fail the build before a
 // single test executes.
 //
-// Exit status: 0 when every package is clean, 1 when findings were
-// reported, 2 on load or internal errors. Findings print one per line as
-// file:line:col: [check] message — the format editors and CI annotators
-// already understand.
+// Exit status: 0 when every package is clean, 1 when unsuppressed findings
+// were reported, 2 on load or internal errors. Findings print one per line
+// as file:line:col: [check] message — the format editors and CI annotators
+// already understand. With -json each finding prints as one JSON object
+// per line ({"file","line","check","message","suppressed"}), including
+// allow-suppressed findings so tooling can audit the suppression surface;
+// only unsuppressed findings count toward the exit status.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
@@ -25,12 +29,36 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// finding is the -json wire shape: one object per line.
+type finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func run(args []string) int {
-	if len(args) == 1 && (args[0] == "-h" || args[0] == "--help" || args[0] == "help") {
-		usage()
-		return 0
+	jsonOut := false
+	var patterns []string
+	for _, arg := range args {
+		switch arg {
+		case "-h", "--help", "help":
+			usage()
+			return 0
+		case "-json", "--json":
+			jsonOut = true
+		default:
+			// Reject unknown flags here rather than letting them leak
+			// into the go list invocation as package patterns.
+			if len(arg) > 1 && arg[0] == '-' {
+				fmt.Fprintf(os.Stderr, "mcvet: unknown flag %s\n", arg)
+				usage()
+				return 2
+			}
+			patterns = append(patterns, arg)
+		}
 	}
-	patterns := args
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -39,6 +67,7 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "mcvet: %v\n", err)
 		return 2
 	}
+	enc := json.NewEncoder(os.Stdout)
 	findings := 0
 	for _, pkg := range pkgs {
 		diags, err := analysis.RunPackage(pkg, mcvetchecks.All)
@@ -47,8 +76,23 @@ func run(args []string) int {
 			return 2
 		}
 		for _, d := range diags {
-			fmt.Printf("%s: [%s] %s\n", d.Pos, d.Check, d.Message)
-			findings++
+			if jsonOut {
+				if err := enc.Encode(finding{
+					File:       d.Pos.Filename,
+					Line:       d.Pos.Line,
+					Check:      d.Check,
+					Message:    d.Message,
+					Suppressed: d.Suppressed,
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "mcvet: %v\n", err)
+					return 2
+				}
+			} else if !d.Suppressed {
+				fmt.Printf("%s: [%s] %s\n", d.Pos, d.Check, d.Message)
+			}
+			if !d.Suppressed {
+				findings++
+			}
 		}
 	}
 	if findings > 0 {
@@ -59,14 +103,19 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Println("usage: mcvet [packages]")
+	fmt.Println("usage: mcvet [-json] [packages]")
 	fmt.Println()
 	fmt.Println("Runs the McCuckoo invariant analyzers over the given package")
 	fmt.Println("patterns (default ./...):")
 	fmt.Println()
 	for _, a := range mcvetchecks.All {
-		fmt.Printf("  %-15s %s\n", a.Name, a.Doc)
+		fmt.Printf("  %-18s %s\n", a.Name, a.Doc)
 	}
+	fmt.Println()
+	fmt.Println("-json prints one finding per line as")
+	fmt.Println(`  {"file","line","check","message","suppressed"}`)
+	fmt.Println("including allow-suppressed findings; the exit status counts only")
+	fmt.Println("unsuppressed ones.")
 	fmt.Println()
 	fmt.Println("Suppress a finding with a trailing or preceding comment:")
 	fmt.Println("  //mcvet:allow <check> <reason>")

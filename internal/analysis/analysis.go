@@ -37,6 +37,10 @@ var KnownChecks = []string{
 	"atomicmix",
 	"counterwrite",
 	"nodeterminism",
+	"goroutinelifecycle",
+	"deadlinearm",
+	"tracepropagation",
+	"metriclint",
 }
 
 // A Pass carries one analyzer's view of one type-checked package.
@@ -52,10 +56,14 @@ type Pass struct {
 }
 
 // A Diagnostic is one finding, with the position already resolved.
+// Suppressed findings (matched by a //mcvet:allow) are kept rather than
+// dropped so the -json output mode can report them; text output and exit
+// codes count only unsuppressed ones.
 type Diagnostic struct {
-	Pos     token.Position
-	Check   string
-	Message string
+	Pos        token.Position
+	Check      string
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {

@@ -1,0 +1,225 @@
+// Package deadlinearm turns PR 7's one-off deadline audit into a permanent
+// gate: inside functions marked //mcvet:deadlined, every blocking Read or
+// Write on a net.Conn must be dominated by a matching deadline call. A
+// conn I/O without a deadline is how one dead peer wedges a reader or
+// writer goroutine forever — the failure mode the cluster tier's circuit
+// breakers exist to contain, and one a test cannot stage without actually
+// hanging.
+//
+// The analysis is the house linear simulation (same shape as
+// lockdiscipline): events are collected in source order across the
+// function body, including nested function literals, and an armed-state
+// map keyed by the conn expression's source spelling is replayed over
+// them. SetReadDeadline arms reads, SetWriteDeadline arms writes,
+// SetDeadline arms both; any deadline call counts, including a zero-time
+// disarm — the check enforces that the author thought about the deadline,
+// not which value was chosen. Besides direct X.Read/X.Write calls, passing
+// the conn to an io.Reader or io.Writer parameter counts as a read or
+// write (wire.ReadFrame is the canonical case); passing it to a net.Conn
+// parameter hands off responsibility and is not an event. Control flow is
+// ignored by design — code whose arming crosses branches in ways the
+// linear scan misreads needs an //mcvet:allow deadlinearm with the reason
+// spelled out.
+package deadlinearm
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"mccuckoo/internal/analysis"
+)
+
+// Analyzer is the deadlinearm check.
+var Analyzer = &analysis.Analyzer{
+	Name: "deadlinearm",
+	Doc:  "conn Read/Write in //mcvet:deadlined functions must be dominated by a Set{Read,Write}Deadline",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	connIface := netConnInterface(pass)
+	if connIface == nil {
+		return nil // package does not import net; nothing can be in scope
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.Dirs.FuncHas(fn, "deadlined") {
+				continue
+			}
+			checkFunc(pass, fn, connIface)
+		}
+	}
+	return nil
+}
+
+// netConnInterface finds the net.Conn interface through the package's
+// imports.
+func netConnInterface(pass *analysis.Pass) *types.Interface {
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() != "net" {
+			continue
+		}
+		if tn, ok := imp.Scope().Lookup("Conn").(*types.TypeName); ok {
+			if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+type eventKind int
+
+const (
+	evArmRead eventKind = iota
+	evArmWrite
+	evArmBoth
+	evRead
+	evWrite
+)
+
+type event struct {
+	pos  token.Pos
+	kind eventKind
+	key  string // source spelling of the conn expression
+	how  string // for reports: how the I/O happens
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, connIface *types.Interface) {
+	var events []event
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && isConn(pass, sel.X, connIface) {
+			key := analysis.ExprString(sel.X)
+			switch sel.Sel.Name {
+			case "SetReadDeadline":
+				events = append(events, event{call.Pos(), evArmRead, key, ""})
+			case "SetWriteDeadline":
+				events = append(events, event{call.Pos(), evArmWrite, key, ""})
+			case "SetDeadline":
+				events = append(events, event{call.Pos(), evArmBoth, key, ""})
+			case "Read":
+				events = append(events, event{call.Pos(), evRead, key, key + ".Read"})
+			case "Write":
+				events = append(events, event{call.Pos(), evWrite, key, key + ".Write"})
+			}
+		}
+		// A conn flowing into an io.Reader/io.Writer parameter is a read or
+		// write at this call site.
+		sig := calleeSignature(pass, call)
+		if sig == nil {
+			return true
+		}
+		for i, arg := range call.Args {
+			if !isConn(pass, arg, connIface) {
+				continue
+			}
+			pt := paramType(sig, i)
+			if pt == nil {
+				continue
+			}
+			key := analysis.ExprString(arg)
+			if isIoType(pt, "Reader") {
+				events = append(events, event{arg.Pos(), evRead, key, key + " passed as io.Reader"})
+			} else if isIoType(pt, "Writer") {
+				events = append(events, event{arg.Pos(), evWrite, key, key + " passed as io.Writer"})
+			}
+		}
+		return true
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	type armed struct{ read, write bool }
+	state := make(map[string]*armed)
+	get := func(key string) *armed {
+		if state[key] == nil {
+			state[key] = &armed{}
+		}
+		return state[key]
+	}
+	for _, e := range events {
+		a := get(e.key)
+		switch e.kind {
+		case evArmRead:
+			a.read = true
+		case evArmWrite:
+			a.write = true
+		case evArmBoth:
+			a.read, a.write = true, true
+		case evRead:
+			if !a.read {
+				pass.Reportf(e.pos, "%s is not dominated by a SetReadDeadline in this //mcvet:deadlined function", e.how)
+			}
+		case evWrite:
+			if !a.write {
+				pass.Reportf(e.pos, "%s is not dominated by a SetWriteDeadline in this //mcvet:deadlined function", e.how)
+			}
+		}
+	}
+}
+
+// isConn reports whether e's static type satisfies net.Conn.
+func isConn(pass *analysis.Pass, e ast.Expr, connIface *types.Interface) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, connIface) || types.Implements(types.NewPointer(t), connIface)
+}
+
+// calleeSignature returns the called function's signature, or nil for
+// builtins and type conversions.
+func calleeSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	t := pass.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType resolves the type of argument i, unrolling variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if s, ok := last.(*types.Slice); ok {
+			return s.Elem()
+		}
+		return last
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// isIoType reports whether t is io.<name> (Reader or Writer).
+func isIoType(t types.Type, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "io"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

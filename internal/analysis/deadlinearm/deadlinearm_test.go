@@ -1,0 +1,12 @@
+package deadlinearm_test
+
+import (
+	"testing"
+
+	"mccuckoo/internal/analysis/analysistest"
+	"mccuckoo/internal/analysis/deadlinearm"
+)
+
+func TestDeadlineArm(t *testing.T) {
+	analysistest.Run(t, "testdata", deadlinearm.Analyzer, "a")
+}

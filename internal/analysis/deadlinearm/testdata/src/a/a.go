@@ -1,0 +1,98 @@
+// Package a is the deadlinearm fixture: conn I/O with and without a
+// dominating deadline inside //mcvet:deadlined functions.
+package a
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+//mcvet:deadlined
+func armedEcho(nc net.Conn, buf []byte) error {
+	nc.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := nc.Read(buf); err != nil {
+		return err
+	}
+	nc.SetWriteDeadline(time.Now().Add(time.Second))
+	_, err := nc.Write(buf)
+	return err
+}
+
+//mcvet:deadlined
+func nakedRead(nc net.Conn, buf []byte) (int, error) {
+	return nc.Read(buf) // want `nc\.Read is not dominated by a SetReadDeadline`
+}
+
+//mcvet:deadlined
+func wrongSide(nc net.Conn, buf []byte) (int, error) {
+	nc.SetWriteDeadline(time.Now().Add(time.Second))
+	return nc.Read(buf) // want `nc\.Read is not dominated by a SetReadDeadline`
+}
+
+//mcvet:deadlined
+func bothArmed(nc net.Conn, buf []byte) error {
+	nc.SetDeadline(time.Now().Add(time.Second))
+	if _, err := nc.Read(buf); err != nil {
+		return err
+	}
+	_, err := nc.Write(buf)
+	return err
+}
+
+// disarm also counts as armed: the author made a deadline decision.
+//
+//mcvet:deadlined
+func explicitDisarm(nc net.Conn, buf []byte) (int, error) {
+	nc.SetReadDeadline(time.Time{})
+	return nc.Read(buf)
+}
+
+//mcvet:deadlined
+func viaReader(nc net.Conn) error {
+	return drain(nc) // want `nc passed as io\.Reader is not dominated by a SetReadDeadline`
+}
+
+//mcvet:deadlined
+func viaReaderArmed(nc net.Conn) error {
+	nc.SetReadDeadline(time.Now().Add(time.Second))
+	return drain(nc)
+}
+
+// Handing the conn to a net.Conn parameter transfers responsibility; it is
+// not an I/O event here.
+//
+//mcvet:deadlined
+func handoff(nc net.Conn) {
+	register(nc)
+}
+
+// Two conns are tracked independently.
+//
+//mcvet:deadlined
+func twoConns(a, b net.Conn, buf []byte) {
+	a.SetReadDeadline(time.Now().Add(time.Second))
+	a.Read(buf)
+	b.Read(buf) // want `b\.Read is not dominated by a SetReadDeadline`
+}
+
+// The escape hatch for a deliberately undeadlined read.
+//
+//mcvet:deadlined
+func allowedRead(nc net.Conn, buf []byte) (int, error) {
+	//mcvet:allow deadlinearm fixture: lifetime bounded by peer close, not a timer
+	return nc.Read(buf)
+}
+
+func drain(r io.Reader) error {
+	_, err := io.Copy(io.Discard, r)
+	return err
+}
+
+func register(nc net.Conn) {}
+
+// Unannotated functions are out of scope; the deadline contract is opt-in
+// per function.
+func free(nc net.Conn, buf []byte) (int, error) {
+	return nc.Read(buf)
+}

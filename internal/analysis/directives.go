@@ -14,14 +14,17 @@ import (
 //	//mcvet:hotpath [note]            func: must not allocate (hotpathalloc)
 //	//mcvet:locked [note]             func: caller holds the relevant locks
 //	//mcvet:deterministic [note]      func: nodeterminism applies
+//	//mcvet:deadlined [note]          func: conn I/O must be deadline-armed (deadlinearm)
 //	//mcvet:setter <class>... [--]    func: sanctioned mutator for counterwrite classes
 //	//mcvet:guardedby <mutexField>    struct field: lockdiscipline applies
 //	//mcvet:restricted <class>        struct field: counterwrite applies
+//	//mcvet:lifecycle [note]          type: go statements need a tracked join (goroutinelifecycle)
 //	//mcvet:allow <check> <reason>    any line: suppress <check> findings on this
 //	                                  line or the line below; reason mandatory
 //
 // Function directives live in the function's doc comment group; field
-// directives in the field's doc or trailing line comment. An allow comment
+// directives in the field's doc or trailing line comment; type directives in
+// the type declaration's doc comment. An allow comment
 // suppresses findings on its own source line (trailing style) or on the
 // line immediately below (standalone style). Anything malformed — unknown
 // verb, missing argument, misplaced directive — is itself reported by the
@@ -50,10 +53,11 @@ type Allow struct {
 
 // Directives holds every parsed //mcvet: marker of one package.
 type Directives struct {
-	funcs  map[*ast.FuncDecl][]Directive
-	fields map[*types.Var]Directive // guardedby/restricted, one per field
-	allows []*Allow
-	bad    []Diagnostic // malformed or misplaced directives
+	funcs     map[*ast.FuncDecl][]Directive
+	fields    map[*types.Var]Directive // guardedby/restricted, one per field
+	typeNames map[*types.TypeName][]Directive
+	allows    []*Allow
+	bad       []Diagnostic // malformed or misplaced directives
 }
 
 // FuncHas reports whether fn carries the given directive verb.
@@ -84,14 +88,25 @@ func (d *Directives) FieldDirs(verb string) map[*types.Var]Directive {
 	return out
 }
 
+// TypeHas reports whether the named type carries the given directive verb.
+func (d *Directives) TypeHas(tn *types.TypeName, verb string) bool {
+	for _, dir := range d.typeNames[tn] {
+		if dir.Verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
 // Allows returns the package's suppression comments.
 func (d *Directives) Allows() []*Allow { return d.allows }
 
 // parseDirectives extracts every //mcvet: marker from the package.
 func parseDirectives(fset *token.FileSet, files []*ast.File, info *types.Info) *Directives {
 	d := &Directives{
-		funcs:  make(map[*ast.FuncDecl][]Directive),
-		fields: make(map[*types.Var]Directive),
+		funcs:     make(map[*ast.FuncDecl][]Directive),
+		fields:    make(map[*types.Var]Directive),
+		typeNames: make(map[*types.TypeName][]Directive),
 	}
 	for _, file := range files {
 		// Comment groups attached to a function or field are claimed by
@@ -104,6 +119,37 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, info *types.Info) *
 					claimed[c] = true
 					if dir, ok := d.parseOne(fset, c, "func"); ok {
 						d.funcs[n] = append(d.funcs[n], dir)
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.TYPE {
+					return true
+				}
+				// A doc comment on `type Foo ...` attaches to the GenDecl for
+				// the common ungrouped form; grouped `type ( ... )` blocks put
+				// per-type docs on the TypeSpec instead.
+				for _, c := range commentsOf(n.Doc) {
+					claimed[c] = true
+					dir, ok := d.parseOne(fset, c, "type")
+					if !ok {
+						continue
+					}
+					if len(n.Specs) != 1 {
+						d.badf(fset, c.Pos(), "mcvet:%s on a grouped type declaration is ambiguous; move it onto one type spec", dir.Verb)
+						continue
+					}
+					d.claimType(info, n.Specs[0], dir)
+				}
+				for _, spec := range n.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					for _, c := range append(commentsOf(ts.Doc), commentsOf(ts.Comment)...) {
+						claimed[c] = true
+						if dir, ok := d.parseOne(fset, c, "type"); ok {
+							d.claimType(info, ts, dir)
+						}
 					}
 				}
 			case *ast.Field:
@@ -180,16 +226,29 @@ func (d *Directives) parseOne(fset *token.FileSet, c *ast.Comment, owner string)
 }
 
 var verbs = map[string]struct {
-	owner   string // "func" or "field"
+	owner   string // "func", "field", or "type"
 	minArgs int
 	argHelp string
 }{
 	"hotpath":       {"func", 0, ""},
 	"locked":        {"func", 0, ""},
 	"deterministic": {"func", 0, ""},
+	"deadlined":     {"func", 0, ""},
 	"setter":        {"func", 1, "at least one class argument (e.g. counters)"},
 	"guardedby":     {"field", 1, "the guarding mutex field name"},
 	"restricted":    {"field", 1, "a class argument (e.g. counters)"},
+	"lifecycle":     {"type", 0, ""},
+}
+
+// claimType records a type directive against the declared type's object.
+func (d *Directives) claimType(info *types.Info, spec ast.Spec, dir Directive) {
+	ts, ok := spec.(*ast.TypeSpec)
+	if !ok {
+		return
+	}
+	if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+		d.typeNames[tn] = append(d.typeNames[tn], dir)
+	}
 }
 
 // parseAllow parses a //mcvet:allow comment. Malformed allows are recorded

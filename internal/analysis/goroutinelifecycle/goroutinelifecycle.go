@@ -1,0 +1,412 @@
+// Package goroutinelifecycle keeps the serving tier free of goroutine
+// leaks: every `go` statement in the orbit of a type marked
+// //mcvet:lifecycle must have a statically visible join. The server,
+// replicator, and sweeper all hold long-lived goroutine fleets whose
+// shutdown paths are load-bearing (graceful drain, Stop, Close); a spawn
+// without a join is exactly the bug their tests cannot stage, because a
+// leaked goroutine fails no assertion — it just accumulates.
+//
+// A spawn is in scope when the enclosing function is a method of a
+// lifecycle-marked type, or when the spawned callee is such a method (the
+// constructor-spawns-the-loop idiom). A spawn counts as joined when any of
+// the tracked idioms is present:
+//
+//   - WaitGroup discipline: an X.Add(...) on a sync.WaitGroup earlier in
+//     the spawning function, with X.Done() on the same WaitGroup inside the
+//     goroutine body.
+//   - Stop-channel: the body receives from (or ranges over) a channel that
+//     is a struct field, a ctx.Done() result, or a local/parameter channel
+//     that some function in the package closes.
+//   - Completion signal: the body closes a local channel the spawning
+//     function receives from, or sends on a local channel made with an
+//     explicit capacity (the bounded fan-out idiom — the send cannot block,
+//     so the goroutine's lifetime is bounded by its own work).
+//
+// The matching is linear and package-local by design; a spawn that is
+// joined through a helper in another package needs an
+// //mcvet:allow goroutinelifecycle with the reason spelled out.
+package goroutinelifecycle
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mccuckoo/internal/analysis"
+)
+
+// Analyzer is the goroutinelifecycle check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelifecycle",
+	Doc:  "go statements in //mcvet:lifecycle types must have a tracked join (WaitGroup, stop-channel, or completion signal)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	marked := markedTypes(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	methods := methodDecls(pass)
+	closed := closedObjects(pass)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inMethod := marked[receiverType(pass, fn)]
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, calleeType := spawnBody(pass, g, methods)
+				if !inMethod && !marked[calleeType] {
+					return true
+				}
+				if joined(pass, fn, g, body, closed) {
+					return true
+				}
+				pass.Reportf(g.Pos(), "go statement in lifecycle-scoped code has no tracked join (WaitGroup Add/Done, stop-channel receive, or completion signal)")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// markedTypes collects the package's //mcvet:lifecycle types.
+func markedTypes(pass *analysis.Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok && pass.Dirs.TypeHas(tn, "lifecycle") {
+			out[tn] = true
+		}
+	}
+	return out
+}
+
+// methodDecls indexes the package's method declarations by receiver type
+// and name, so a `go x.method(...)` spawn can be checked against the
+// method's body.
+func methodDecls(pass *analysis.Pass) map[*types.TypeName]map[string]*ast.FuncDecl {
+	out := make(map[*types.TypeName]map[string]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil {
+				continue
+			}
+			tn := receiverType(pass, fn)
+			if tn == nil {
+				continue
+			}
+			if out[tn] == nil {
+				out[tn] = make(map[string]*ast.FuncDecl)
+			}
+			out[tn][fn.Name.Name] = fn
+		}
+	}
+	return out
+}
+
+// receiverType resolves a method's receiver to its named-type object.
+func receiverType(pass *analysis.Pass, fn *ast.FuncDecl) *types.TypeName {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.ParenExpr:
+			t = u.X
+		case *ast.Ident:
+			if tn, ok := pass.TypesInfo.ObjectOf(u).(*types.TypeName); ok {
+				return tn
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// spawnBody resolves a go statement to the spawned code's body (nil when it
+// lives in another package) and, for method spawns, the receiver's type.
+func spawnBody(pass *analysis.Pass, g *ast.GoStmt, methods map[*types.TypeName]map[string]*ast.FuncDecl) (*ast.BlockStmt, *types.TypeName) {
+	switch fun := unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, nil
+	case *ast.SelectorExpr:
+		obj, ok := pass.TypesInfo.ObjectOf(fun.Sel).(*types.Func)
+		if !ok {
+			return nil, nil
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return nil, nil
+		}
+		tn := namedTypeName(sig.Recv().Type())
+		if tn == nil {
+			return nil, nil
+		}
+		if decl := methods[tn][obj.Name()]; decl != nil {
+			return decl.Body, tn
+		}
+		return nil, tn
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.ObjectOf(fun).(*types.Func); ok {
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && pass.TypesInfo.ObjectOf(fd.Name) == obj {
+						return fd.Body, nil
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// joined reports whether the spawn has a tracked join.
+func joined(pass *analysis.Pass, encl *ast.FuncDecl, g *ast.GoStmt, body *ast.BlockStmt, closed map[types.Object]bool) bool {
+	if body == nil {
+		return false
+	}
+	if waitGroupJoin(pass, encl, g, body) {
+		return true
+	}
+	if stopChannelJoin(pass, body, closed) {
+		return true
+	}
+	return completionSignal(pass, encl, body)
+}
+
+// waitGroupJoin matches the Add-before-spawn / Done-in-body discipline on
+// the same sync.WaitGroup object.
+func waitGroupJoin(pass *analysis.Pass, encl *ast.FuncDecl, g *ast.GoStmt, body *ast.BlockStmt) bool {
+	var added []types.Object
+	ast.Inspect(encl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return true
+		}
+		if obj := waitGroupMethodBase(pass, call, "Add"); obj != nil {
+			added = append(added, obj)
+		}
+		return true
+	})
+	if len(added) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := waitGroupMethodBase(pass, call, "Done"); obj != nil {
+			for _, a := range added {
+				if a == obj {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// waitGroupMethodBase decodes X.<name>() where X is a sync.WaitGroup,
+// returning X's object (field or local) or nil.
+func waitGroupMethodBase(pass *analysis.Pass, call *ast.CallExpr, name string) types.Object {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	obj := baseObject(pass, sel.X)
+	if obj == nil || !isNamedType(obj.Type(), "sync", "WaitGroup") {
+		return nil
+	}
+	return obj
+}
+
+// stopChannelJoin reports whether the body receives from a channel that
+// plausibly signals shutdown: a struct field, a ctx.Done() result, or a
+// channel some function in the package closes.
+func stopChannelJoin(pass *analysis.Pass, body *ast.BlockStmt, closed map[types.Object]bool) bool {
+	found := false
+	check := func(e ast.Expr) {
+		e = unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true // ctx.Done()-style cancellation
+			}
+			return
+		}
+		obj := baseObject(pass, e)
+		if obj == nil {
+			return
+		}
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			found = true // stop/drain channel field
+			return
+		}
+		if closed[obj] {
+			found = true // channel closed somewhere in the package
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				check(n.X)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					check(n.X)
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// completionSignal reports whether the goroutine body signals its own
+// completion back to the spawning function: closing a local channel the
+// spawner receives from, or sending on an explicitly buffered local channel
+// (the bounded fan-out idiom).
+func completionSignal(pass *analysis.Pass, encl *ast.FuncDecl, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if obj := baseObject(pass, n.Args[0]); obj != nil && receivedIn(pass, encl.Body, obj) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := baseObject(pass, n.Chan); obj != nil && bufferedMake(pass, encl.Body, obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// receivedIn reports whether fn's body receives from obj's channel.
+func receivedIn(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && baseObject(pass, n.X) == obj {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if baseObject(pass, n.X) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// bufferedMake reports whether obj is bound to a make(chan T, cap) with an
+// explicit capacity inside body.
+func bufferedMake(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.ObjectOf(id) != obj {
+				continue
+			}
+			if call, ok := unparen(assign.Rhs[i]).(*ast.CallExpr); ok {
+				if fn, ok := unparen(call.Fun).(*ast.Ident); ok && fn.Name == "make" && len(call.Args) == 2 {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// closedObjects collects every object passed to the close builtin anywhere
+// in the package.
+func closedObjects(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if obj := baseObject(pass, call.Args[0]); obj != nil {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// baseObject resolves an identifier or selector chain tail to its object:
+// `pipe` to the local, `s.drain` to the drain field.
+func baseObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+func namedTypeName(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package goroutinelifecycle_test
+
+import (
+	"testing"
+
+	"mccuckoo/internal/analysis/analysistest"
+	"mccuckoo/internal/analysis/goroutinelifecycle"
+)
+
+func TestGoroutineLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutinelifecycle.Analyzer, "a")
+}

@@ -1,0 +1,115 @@
+// Package a is the goroutinelifecycle fixture: spawns in the orbit of a
+// //mcvet:lifecycle type with and without tracked joins.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+//mcvet:lifecycle
+type Server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// Serve is the WaitGroup discipline: Add before the spawn, Done inside it.
+func (s *Server) Serve() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+// Start spawns a method whose body receives from a stop-channel field.
+func (s *Server) Start() {
+	go s.loop()
+}
+
+func (s *Server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+	}
+}
+
+// Pump is the worker idiom: the goroutine ranges over a local channel the
+// spawner closes.
+func (s *Server) Pump() {
+	work := make(chan int)
+	go func() {
+		for range work {
+		}
+	}()
+	close(work)
+}
+
+// Flush is the completion signal: the goroutine closes a local channel the
+// spawner receives from.
+func (s *Server) Flush() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// FanOut is the bounded fan-out idiom: each goroutine's only send lands in
+// an explicitly buffered channel, so its lifetime is bounded by its work.
+func (s *Server) FanOut(n int) {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			ch <- i
+		}(i)
+	}
+}
+
+// Watch joins through context cancellation.
+func (s *Server) Watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func (s *Server) Leak() {
+	go func() { // want `no tracked join`
+		for {
+		}
+	}()
+}
+
+func (s *Server) tick() {}
+
+func (s *Server) StartTick() {
+	go s.tick() // want `no tracked join`
+}
+
+// NewServer is a plain function, but its spawned callees are methods of a
+// lifecycle-marked type, so the spawns are still in scope.
+func NewServer() *Server {
+	s := &Server{stop: make(chan struct{})}
+	go s.loop()
+	go s.tick() // want `no tracked join`
+	return s
+}
+
+// StartTickAllowed shows the escape hatch for a deliberately untracked
+// spawn.
+func (s *Server) StartTickAllowed() {
+	//mcvet:allow goroutinelifecycle fixture: tick returns immediately, lifetime trivially bounded
+	go s.tick()
+}
+
+// quiet is unmarked: its spawns are out of scope entirely.
+type quiet struct{}
+
+func (q *quiet) run() {
+	go func() {
+		for {
+		}
+	}()
+}

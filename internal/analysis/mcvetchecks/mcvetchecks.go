@@ -8,9 +8,13 @@ import (
 	"mccuckoo/internal/analysis"
 	"mccuckoo/internal/analysis/atomicmix"
 	"mccuckoo/internal/analysis/counterwrite"
+	"mccuckoo/internal/analysis/deadlinearm"
+	"mccuckoo/internal/analysis/goroutinelifecycle"
 	"mccuckoo/internal/analysis/hotpathalloc"
 	"mccuckoo/internal/analysis/lockdiscipline"
+	"mccuckoo/internal/analysis/metriclint"
 	"mccuckoo/internal/analysis/nodeterminism"
+	"mccuckoo/internal/analysis/tracepropagation"
 )
 
 // All is the full mcvet analyzer suite, in report order.
@@ -20,4 +24,8 @@ var All = []*analysis.Analyzer{
 	atomicmix.Analyzer,
 	counterwrite.Analyzer,
 	nodeterminism.Analyzer,
+	goroutinelifecycle.Analyzer,
+	deadlinearm.Analyzer,
+	tracepropagation.Analyzer,
+	metriclint.Analyzer,
 }

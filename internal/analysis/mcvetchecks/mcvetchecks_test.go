@@ -1,6 +1,9 @@
 package mcvetchecks_test
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"mccuckoo/internal/analysis"
@@ -32,6 +35,55 @@ func TestRegistryMatchesKnownChecks(t *testing.T) {
 	for _, name := range analysis.KnownChecks {
 		if !registered[name] {
 			t.Errorf("analysis.KnownChecks lists %q but no analyzer registers it", name)
+		}
+	}
+}
+
+// TestDesignTableMatchesRegistry is the drift gate for DESIGN.md §9: every
+// analyzer in the registry has a row in the design table and vice versa,
+// so a new check cannot ship undocumented (and a removed one cannot leave
+// its documentation behind).
+func TestDesignTableMatchesRegistry(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	documented := make(map[string]bool)
+	inSection := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.Contains(line, "Static analysis (mcvet)")
+			continue
+		}
+		if !inSection || !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		name := line[len("| `"):]
+		if i := strings.IndexByte(name, '`'); i >= 0 {
+			documented[name[:i]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("found no analyzer rows in the DESIGN.md §9 table; did the section heading or row format change?")
+	}
+	if len(documented) != len(mcvetchecks.All) || len(documented) != len(analysis.KnownChecks) {
+		t.Errorf("drift: DESIGN.md documents %d analyzers, registry has %d, KnownChecks has %d",
+			len(documented), len(mcvetchecks.All), len(analysis.KnownChecks))
+	}
+	for _, a := range mcvetchecks.All {
+		if !documented[a.Name] {
+			t.Errorf("analyzer %q has no row in the DESIGN.md §9 table", a.Name)
+		}
+	}
+	for name := range documented {
+		found := false
+		for _, a := range mcvetchecks.All {
+			if a.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("DESIGN.md §9 documents %q but no analyzer registers it", name)
 		}
 	}
 }

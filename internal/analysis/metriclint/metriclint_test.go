@@ -1,0 +1,12 @@
+package metriclint_test
+
+import (
+	"testing"
+
+	"mccuckoo/internal/analysis/analysistest"
+	"mccuckoo/internal/analysis/metriclint"
+)
+
+func TestMetricLint(t *testing.T) {
+	analysistest.Run(t, "testdata", metriclint.Analyzer, "a")
+}

@@ -1,0 +1,68 @@
+// Package a is the metriclint fixture: the repo's ad-hoc exposition
+// idioms, with conforming and misnamed series.
+package a
+
+import (
+	"fmt"
+	"io"
+)
+
+// direct header calls: name + type constant in one row.
+func writeDirect(w io.Writer, ops, conns uint64) {
+	header(w, "mccuckoo_fixture_ops_total", "Operations served.", "counter")
+	fmt.Fprintf(w, "mccuckoo_fixture_ops_total %d\n", ops)
+	header(w, "mccuckoo_fixture_conns", "Open connections.", "gauge")
+	fmt.Fprintf(w, "mccuckoo_fixture_conns %d\n", conns)
+}
+
+func writeBroken(w io.Writer, v uint64) {
+	header(w, "mccuckoo_fixture_requests", "Requests.", "counter")          // want `counter "mccuckoo_fixture_requests" must end in _total`
+	header(w, "mccuckoo_fixture_queue_depth_total", "Depth.", "gauge")      // want `gauge "mccuckoo_fixture_queue_depth_total" must not claim the counter suffix`
+	header(w, "mccuckoo_fixture_latency_ms", "Latency.", "histogram")       // want `histogram "mccuckoo_fixture_latency_ms" must end in _seconds`
+	header(w, "mcCuckoo_Fixture_Bad", "Casing.", "counter")                 // want `metric "mcCuckoo_Fixture_Bad" is not mccuckoo_-prefixed lowercase snake_case`
+	header(w, "fixture_rogue_series_total", "Wrong prefix.", "counter")     // want `metric "fixture_rogue_series_total" is not mccuckoo_-prefixed`
+	header(w, "mccuckoo_fixture_ops_total", "Duplicate writer.", "counter") // want `metric "mccuckoo_fixture_ops_total" already declared`
+}
+
+// a dimensionless histogram is legal only with an allow naming its unit.
+func writeDimensionless(w io.Writer) {
+	//mcvet:allow metriclint fixture: kick-path length histogram counts hops, not time
+	header(w, "mccuckoo_fixture_kick_hops", "Hops.", "histogram")
+}
+
+// the closure idiom: the type lives in the helper's format literal, the
+// call site carries only the name.
+func writeViaClosure(w io.Writer, spins uint64) {
+	simple := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, v)
+	}
+	simple("mccuckoo_fixture_spins_total", "Spin loops.", spins)
+	simple("mccuckoo_fixture_retries", "Retries.", spins) // want `counter "mccuckoo_fixture_retries" must end in _total`
+}
+
+// the struct-table idiom: rows carry names, one shared Fprintf carries the
+// type.
+func writeTable(w io.Writer) error {
+	rows := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"mccuckoo_fixture_sweeps_total", "Sweeps run.", 1},
+		{"mccuckoo_fixture_repairs", "Repairs.", 2}, // want `counter "mccuckoo_fixture_repairs" must end in _total`
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", r.name, r.help, r.name, r.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ordinary snake_case strings outside a metric row are not series names.
+func unrelated(s string) string {
+	return s + "plain_snake_string"
+}
+
+func header(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}

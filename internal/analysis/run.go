@@ -14,8 +14,9 @@ const hygieneCheck = "mcvet"
 func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
 
 // RunPackage runs the analyzers over one package and applies the
-// //mcvet:allow suppressions. The returned diagnostics are the surviving
-// findings plus suppression-hygiene findings, sorted by position.
+// //mcvet:allow suppressions. The returned diagnostics are every finding —
+// suppressed ones flagged rather than dropped, so callers can render them —
+// plus suppression-hygiene findings, sorted by position.
 //
 // Suppression semantics: an allow comment for check C suppresses C findings
 // on the allow's own source line (trailing comment) or on the line
@@ -67,7 +68,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, d := range raw {
 		if allow := matchAllow(allows, known, d); allow != nil {
 			allow.used = true
-			continue
+			d.Suppressed = true
 		}
 		out = append(out, d)
 	}

@@ -57,3 +57,29 @@ func wrongOwner() {}
 
 //mcvet:setter // want `mcvet:setter needs at least one class argument`
 func missingArgs() {}
+
+// newCheckAllows shows the whitelist knows the distributed-tier checks:
+// none of them run here, so the unused allows are ran-gated rather than
+// stale, and none report as unknown.
+func newCheckAllows() {
+	//mcvet:allow goroutinelifecycle retained for a check that is not in this run
+	//mcvet:allow deadlinearm retained for a check that is not in this run
+	//mcvet:allow tracepropagation retained for a check that is not in this run
+	//mcvet:allow metriclint retained for a check that is not in this run
+	_ = 0
+}
+
+//mcvet:lifecycle // want `mcvet:lifecycle belongs on a type, not a func`
+func lifecycleOnFunc() {}
+
+//mcvet:deadlined // want `mcvet:deadlined belongs on a func, not a type`
+type deadlinedType struct{}
+
+//mcvet:lifecycle // want `mcvet:lifecycle on a grouped type declaration is ambiguous`
+type (
+	groupedA struct{}
+	groupedB struct{}
+)
+
+//mcvet:lifecycle
+type lifecycleOK struct{}

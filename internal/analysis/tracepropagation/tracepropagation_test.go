@@ -1,0 +1,12 @@
+package tracepropagation_test
+
+import (
+	"testing"
+
+	"mccuckoo/internal/analysis/analysistest"
+	"mccuckoo/internal/analysis/tracepropagation"
+)
+
+func TestTracePropagation(t *testing.T) {
+	analysistest.Run(t, "testdata", tracepropagation.Analyzer, "a")
+}

@@ -106,6 +106,8 @@ type Config struct {
 // the replicas in ring order, answer from the newest copy, and push that
 // copy back to any stale replica (read-repair). All methods are safe for
 // concurrent use.
+//
+//mcvet:lifecycle
 type Client struct {
 	cfg  Config
 	ring *Ring

@@ -60,6 +60,8 @@ type ReplicatorConfig struct {
 // node needs no special bootstrap path — its first subscription resumes
 // from whatever its snapshot+sidecar restored, and the peer answers with a
 // full state dump when that point predates its op log.
+//
+//mcvet:lifecycle
 type Replicator struct {
 	cfg  ReplicatorConfig
 	ring *Ring
@@ -187,6 +189,8 @@ func (r *Replicator) peerLoop(addr string, st *peerState) {
 
 // streamOnce runs one subscription: dial, handshake, then apply stream
 // frames until the connection breaks (returned as an error) or Close (nil).
+//
+//mcvet:deadlined
 func (r *Replicator) streamOnce(addr string, st *peerState) error {
 	dial := r.cfg.Dial
 	if dial == nil {

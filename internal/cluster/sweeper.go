@@ -85,6 +85,8 @@ type SweeperConfig struct {
 // Sweeper runs anti-entropy sweeps between one node's Replicated store and
 // its peers. Construct with NewSweeper, then either Start for the
 // background loop or SweepOnce for a synchronous pass (tests, drills).
+//
+//mcvet:lifecycle
 type Sweeper struct {
 	cfg      SweeperConfig
 	ring     *Ring

@@ -80,7 +80,10 @@ func AppendContext(dst []byte, tc Context) []byte {
 // a short buffer, a zero trace id, and nonzero reserved bytes — the decoder
 // must accept only encodings AppendContext can produce, so an accepted
 // traced frame always re-encodes byte-identically (the wire fuzzer's
-// invariant).
+// invariant). It runs on every traced frame decode, so it shares the
+// record path's zero-allocation contract.
+//
+//mcvet:hotpath
 func ParseContext(b []byte) (tc Context, ok bool) {
 	if len(b) < ContextSize {
 		return Context{}, false

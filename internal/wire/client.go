@@ -473,6 +473,8 @@ type result struct {
 // clientConn is one pooled connection. A single readLoop goroutine
 // demultiplexes responses to waiting callers by request id; writes are
 // serialized by wmu.
+//
+//mcvet:lifecycle
 type clientConn struct {
 	nc   net.Conn
 	dead atomic.Bool
@@ -488,6 +490,7 @@ type clientConn struct {
 
 func newClientConn(nc net.Conn, maxPayload int) *clientConn {
 	cc := &clientConn{nc: nc, pending: make(map[uint64]chan result)}
+	//mcvet:allow goroutinelifecycle readLoop's lifetime is the conn's: fail/Close closes nc and the blocked ReadFrame returns
 	go cc.readLoop(maxPayload)
 	return cc
 }
@@ -538,9 +541,17 @@ func (cc *clientConn) fail(err error) {
 	}
 }
 
+// readLoop demultiplexes responses to their waiters until the connection
+// dies.
+//
+//mcvet:deadlined
 func (cc *clientConn) readLoop(maxPayload int) {
 	var buf []byte
 	for {
+		// The demux read deliberately has no deadline: it must outlive any
+		// single request, and per-request timeouts live in roundTrip.
+		// Close/fail closing the conn is what unblocks it.
+		//mcvet:allow deadlinearm demux read is unbounded by design; bounded by conn close, not a timer
 		f, b, err := ReadFrame(cc.nc, maxPayload, buf)
 		buf = b
 		if err != nil {
@@ -557,6 +568,8 @@ func (cc *clientConn) readLoop(maxPayload int) {
 }
 
 // roundTrip sends one request and waits for its response or the timeout.
+//
+//mcvet:deadlined
 func (cc *clientConn) roundTrip(id uint64, op byte, payload []byte, tc trace.Context, timeout time.Duration) (byte, []byte, error) {
 	ch := make(chan result, 1)
 	if err := cc.register(id, ch); err != nil {

@@ -74,6 +74,8 @@ type Config struct {
 // a worker goroutine, and written by a writer goroutine, so a client may
 // pipeline any number of requests; responses carry the request id and may
 // be matched out of order with other connections' work.
+//
+//mcvet:lifecycle
 type Server struct {
 	cfg Config
 
@@ -264,6 +266,8 @@ func (s *Server) closeConns() {
 
 // rejectConn answers an over-limit connection with a single ERR frame
 // (request id 0 — the client has not spoken yet) and closes it.
+//
+//mcvet:deadlined
 func (s *Server) rejectConn(nc net.Conn) {
 	if err := nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err == nil {
 		// Without a deadline an unread ERR frame could pin this goroutine;
@@ -292,6 +296,8 @@ func (s *Server) errFrame(id uint64, msg string) []byte {
 // worker and writer goroutines. Close cascade: the reader stops and closes
 // work; the worker finishes queued requests and closes out; the writer
 // flushes and returns; then the connection closes.
+//
+//mcvet:deadlined
 func (s *Server) serveConn(nc net.Conn) {
 	defer s.wg.Done()
 	defer s.unregisterConn(nc)
@@ -361,6 +367,8 @@ func (s *Server) serveConn(nc net.Conn) {
 // SUBSCRIBE request flips the connection into streaming mode: the read
 // goroutine stops decoding requests and becomes the op-log pump until the
 // connection or the server goes down.
+//
+//mcvet:deadlined
 func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte, connFailed <-chan struct{}) {
 	var buf []byte
 	for {
