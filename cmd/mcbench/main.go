@@ -37,29 +37,31 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
+	var cc bench.CLIConfig
+	cc.RegisterCommon(fs, 0, "total slots per scheme (default 147456; concurrent mode: 196608)")
+	cc.RegisterExperiment(fs)
 	var (
 		mode       = fs.String("mode", "paper", "benchmark mode: 'paper' (figure reproduction) or 'concurrent' (sharded throughput sweep)")
 		exp        = fs.String("exp", "", "experiment id to run, or 'all'")
 		list       = fs.Bool("list", false, "list available experiments")
-		capacity   = fs.Int("capacity", 0, "total slots per scheme (default 147456; concurrent mode: 196608)")
-		runs       = fs.Int("runs", 0, "independent runs averaged per point (default 5)")
-		maxloop    = fs.Int("maxloop", 0, "kick chain bound (default 500)")
-		queries    = fs.Int("queries", 0, "lookups sampled per measurement point (default 20000)")
-		seed       = fs.Uint64("seed", 1, "base random seed")
 		csvOut     = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		goroutines = fs.String("goroutines", "", "concurrent mode: goroutine counts to sweep (default 1,2,4,8)")
 		shards     = fs.String("shards", "", "concurrent mode: shard counts to sweep, powers of two (default 4,16)")
 		ops        = fs.Int("ops", 0, "concurrent mode: mixed ops replayed per configuration (default 600000)")
 		batch      = fs.Int("batch", 64, "concurrent mode: batch size for the sharded batched series (0 disables it)")
+		jsonOut    = fs.String("json", "", "concurrent mode: also write the results as a versioned BENCH report (perfgate schema) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cc.Validate(); err != nil {
 		return err
 	}
 
 	switch *mode {
 	case "paper", "":
 	case "concurrent":
-		return runConcurrent(out, *capacity, *ops, *batch, *seed, *goroutines, *shards, *csvOut)
+		return runConcurrent(out, cc.Capacity, *ops, *batch, cc.Seed, *goroutines, *shards, *csvOut, *jsonOut)
 	default:
 		return fmt.Errorf("unknown mode %q (use 'paper' or 'concurrent')", *mode)
 	}
@@ -76,20 +78,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	o := bench.DefaultOptions()
-	if *capacity != 0 {
-		o.Capacity = *capacity
-	}
-	if *runs != 0 {
-		o.Runs = *runs
-	}
-	if *maxloop != 0 {
-		o.MaxLoop = *maxloop
-	}
-	if *queries != 0 {
-		o.Queries = *queries
-	}
-	o.Seed = *seed
+	o := cc.Options()
 
 	var selected []bench.Experiment
 	if *exp == "all" {
@@ -129,7 +118,7 @@ func run(args []string, out io.Writer) error {
 }
 
 // runConcurrent runs the sharded-vs-global-lock throughput sweep.
-func runConcurrent(out io.Writer, capacity, ops, batch int, seed uint64, goroutines, shards string, csvOut bool) error {
+func runConcurrent(out io.Writer, capacity, ops, batch int, seed uint64, goroutines, shards string, csvOut bool, jsonOut string) error {
 	o := bench.DefaultConcurrentOptions()
 	o.Seed = seed
 	if capacity != 0 {
@@ -167,6 +156,16 @@ func runConcurrent(out io.Writer, capacity, ops, batch int, seed uint64, gorouti
 	}
 	if !csvOut {
 		fmt.Fprintf(out, "[concurrent sweep completed in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+	if jsonOut != "" {
+		// Mops/s → ns/op so the report speaks the gate's unit.
+		rep := bench.PerfReport("sharded-vs-global-lock concurrent throughput",
+			"go run ./cmd/mcbench -mode concurrent -json", results,
+			func(mops float64) float64 { return 1000 / mops })
+		if err := rep.WriteFile(jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d series to %s (schema v%d)\n", len(rep.Series), jsonOut, rep.SchemaVersion)
 	}
 	return nil
 }

@@ -41,10 +41,8 @@ import (
 	"strings"
 	"time"
 
-	"mccuckoo"
+	"mccuckoo/internal/bench"
 	"mccuckoo/internal/cluster"
-	"mccuckoo/internal/core"
-	"mccuckoo/internal/cuckoo"
 	"mccuckoo/internal/hashutil"
 	"mccuckoo/internal/kv"
 	"mccuckoo/internal/memmodel"
@@ -128,14 +126,12 @@ const gaugeSampleEvery = 1 << 16
 
 func runReplay(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mctrace replay", flag.ContinueOnError)
+	var cc bench.CLIConfig
+	cc.RegisterCommon(fs, 300_000, "table capacity in slots")
+	cc.RegisterReplay(fs)
 	var (
 		inPath   = fs.String("in", "", "input trace file (required)")
 		scheme   = fs.String("scheme", "mccuckoo", "cuckoo|mccuckoo|bcht|bmccuckoo|sharded|concurrent")
-		capacity = fs.Int("capacity", 300_000, "table capacity in slots")
-		shards   = fs.Int("shards", 8, "shard count for -scheme sharded")
-		maxloop  = fs.Int("maxloop", 500, "kick chain bound")
-		seed     = fs.Uint64("seed", 1, "table seed")
-		stashMax = fs.Int("stashmax", 0, "cap the stash population (0 = unbounded); inserts beyond the cap fail and make the replay exit non-zero")
 		metrics  = fs.String("metrics", "", "serve telemetry on this address (/metrics, /debug/mccuckoo/*) during the replay")
 		linger   = fs.Duration("linger", 0, "keep serving -metrics this long after the replay finishes")
 		nodes    = fs.String("nodes", "", "comma-separated mcserved addresses: replay over the cluster client instead of in-process (-scheme is ignored; -seed doubles as the ring seed)")
@@ -149,6 +145,9 @@ func runReplay(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := cc.Validate(); err != nil {
+		return fmt.Errorf("replay: %w", err)
 	}
 	if *inPath == "" {
 		return fmt.Errorf("replay: -in is required")
@@ -168,14 +167,14 @@ func runReplay(args []string, out io.Writer) error {
 			replicas: *replicas,
 			quorum:   *quorum,
 			vnodes:   *vnodes,
-			seed:     *seed,
+			seed:     cc.Seed,
 			traceOn:  *traceOn,
 			sample:   *traceSmp,
 			slow:     *traceSlw,
 			top:      *traceTop,
 		}, out)
 	}
-	tab, err := buildScheme(*scheme, *capacity, *maxloop, *seed, *stashMax, *shards)
+	tab, err := cc.BuildScheme(*scheme)
 	if err != nil {
 		return err
 	}
@@ -441,83 +440,4 @@ func perOp(n int64, ops int) float64 {
 		return 0
 	}
 	return float64(n) / float64(ops)
-}
-
-// buildScheme constructs one of the evaluated tables. Upsert semantics are
-// kept (traces may re-insert live keys). The sharded and concurrent schemes
-// go through the public Store interface via storeTable.
-func buildScheme(name string, capacity, maxLoop int, seed uint64, stashMax, shards int) (kv.Table, error) {
-	pubOpts := []mccuckoo.Option{mccuckoo.WithSeed(seed), mccuckoo.WithMaxLoop(maxLoop)}
-	if stashMax > 0 {
-		pubOpts = append(pubOpts, mccuckoo.WithStashLimit(stashMax))
-	}
-	switch strings.ToLower(name) {
-	case "sharded":
-		s, err := mccuckoo.NewSharded(capacity, shards, pubOpts...)
-		if err != nil {
-			return nil, err
-		}
-		return &storeTable{s: s}, nil
-	case "concurrent":
-		t, err := mccuckoo.New(capacity, pubOpts...)
-		if err != nil {
-			return nil, err
-		}
-		return &storeTable{s: mccuckoo.NewConcurrent(t)}, nil
-	case "cuckoo":
-		return cuckoo.New(cuckoo.Config{
-			D: 3, Slots: 1, BucketsPerTable: capacity / 3,
-			MaxLoop: maxLoop, Seed: seed, StashEnabled: true, StashMax: stashMax,
-		})
-	case "bcht":
-		return cuckoo.New(cuckoo.Config{
-			D: 3, Slots: 3, BucketsPerTable: capacity / 9,
-			MaxLoop: maxLoop, Seed: seed, StashEnabled: true, StashMax: stashMax,
-		})
-	case "mccuckoo":
-		return core.New(core.Config{
-			D: 3, BucketsPerTable: capacity / 3,
-			MaxLoop: maxLoop, Seed: seed, StashEnabled: true, StashMax: stashMax,
-		})
-	case "bmccuckoo":
-		return core.NewBlocked(core.Config{
-			D: 3, Slots: 3, BucketsPerTable: capacity / 9,
-			MaxLoop: maxLoop, Seed: seed, StashEnabled: true, StashMax: stashMax,
-		})
-	default:
-		return nil, fmt.Errorf("unknown scheme %q", name)
-	}
-}
-
-// storeTable adapts a public mccuckoo.Store to the kv.Table surface the
-// replay loop drives. The public interface deliberately hides the
-// memory-traffic meter, so Meter returns a meter that never moves and the
-// replay's traffic lines read zero for these schemes; throughput, load,
-// and operation statistics are fully reported.
-type storeTable struct {
-	s     mccuckoo.Store
-	meter memmodel.Meter
-}
-
-func (t *storeTable) Insert(key, value uint64) kv.Outcome {
-	r := t.s.Insert(key, value)
-	return kv.Outcome{Status: kv.Status(r.Status), Kicks: r.Kicks}
-}
-
-func (t *storeTable) Lookup(key uint64) (uint64, bool) { return t.s.Lookup(key) }
-func (t *storeTable) Delete(key uint64) bool           { return t.s.Delete(key) }
-func (t *storeTable) Len() int                         { return t.s.Len() }
-func (t *storeTable) Capacity() int                    { return t.s.Capacity() }
-func (t *storeTable) LoadRatio() float64               { return t.s.LoadRatio() }
-func (t *storeTable) StashLen() int                    { return t.s.StashLen() }
-func (t *storeTable) Meter() *memmodel.Meter           { return &t.meter }
-
-func (t *storeTable) Stats() kv.Stats {
-	st := t.s.Stats()
-	return kv.Stats{
-		Inserts: st.Inserts, Updates: st.Updates, Kicks: st.Kicks,
-		Stashed: st.Stashed, Failures: st.Failures, Lookups: st.Lookups,
-		Hits: st.Hits, Deletes: st.Deletes, StashProbe: st.StashProbes,
-		GrowAttempts: st.GrowAttempts, Grows: st.Grows, GrowFailures: st.GrowFailures,
-	}
 }

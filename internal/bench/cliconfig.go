@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"mccuckoo"
+	"mccuckoo/internal/core"
+	"mccuckoo/internal/cuckoo"
+	"mccuckoo/internal/kv"
+	"mccuckoo/internal/memmodel"
+)
+
+// CLIConfig is the flag→config plumbing shared by cmd/mcbench and
+// cmd/mctrace: one set of flag names, one validation path, one scheme
+// factory. Commands register the flag groups they need on their own
+// FlagSet, Parse, then call Validate once.
+type CLIConfig struct {
+	// Capacity is the table capacity in slots (0 falls back to the
+	// harness default in Options()).
+	Capacity int
+	// MaxLoop is the kick-chain bound (0 = harness default, 500).
+	MaxLoop int
+	// Seed derives per-run seeds and table hash seeds.
+	Seed uint64
+	// Runs is the independent runs averaged per point (experiments).
+	Runs int
+	// Queries is the lookups sampled per measurement point (experiments).
+	Queries int
+	// Shards is the shard count for the sharded scheme (replay).
+	Shards int
+	// StashMax caps the stash population; 0 is unbounded (replay).
+	StashMax int
+}
+
+// RegisterCommon binds the flag trio every benchmark-style command takes:
+// -capacity, -maxloop, -seed. defCapacity and capUsage let each command
+// keep its own default and help text while the names stay aligned.
+func (c *CLIConfig) RegisterCommon(fs *flag.FlagSet, defCapacity int, capUsage string) {
+	fs.IntVar(&c.Capacity, "capacity", defCapacity, capUsage)
+	fs.IntVar(&c.MaxLoop, "maxloop", 0, "kick chain bound (default 500)")
+	fs.Uint64Var(&c.Seed, "seed", 1, "base random seed")
+}
+
+// RegisterExperiment adds the paper-experiment flags (-runs, -queries).
+func (c *CLIConfig) RegisterExperiment(fs *flag.FlagSet) {
+	fs.IntVar(&c.Runs, "runs", 0, "independent runs averaged per point (default 5)")
+	fs.IntVar(&c.Queries, "queries", 0, "lookups sampled per measurement point (default 20000)")
+}
+
+// RegisterReplay adds the trace-replay flags (-shards, -stashmax).
+func (c *CLIConfig) RegisterReplay(fs *flag.FlagSet) {
+	fs.IntVar(&c.Shards, "shards", 8, "shard count for -scheme sharded")
+	fs.IntVar(&c.StashMax, "stashmax", 0, "cap the stash population (0 = unbounded); inserts beyond the cap fail and make the run exit non-zero")
+}
+
+// Validate is the single validation path for every registered group.
+func (c *CLIConfig) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"-capacity", c.Capacity},
+		{"-maxloop", c.MaxLoop},
+		{"-runs", c.Runs},
+		{"-queries", c.Queries},
+		{"-stashmax", c.StashMax},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%s must be non-negative (got %d)", f.name, f.v)
+		}
+	}
+	if c.Shards < 0 || (c.Shards > 0 && c.Shards&(c.Shards-1) != 0) {
+		return fmt.Errorf("-shards must be a positive power of two (got %d)", c.Shards)
+	}
+	return nil
+}
+
+// Options maps the config onto the experiment harness Options; zero fields
+// keep the harness defaults.
+func (c *CLIConfig) Options() Options {
+	o := DefaultOptions()
+	if c.Capacity != 0 {
+		o.Capacity = c.Capacity
+	}
+	if c.MaxLoop != 0 {
+		o.MaxLoop = c.MaxLoop
+	}
+	if c.Runs != 0 {
+		o.Runs = c.Runs
+	}
+	if c.Queries != 0 {
+		o.Queries = c.Queries
+	}
+	o.Seed = c.Seed
+	return o
+}
+
+// BuildScheme constructs one of the evaluated tables by name. Upsert
+// semantics are kept (traces may re-insert live keys). The sharded and
+// concurrent schemes go through the public Store interface via storeTable;
+// the rest are the internal experiment tables with full memory-traffic
+// accounting.
+func (c *CLIConfig) BuildScheme(name string) (kv.Table, error) {
+	capacity, maxLoop := c.Capacity, c.MaxLoop
+	if capacity <= 0 {
+		return nil, fmt.Errorf("scheme %q needs -capacity > 0", name)
+	}
+	if maxLoop <= 0 {
+		maxLoop = DefaultOptions().MaxLoop
+	}
+	pubOpts := []mccuckoo.Option{mccuckoo.WithSeed(c.Seed), mccuckoo.WithMaxLoop(maxLoop)}
+	if c.StashMax > 0 {
+		pubOpts = append(pubOpts, mccuckoo.WithStashLimit(c.StashMax))
+	}
+	switch strings.ToLower(name) {
+	case "sharded":
+		shards := c.Shards
+		if shards == 0 {
+			shards = 8
+		}
+		s, err := mccuckoo.NewSharded(capacity, shards, pubOpts...)
+		if err != nil {
+			return nil, err
+		}
+		return &storeTable{s: s}, nil
+	case "concurrent":
+		t, err := mccuckoo.New(capacity, pubOpts...)
+		if err != nil {
+			return nil, err
+		}
+		return &storeTable{s: mccuckoo.NewConcurrent(t)}, nil
+	case "cuckoo":
+		return cuckoo.New(cuckoo.Config{
+			D: 3, Slots: 1, BucketsPerTable: capacity / 3,
+			MaxLoop: maxLoop, Seed: c.Seed, StashEnabled: true, StashMax: c.StashMax,
+		})
+	case "bcht":
+		return cuckoo.New(cuckoo.Config{
+			D: 3, Slots: 3, BucketsPerTable: capacity / 9,
+			MaxLoop: maxLoop, Seed: c.Seed, StashEnabled: true, StashMax: c.StashMax,
+		})
+	case "mccuckoo":
+		return core.New(core.Config{
+			D: 3, BucketsPerTable: capacity / 3,
+			MaxLoop: maxLoop, Seed: c.Seed, StashEnabled: true, StashMax: c.StashMax,
+		})
+	case "bmccuckoo":
+		return core.NewBlocked(core.Config{
+			D: 3, Slots: 3, BucketsPerTable: capacity / 9,
+			MaxLoop: maxLoop, Seed: c.Seed, StashEnabled: true, StashMax: c.StashMax,
+		})
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+// storeTable adapts a public mccuckoo.Store to the kv.Table surface the
+// replay loop drives. The public interface deliberately hides the
+// memory-traffic meter, so Meter returns a meter that never moves and the
+// replay's traffic lines read zero for these schemes; throughput, load,
+// and operation statistics are fully reported.
+type storeTable struct {
+	s     mccuckoo.Store
+	meter memmodel.Meter
+}
+
+func (t *storeTable) Insert(key, value uint64) kv.Outcome {
+	r := t.s.Insert(key, value)
+	return kv.Outcome{Status: kv.Status(r.Status), Kicks: r.Kicks}
+}
+
+func (t *storeTable) Lookup(key uint64) (uint64, bool) { return t.s.Lookup(key) }
+func (t *storeTable) Delete(key uint64) bool           { return t.s.Delete(key) }
+func (t *storeTable) Len() int                         { return t.s.Len() }
+func (t *storeTable) Capacity() int                    { return t.s.Capacity() }
+func (t *storeTable) LoadRatio() float64               { return t.s.LoadRatio() }
+func (t *storeTable) StashLen() int                    { return t.s.StashLen() }
+func (t *storeTable) Meter() *memmodel.Meter           { return &t.meter }
+
+func (t *storeTable) Stats() kv.Stats {
+	st := t.s.Stats()
+	return kv.Stats{
+		Inserts: st.Inserts, Updates: st.Updates, Kicks: st.Kicks,
+		Stashed: st.Stashed, Failures: st.Failures, Lookups: st.Lookups,
+		Hits: st.Hits, Deletes: st.Deletes, StashProbe: st.StashProbes,
+		GrowAttempts: st.GrowAttempts, Grows: st.Grows, GrowFailures: st.GrowFailures,
+	}
+}

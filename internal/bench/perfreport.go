@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+
+	"mccuckoo/internal/perfgate"
+)
+
+// PerfReport flattens rendered experiment results into the versioned BENCH
+// schema (perfgate.Report, DESIGN.md §14), so benchmark artifacts written
+// by the harness carry the same envelope the perf gate consumes: schema
+// version, machine block, and one named series per (result, series, x)
+// point. yNsPerOp converts a table's y value into ns/op — the concurrent
+// sweep reports Mops/s, so it passes y→1000/y; nil means y already is
+// ns/op. Results without a series table (free-form rows) contribute only
+// their notes.
+func PerfReport(benchmark, command string, results []*Result, yNsPerOp func(float64) float64) *perfgate.Report {
+	rep := perfgate.NewReport(benchmark, command)
+	for _, r := range results {
+		if r.Table != nil {
+			for _, s := range r.Table.Series {
+				for _, x := range s.Xs() {
+					y, ok := s.At(x)
+					if !ok {
+						continue
+					}
+					ns := y
+					if yNsPerOp != nil {
+						ns = yNsPerOp(y)
+					}
+					rep.Series = append(rep.Series, perfgate.Series{
+						Name:    fmt.Sprintf("%s/%s/x=%g", r.ID, s.Name, x),
+						Scale:   int(x),
+						NsPerOp: ns,
+					})
+				}
+			}
+		}
+		rep.Notes = append(rep.Notes, r.Notes...)
+	}
+	rep.Sort()
+	return rep
+}

@@ -4,7 +4,10 @@
 // stash flags.
 package bitpack
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Counters is a fixed-length array of unsigned counters, each `width` bits
 // wide, packed into uint64 words. It models the on-chip counter array: for a
@@ -19,6 +22,11 @@ type Counters struct {
 	// perWord is how many counters fit in one 64-bit word. Counters never
 	// straddle a word boundary, which keeps Get/Set branch-free.
 	perWord int
+	// log2PerWord replaces locate's div/mod with shift/mask when perWord
+	// is a power of two (the 2-bit lookup counters: 32 per word). -1 for
+	// widths whose perWord is not a power of two (e.g. the 5-bit kick
+	// counters, 12 per word).
+	log2PerWord int
 }
 
 // NewCounters allocates n counters of the given bit width (1..16).
@@ -31,12 +39,17 @@ func NewCounters(n int, width uint) (*Counters, error) {
 	}
 	perWord := 64 / int(width)
 	nWords := (n + perWord - 1) / perWord
+	log2 := -1
+	if perWord&(perWord-1) == 0 {
+		log2 = bits.TrailingZeros(uint(perWord))
+	}
 	return &Counters{
-		width:   width,
-		mask:    1<<width - 1,
-		n:       n,
-		words:   make([]uint64, nWords),
-		perWord: perWord,
+		width:       width,
+		mask:        1<<width - 1,
+		n:           n,
+		words:       make([]uint64, nWords),
+		perWord:     perWord,
+		log2PerWord: log2,
 	}, nil
 }
 
@@ -88,8 +101,11 @@ func (c *Counters) Reset() {
 func (c *Counters) SizeBytes() int { return len(c.words) * 8 }
 
 func (c *Counters) locate(i int) (word int, shift uint) {
-	if i < 0 || i >= c.n {
+	if uint(i) >= uint(c.n) {
 		panic(fmt.Sprintf("bitpack: counter index %d out of range [0,%d)", i, c.n))
+	}
+	if c.log2PerWord >= 0 {
+		return i >> uint(c.log2PerWord), uint(i&(c.perWord-1)) * c.width
 	}
 	return i / c.perWord, uint(i%c.perWord) * c.width
 }

@@ -17,7 +17,8 @@ func (t *Table) Delete(key uint64) bool {
 	t.family.Indexes(key, cand[:])
 
 	var locBuf [hashutil.MaxD]int
-	st, tables, ok := t.locateCopies(key, cand[:t.cfg.D], &locBuf)
+	var st scanState
+	tables, ok := t.locateCopies(key, cand[:t.cfg.D], &locBuf, &st)
 	if ok {
 		mark := uint64(0)
 		if t.cfg.Deletion == Tombstone {
@@ -31,7 +32,7 @@ func (t *Table) Delete(key uint64) bool {
 		t.deletedAny = true
 		return true
 	}
-	if t.shouldProbeStash(st) {
+	if t.shouldProbeStash(&st, cand[:t.cfg.D]) {
 		t.stats.StashProbe++
 		if t.overflow.Delete(key) {
 			// Flags are intentionally left set (they behave like a

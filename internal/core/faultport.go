@@ -45,19 +45,19 @@ func (t *Table) FaultSetFlag(i int, set bool) {
 }
 
 // FaultNumCells returns the number of key/value cells.
-func (t *Table) FaultNumCells() int { return len(t.keys) }
+func (t *Table) FaultNumCells() int { return len(t.cells) }
 
 // FaultCellKey reads the key stored in cell i.
-func (t *Table) FaultCellKey(i int) uint64 { return t.keys[i] }
+func (t *Table) FaultCellKey(i int) uint64 { return t.cells[i].Key }
 
 // FaultSetCellKey overwrites the key stored in cell i (off-chip corruption).
-func (t *Table) FaultSetCellKey(i int, key uint64) { t.keys[i] = key }
+func (t *Table) FaultSetCellKey(i int, key uint64) { t.cells[i].Key = key }
 
 // FaultCellValue reads the value stored in cell i.
-func (t *Table) FaultCellValue(i int) uint64 { return t.vals[i] }
+func (t *Table) FaultCellValue(i int) uint64 { return t.cells[i].Value }
 
 // FaultSetCellValue overwrites the value stored in cell i.
-func (t *Table) FaultSetCellValue(i int, v uint64) { t.vals[i] = v }
+func (t *Table) FaultSetCellValue(i int, v uint64) { t.cells[i].Value = v }
 
 // FaultCellIsCandidate reports whether cell is one of key's d candidate
 // positions.

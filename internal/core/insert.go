@@ -105,7 +105,7 @@ func (t *Table) place(e kv.Entry, cand []int) int {
 		if best < 0 || bestV < uint64(copies)+2 {
 			break
 		}
-		victimKey, _ := t.readBucket(best, cand[best])
+		victimKey := t.readBucket(best, cand[best])
 		t.victimLostCopy(victimKey, best, bestV)
 		t.writeBucket(best, cand[best], e)
 		copies++
@@ -167,7 +167,7 @@ func (t *Table) victimLostCopy(victimKey uint64, lostTable int, v uint64) {
 			found++
 			continue
 		}
-		if key, _ := t.readBucket(j, vcand[j]); key == victimKey {
+		if t.readBucket(j, vcand[j]) == victimKey {
 			t.setCounter(j, vcand[j], v-1)
 			found++
 		}
@@ -199,8 +199,7 @@ func (t *Table) resolveCollision(e kv.Entry, cand []int) kv.Outcome {
 		// avoiding an immediate bounce back to the bucket cur was
 		// just evicted from.
 		r := t.pickVictimTable(curCand[:t.cfg.D], prevTable)
-		victimKey, _ := t.readBucket(r, curCand[r])
-		victim := kv.Entry{Key: victimKey, Value: t.vals[t.bucketIndex(r, curCand[r])]}
+		victim := t.readEntry(r, curCand[r])
 		t.writeBucket(r, curCand[r], cur)
 		// The bucket's counter is already 1 (sole copy out, sole copy
 		// in), so no counter update is needed.

@@ -38,7 +38,7 @@ func (t *Table) CheckInvariants() error {
 			if c > uint64(d) {
 				return fmt.Errorf("bucket (%d,%d): counter %d exceeds d=%d", table, bucket, c, d)
 			}
-			key := t.keys[idx]
+			key := t.cells[idx].Key
 			if t.family.Index(table, key) != bucket {
 				return fmt.Errorf("bucket (%d,%d): key %#x does not hash here", table, bucket, key)
 			}
@@ -99,7 +99,7 @@ func (t *Table) CopyCount(key uint64) int {
 	for i := 0; i < t.cfg.D; i++ {
 		idx := t.bucketIndex(i, cand[i])
 		c := t.counters.Get(idx)
-		if c != 0 && (t.tombstoneVal == 0 || c != t.tombstoneVal) && t.keys[idx] == key {
+		if c != 0 && (t.tombstoneVal == 0 || c != t.tombstoneVal) && t.cells[idx].Key == key {
 			copies++
 		}
 	}

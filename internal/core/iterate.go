@@ -18,7 +18,7 @@ func (t *Table) Range(fn func(key, value uint64) bool) {
 			if t.isFree(c) {
 				continue
 			}
-			key := t.keys[idx]
+			key := t.cells[idx].Key
 			if c > 1 {
 				// Skip unless this is the first subtable holding
 				// a copy of key.
@@ -26,7 +26,7 @@ func (t *Table) Range(fn func(key, value uint64) bool) {
 				first := true
 				for j := 0; j < table; j++ {
 					jidx := t.bucketIndex(j, cand[j])
-					if t.counters.Get(jidx) == c && t.keys[jidx] == key {
+					if t.counters.Get(jidx) == c && t.cells[jidx].Key == key {
 						first = false
 						break
 					}
@@ -35,7 +35,7 @@ func (t *Table) Range(fn func(key, value uint64) bool) {
 					continue
 				}
 			}
-			if !fn(key, t.vals[idx]) {
+			if !fn(key, t.cells[idx].Value) {
 				return
 			}
 		}
@@ -56,12 +56,12 @@ func (t *Table) Range(fn func(key, value uint64) bool) {
 func (t *Table) CopyHistogram() []int {
 	hist := make([]int, t.cfg.D+1)
 	seen := make(map[uint64]struct{}, t.size)
-	for idx := range t.keys {
+	for idx := range t.cells {
 		c := t.counters.Get(idx)
 		if t.isFree(c) || c > uint64(t.cfg.D) {
 			continue
 		}
-		key := t.keys[idx]
+		key := t.cells[idx].Key
 		if _, dup := seen[key]; dup {
 			continue
 		}

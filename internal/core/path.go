@@ -45,7 +45,7 @@ func (t *Table) FindPath(key uint64) ([]PathMove, bool) {
 	curBucket := cand[curTable]
 	visited := map[int]bool{t.bucketIndex(curTable, curBucket): true}
 	for hop := 0; hop < t.cfg.MaxLoop; hop++ {
-		victim, _ := t.readBucket(curTable, curBucket)
+		victim := t.readBucket(curTable, curBucket)
 		var vcand [hashutil.MaxD]int
 		t.family.Indexes(victim, vcand[:])
 
@@ -108,20 +108,19 @@ func (t *Table) ApplyMove(m PathMove) error {
 		// Plain copy into an empty bucket.
 	case destCnt >= 2:
 		// Overwrite a redundant copy of the destination's occupant.
-		occKey, _ := t.readBucket(m.ToTable, m.ToBucket)
+		occKey := t.readBucket(m.ToTable, m.ToBucket)
 		t.victimLostCopy(occKey, m.ToTable, destCnt)
 	default:
 		return fmt.Errorf("core: path move destination (%d,%d) holds a sole copy", m.ToTable, m.ToBucket)
 	}
 	// Verify the mover is still where the path found it (it must be:
 	// the single-writer contract means nothing else mutates).
-	srcKey, _ := t.readBucket(m.FromTable, m.FromBucket)
-	if srcKey != m.Key {
-		return fmt.Errorf("core: path move source changed: want key %#x, found %#x", m.Key, srcKey)
+	src := t.readEntry(m.FromTable, m.FromBucket)
+	if src.Key != m.Key {
+		return fmt.Errorf("core: path move source changed: want key %#x, found %#x", m.Key, src.Key)
 	}
 	srcCnt := t.counterAt(m.FromTable, m.FromBucket)
-	val := t.vals[t.bucketIndex(m.FromTable, m.FromBucket)]
-	t.writeBucket(m.ToTable, m.ToBucket, kv.Entry{Key: m.Key, Value: val})
+	t.writeBucket(m.ToTable, m.ToBucket, src)
 	// The mover now has one more copy; raise the counters of all its
 	// copies. Its copies are exactly the buckets the path knows about
 	// plus any pre-existing ones — but path moves only ever displace

@@ -73,7 +73,7 @@ func findKeyWithPattern(t *testing.T, tab *Table, want [3]uint64, fillSeed, prob
 func keyAtCandidate(tab *Table, x uint64, table int) uint64 {
 	var cand [hashutil.MaxD]int
 	tab.family.Indexes(x, cand[:])
-	return tab.keys[tab.bucketIndex(table, cand[table])]
+	return tab.cells[tab.bucketIndex(table, cand[table])].Key
 }
 
 func newPrincipleTable(t *testing.T) *Table {

@@ -52,8 +52,8 @@ func (t *Table) LookupReadOnlyTraced(key uint64) (value uint64, ok bool, offRead
 			idx := t.bucketIndex(i, cand[i])
 			offReads++
 			flagAnd = flagAnd && t.flags.Get(idx)
-			if t.keys[idx] == key {
-				return t.vals[idx], true, offReads
+			if t.cells[idx].Key == key {
+				return t.cells[idx].Value, true, offReads
 			}
 		}
 	}

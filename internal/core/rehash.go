@@ -50,8 +50,7 @@ func (t *Table) Grow(growFactor float64) error {
 	t.family = family
 	t.counters = counters
 	t.flags = flags
-	t.keys = make([]uint64, buckets)
-	t.vals = make([]uint64, buckets)
+	t.cells = make([]kv.Entry, buckets)
 	if t.kickCounts != nil {
 		if t.kickCounts, err = bitpack.NewCounters(buckets, 5); err != nil {
 			return err
@@ -82,17 +81,17 @@ func (t *Table) Grow(growFactor float64) error {
 func (t *Table) liveEntries() []kv.Entry {
 	seen := make(map[uint64]struct{}, t.size)
 	items := make([]kv.Entry, 0, t.size)
-	for idx := range t.keys {
+	for idx := range t.cells {
 		c := t.counters.Get(idx)
 		if c == 0 || (t.tombstoneVal != 0 && c == t.tombstoneVal) {
 			continue
 		}
-		key := t.keys[idx]
+		key := t.cells[idx].Key
 		if _, dup := seen[key]; dup {
 			continue
 		}
 		seen[key] = struct{}{}
-		items = append(items, kv.Entry{Key: key, Value: t.vals[idx]})
+		items = append(items, t.cells[idx])
 	}
 	return items
 }

@@ -68,7 +68,7 @@ func (t *Table) Repair() RepairReport {
 	for j := 0; j < d; j++ {
 		for b := 0; b < n; b++ {
 			idx := t.bucketIndex(j, b)
-			key := t.keys[idx]
+			key := t.cells[idx].Key
 			c := t.counters.Get(idx)
 			if t.family.Index(j, key) != b {
 				if !t.isFree(c) {
@@ -112,20 +112,20 @@ func (t *Table) Repair() RepairReport {
 		// Value consensus: majority vote over all copies, evidenced copies
 		// breaking ties — so a single corrupted value among three copies is
 		// outvoted, not propagated.
-		val := t.vals[t.bucketIndex(int(ks.tables[0]), cand[ks.tables[0]])]
+		val := t.cells[t.bucketIndex(int(ks.tables[0]), cand[ks.tables[0]])].Value
 		if len(ks.tables) > 1 {
 			votes := make(map[uint64]int, len(ks.tables))
 			best := -1
 			for _, j := range ks.tables {
-				idx := t.bucketIndex(int(j), cand[j])
+				cv := t.cells[t.bucketIndex(int(j), cand[j])].Value
 				w := 2
-				if !t.isFree(t.counters.Get(idx)) {
+				if !t.isFree(t.counters.Get(t.bucketIndex(int(j), cand[j]))) {
 					w = 3 // evidenced copies outrank equally-split others
 				}
-				votes[t.vals[idx]] += w
-				if votes[t.vals[idx]] > best {
-					best = votes[t.vals[idx]]
-					val = t.vals[idx]
+				votes[cv] += w
+				if votes[cv] > best {
+					best = votes[cv]
+					val = cv
 				}
 			}
 		}
@@ -133,8 +133,8 @@ func (t *Table) Repair() RepairReport {
 		for _, j := range ks.tables {
 			idx := t.bucketIndex(int(j), cand[j])
 			newCounters.Set(idx, uint64(copies))
-			if t.vals[idx] != val {
-				t.vals[idx] = val
+			if t.cells[idx].Value != val {
+				t.cells[idx].Value = val
 				t.meter.WriteOff(1)
 				rep.ValuesFixed++
 			}
@@ -148,8 +148,8 @@ func (t *Table) Repair() RepairReport {
 	// conservative deletion marks keep the rule-1 shortcut sound (see the
 	// function comment).
 	if t.tombstoneVal != 0 {
-		for idx := range t.keys {
-			if t.keys[idx] != 0 && newCounters.Get(idx) == 0 {
+		for idx := range t.cells {
+			if t.cells[idx].Key != 0 && newCounters.Get(idx) == 0 {
 				newCounters.Set(idx, t.tombstoneVal)
 			}
 		}

@@ -517,10 +517,23 @@ func readSnapshot(r io.Reader, kindName string, wantKind uint8, blocked bool) (*
 	return st, s.n, nil
 }
 
+// splitCells materializes the snapshot's split key/value arrays from the
+// interleaved cells: the snapshot byte format predates the interleaving and
+// must stay byte-identical across it.
+func splitCells(cells []kv.Entry) (keys, vals []uint64) {
+	keys = make([]uint64, len(cells))
+	vals = make([]uint64, len(cells))
+	for i, c := range cells {
+		keys[i], vals[i] = c.Key, c.Value
+	}
+	return keys, vals
+}
+
 // snapshot captures the table's complete logical state.
 //
 //mcvet:deterministic
 func (t *Table) snapshot() *snapshotState {
+	keys, vals := splitCells(t.cells)
 	return &snapshotState{
 		kind:            kindSingle,
 		cfg:             t.cfg,
@@ -529,8 +542,8 @@ func (t *Table) snapshot() *snapshotState {
 		redundantWrites: t.redundantWrites,
 		deletedAny:      t.deletedAny,
 		meter:           t.meter.Snapshot(),
-		keys:            t.keys,
-		vals:            t.vals,
+		keys:            keys,
+		vals:            vals,
 		counterWords:    t.counters.Words(),
 		flagWords:       t.flags.Words(),
 		kickWords:       kickWordsOf(t.kickCounts),
@@ -569,8 +582,9 @@ func loadTable(r io.Reader) (*Table, int64, error) {
 	t.redundantWrites = st.redundantWrites
 	t.deletedAny = st.deletedAny
 	t.meter = st.meter
-	copy(t.keys, st.keys)
-	copy(t.vals, st.vals)
+	for i := range t.cells {
+		t.cells[i] = kv.Entry{Key: st.keys[i], Value: st.vals[i]}
+	}
 	if err := restoreOnChip(st, t.counters, t.flags, t.kickCounts, uint64(t.cfg.D), t.tombstoneVal); err != nil {
 		return nil, n, &CorruptError{Kind: "table", Section: "onchip", Offset: n,
 			Reason: "on-chip state invalid", Err: err}

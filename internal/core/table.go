@@ -24,9 +24,12 @@ type Table struct {
 	meter  memmodel.Meter
 	rng    *rand.Rand
 
-	// Off-chip main table, flat-indexed by table*n + bucket.
-	keys []uint64
-	vals []uint64
+	// Off-chip main table, flat-indexed by table*n + bucket. Key and value
+	// are interleaved so one bucket is one 16-byte cell: a lookup hit reads
+	// the value from the cache line the key probe already pulled in, which
+	// is also how the paper's off-chip model works (the value travels with
+	// the bucket in a single access).
+	cells []kv.Entry
 	// flags are the 1-bit stash flags stored alongside each bucket
 	// off-chip (§III.E). Reading a bucket returns its flag for free;
 	// setting a flag costs one off-chip write. Stale flags only ever
@@ -91,8 +94,7 @@ func New(cfg Config) (*Table, error) {
 		cfg:      cfg,
 		family:   family,
 		rng:      rand.New(rand.NewPCG(cfg.Seed, hashutil.Mix64(cfg.Seed+2))),
-		keys:     make([]uint64, buckets),
-		vals:     make([]uint64, buckets),
+		cells:    make([]kv.Entry, buckets),
 		flags:    flags,
 		counters: counters,
 	}
@@ -184,14 +186,23 @@ func (t *Table) isFree(counter uint64) bool {
 	return counter == 0 || (t.tombstoneVal != 0 && counter == t.tombstoneVal)
 }
 
-// readBucket performs one off-chip bucket read, returning the stored key and
-// the stash flag (which travels with the bucket content for free).
+// readBucket performs one off-chip bucket read, returning the stored key.
+// The bucket's stash flag and value travel with the same access for free;
+// callers that need them read t.flags / the cell directly without a further
+// charge.
 //
 //mcvet:hotpath
-func (t *Table) readBucket(table, bucket int) (key uint64, flag bool) {
+func (t *Table) readBucket(table, bucket int) uint64 {
 	t.meter.ReadOff(1)
-	idx := t.bucketIndex(table, bucket)
-	return t.keys[idx], t.flags.Get(idx)
+	return t.cells[t.bucketIndex(table, bucket)].Key
+}
+
+// readEntry performs one off-chip bucket read, returning the full entry.
+//
+//mcvet:hotpath
+func (t *Table) readEntry(table, bucket int) kv.Entry {
+	t.meter.ReadOff(1)
+	return t.cells[t.bucketIndex(table, bucket)]
 }
 
 // writeBucket performs one off-chip bucket write.
@@ -199,9 +210,7 @@ func (t *Table) readBucket(table, bucket int) (key uint64, flag bool) {
 //mcvet:hotpath
 func (t *Table) writeBucket(table, bucket int, e kv.Entry) {
 	t.meter.WriteOff(1)
-	idx := t.bucketIndex(table, bucket)
-	t.keys[idx] = e.Key
-	t.vals[idx] = e.Value
+	t.cells[t.bucketIndex(table, bucket)] = e
 }
 
 // setStashFlag raises the stash flag of flat bucket idx, charging the

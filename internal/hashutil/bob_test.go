@@ -1,6 +1,7 @@
 package hashutil
 
 import (
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 )
@@ -265,5 +266,59 @@ func TestDoubleHashedFamilyFillsTable(t *testing.T) {
 	}
 	if agree > 40 {
 		t.Errorf("candidates coincide %d/20000 times", agree)
+	}
+}
+
+func TestBOB64KeyMatchesGenericPath(t *testing.T) {
+	// The specialized 8-byte-key path (precomputed seed state + one
+	// finalization) must be bit-identical to hashing the key's
+	// little-endian bytes through the generic BOB64: every stored table
+	// placement depends on this equivalence.
+	s := uint64(3)
+	for i := 0; i < 4096; i++ {
+		key, seed := SplitMix64(&s), SplitMix64(&s)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], key)
+		want := BOB64(buf[:], seed)
+		if got := BOB64Key(key, seed); got != want {
+			t.Fatalf("BOB64Key(%#x, %#x) = %#x, want %#x", key, seed, got, want)
+		}
+		a0, c0 := bobKeyState(seed)
+		if got := bobKeyFinish(a0, c0, key); got != want {
+			t.Fatalf("bobKeyFinish(%#x, %#x) = %#x, want %#x", key, seed, got, want)
+		}
+	}
+	// Edge keys exercise the zero and all-ones word splits.
+	for _, key := range []uint64{0, 1, ^uint64(0), 1 << 63, 0xffffffff, 0xffffffff00000000} {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], key)
+		if got, want := BOB64Key(key, 99), BOB64(buf[:], 99); got != want {
+			t.Fatalf("BOB64Key(%#x) = %#x, want %#x", key, got, want)
+		}
+	}
+}
+
+func TestFamilyIndexesMatchIndex(t *testing.T) {
+	// Indexes' amortized loop and the per-function Index must agree for
+	// both family constructions.
+	for _, double := range []bool{false, true} {
+		f, err := NewFamily(4, 12345, 7)
+		if double {
+			f, err = NewDoubleHashedFamily(4, 12345, 7)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := uint64(11)
+		for i := 0; i < 2048; i++ {
+			key := SplitMix64(&s)
+			var idx [MaxD]int
+			f.Indexes(key, idx[:])
+			for j := 0; j < 4; j++ {
+				if want := f.Index(j, key); idx[j] != want {
+					t.Fatalf("double=%v Indexes[%d]=%d, Index=%d", double, j, idx[j], want)
+				}
+			}
+		}
 	}
 }

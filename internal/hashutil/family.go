@@ -22,6 +22,14 @@ type Family struct {
 	n      uint64
 	seeds  [MaxD]uint64
 	double bool
+
+	// initA/initC are the precomputed hashlittle2 seed states for the fixed
+	// 8-byte key path (bobKeyState of each function's seed): the per-key work
+	// left in Index/Indexes is then only mixing the key words in and one
+	// finalization round, which amortizes the seeding across the d candidate
+	// computations of every operation.
+	initA [MaxD]uint32
+	initC [MaxD]uint32
 }
 
 // NewFamily builds a hash family with d functions onto tables of n buckets.
@@ -38,6 +46,7 @@ func NewFamily(d int, n int, seed uint64) (*Family, error) {
 	s := Mix64(seed)
 	for i := 0; i < d; i++ {
 		f.seeds[i] = SplitMix64(&s)
+		f.initA[i], f.initC[i] = bobKeyState(f.seeds[i])
 	}
 	return f, nil
 }
@@ -49,15 +58,17 @@ func (f *Family) D() int { return f.d }
 func (f *Family) N() int { return int(f.n) }
 
 // Index returns h_i(key) in [0, N), the candidate bucket of key in subtable i.
+//
+//mcvet:hotpath
 func (f *Family) Index(i int, key uint64) int {
 	if f.double && i >= 2 {
 		// Double hashing: derive further indexes from the first two
 		// hashes. The step is forced odd so it cycles the whole range.
 		h1 := uint64(f.Index(0, key))
-		h2 := BOB64Key(key, f.seeds[1]) | 1
+		h2 := bobKeyFinish(f.initA[1], f.initC[1], key) | 1
 		return int((h1 + uint64(i)*h2) % f.n)
 	}
-	h := BOB64Key(key, f.seeds[i])
+	h := bobKeyFinish(f.initA[i], f.initC[i], key)
 	// Multiply-shift reduction: maps a uniform 64-bit value to [0, n) with
 	// negligible bias for the table sizes used here.
 	hi, _ := bits.Mul64(h, f.n)
@@ -66,9 +77,23 @@ func (f *Family) Index(i int, key uint64) int {
 
 // Indexes fills dst with the d candidate buckets of key and returns the
 // filled prefix. len(dst) must be at least d.
+//
+//mcvet:hotpath
 func (f *Family) Indexes(key uint64, dst []int) []int {
+	if f.double {
+		for i := 0; i < f.d; i++ {
+			dst[i] = f.Index(i, key)
+		}
+		return dst[:f.d]
+	}
+	// Against the precomputed seed states the key-word splits are shared and
+	// each function costs one finalization round plus the Lemire reduction.
+	lo, hi := uint32(key), uint32(key>>32)
 	for i := 0; i < f.d; i++ {
-		dst[i] = f.Index(i, key)
+		a0 := f.initA[i]
+		_, b, c := final(a0+lo, a0+hi, f.initC[i])
+		h, _ := bits.Mul64(uint64(b)<<32|uint64(c), f.n)
+		dst[i] = int(h)
 	}
 	return dst[:f.d]
 }

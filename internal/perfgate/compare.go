@@ -1,0 +1,163 @@
+package perfgate
+
+import "fmt"
+
+// Verdict classifies one series of a current run against its baseline.
+type Verdict int
+
+const (
+	// VerdictNoise: the delta is within the scale's noise band.
+	VerdictNoise Verdict = iota
+	// VerdictImproved: faster than the baseline by more than the band.
+	VerdictImproved
+	// VerdictRegressed: slower than the baseline by more than the band, or
+	// a zero-alloc baseline series started allocating. Fails the gate.
+	VerdictRegressed
+	// VerdictMissing: the baseline series is absent from the current run
+	// (a renamed or dropped benchmark). Fails the gate — baselines must be
+	// refreshed deliberately (REFRESH_BASELINE=1), not by omission.
+	VerdictMissing
+	// VerdictNew: the current run has a series the baseline lacks.
+	// Informational; recording the next baseline adopts it.
+	VerdictNew
+)
+
+// String returns the gate log's verdict tag.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictNoise:
+		return "noise"
+	case VerdictImproved:
+		return "improved"
+	case VerdictRegressed:
+		return "REGRESSED"
+	case VerdictMissing:
+		return "MISSING"
+	case VerdictNew:
+		return "new"
+	default:
+		return "unknown"
+	}
+}
+
+// SeriesVerdict is the comparator's judgement of one series.
+type SeriesVerdict struct {
+	Name    string
+	Verdict Verdict
+	// Baseline and Current are ns/op (0 for missing/new series).
+	Baseline float64
+	Current  float64
+	// Delta is the relative change: (current-baseline)/baseline. Positive
+	// is slower.
+	Delta float64
+	// Band is the noise band applied, as a fraction.
+	Band float64
+	// AllocBreak is set when a zero-alloc baseline series allocated.
+	AllocBreak bool
+}
+
+// Line renders the one-line-per-series gate summary.
+func (sv SeriesVerdict) Line() string {
+	switch sv.Verdict {
+	case VerdictMissing:
+		return fmt.Sprintf("%-9s %s (baseline %.1f ns/op; series absent from this run)", sv.Verdict, sv.Name, sv.Baseline)
+	case VerdictNew:
+		return fmt.Sprintf("%-9s %s (%.1f ns/op; not in baseline)", sv.Verdict, sv.Name, sv.Current)
+	}
+	line := fmt.Sprintf("%-9s %s %.1f -> %.1f ns/op (%+.1f%%, band ±%.0f%%)",
+		sv.Verdict, sv.Name, sv.Baseline, sv.Current, sv.Delta*100, sv.Band*100)
+	if sv.AllocBreak {
+		line += " [zero-alloc series now allocates]"
+	}
+	return line
+}
+
+// NoiseBand returns the relative band within which a delta is classified as
+// noise, per scale. Small working sets run entirely in cache and finish a
+// rep in microseconds, so scheduler jitter on a shared CI machine is a
+// larger fraction of their time; the bands widen accordingly. The values
+// were set from observed best-of-reps spread on the 1-CPU container the
+// baselines were recorded on (DESIGN.md §14).
+func NoiseBand(scale int) float64 {
+	switch {
+	case scale <= 10:
+		return 0.40
+	case scale <= 100:
+		return 0.35
+	case scale <= 1000:
+		return 0.30
+	default:
+		return 0.25
+	}
+}
+
+// VersionError reports a schema mismatch between baseline and current run;
+// comparison is refused rather than guessed at.
+type VersionError struct {
+	BaselineVersion, CurrentVersion int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("perfgate: schema version mismatch: baseline v%d vs current v%d; re-record the baseline (REFRESH_BASELINE=1 ./ci.sh)",
+		e.BaselineVersion, e.CurrentVersion)
+}
+
+// Compare judges every baseline series against the current run, then lists
+// series new in the current run. It returns a *VersionError when the schema
+// versions differ.
+func Compare(baseline, current *Report) ([]SeriesVerdict, error) {
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return nil, &VersionError{baseline.SchemaVersion, current.SchemaVersion}
+	}
+	verdicts := make([]SeriesVerdict, 0, len(baseline.Series)+4)
+	for _, b := range baseline.Series {
+		c, ok := current.Find(b.Name)
+		if !ok {
+			verdicts = append(verdicts, SeriesVerdict{Name: b.Name, Verdict: VerdictMissing, Baseline: b.NsPerOp})
+			continue
+		}
+		band := NoiseBand(b.Scale)
+		sv := SeriesVerdict{
+			Name:     b.Name,
+			Baseline: b.NsPerOp,
+			Current:  c.NsPerOp,
+			Band:     band,
+		}
+		if b.NsPerOp > 0 {
+			sv.Delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		switch {
+		case sv.Delta > band:
+			sv.Verdict = VerdictRegressed
+		case sv.Delta < -band:
+			sv.Verdict = VerdictImproved
+		default:
+			sv.Verdict = VerdictNoise
+		}
+		// Allocation regressions are deterministic, so no band applies: a
+		// series recorded allocation-free must stay allocation-free.
+		if b.AllocsPerOp == 0 && c.AllocsPerOp >= 1 {
+			sv.Verdict = VerdictRegressed
+			sv.AllocBreak = true
+		}
+		verdicts = append(verdicts, sv)
+	}
+	for _, c := range current.Series {
+		if _, ok := baseline.Find(c.Name); !ok {
+			verdicts = append(verdicts, SeriesVerdict{Name: c.Name, Verdict: VerdictNew, Current: c.NsPerOp})
+		}
+	}
+	return verdicts, nil
+}
+
+// Failing returns the verdicts that fail the gate (regressions and missing
+// series).
+func Failing(verdicts []SeriesVerdict) []SeriesVerdict {
+	var bad []SeriesVerdict
+	for _, sv := range verdicts {
+		if sv.Verdict == VerdictRegressed || sv.Verdict == VerdictMissing {
+			bad = append(bad, sv)
+		}
+	}
+	return bad
+}

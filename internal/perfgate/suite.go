@@ -1,0 +1,277 @@
+package perfgate
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"mccuckoo"
+	"mccuckoo/internal/hashutil"
+)
+
+// SuiteOptions parameterizes one suite run. The zero value is invalid; use
+// DefaultSuiteOptions (baseline recording) or QuickSuiteOptions (the reduced
+// scale ci.sh gates at).
+type SuiteOptions struct {
+	// Scales are the resident key counts swept (default 10/100/1k/10k).
+	Scales []int
+	// Ops is the iteration count of one rep. Fixed — never time-targeted —
+	// so every rep and every run does identical work and minima are
+	// comparable across runs.
+	Ops int
+	// Reps is how many reps each series runs; the best (minimum time) rep
+	// is recorded.
+	Reps int
+	// WireOps is the per-rep iteration count of the loopback round-trip
+	// series, which cost microseconds per op rather than nanoseconds.
+	WireOps int
+	// Seed derives every key set and table seed.
+	Seed uint64
+}
+
+// DefaultSuiteOptions is the baseline-recording configuration.
+func DefaultSuiteOptions() SuiteOptions {
+	return SuiteOptions{
+		Scales:  []int{10, 100, 1000, 10000},
+		Ops:     200_000,
+		Reps:    10,
+		WireOps: 2_000,
+		Seed:    1,
+	}
+}
+
+// QuickSuiteOptions is the reduced-scale configuration ci.sh gates at: same
+// scales and seed (the per-op work is identical, so minima stay comparable
+// to a DefaultSuiteOptions baseline), fewer iterations and reps.
+func QuickSuiteOptions() SuiteOptions {
+	return SuiteOptions{
+		Scales:  []int{10, 100, 1000, 10000},
+		Ops:     50_000,
+		Reps:    5,
+		WireOps: 500,
+		Seed:    1,
+	}
+}
+
+func (o *SuiteOptions) normalize() error {
+	if len(o.Scales) == 0 {
+		o.Scales = []int{10, 100, 1000, 10000}
+	}
+	if o.Ops <= 0 || o.Reps <= 0 {
+		return fmt.Errorf("perfgate: Ops and Reps must be positive")
+	}
+	if o.WireOps <= 0 {
+		o.WireOps = o.Ops / 100
+		if o.WireOps < 100 {
+			o.WireOps = 100
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	for _, s := range o.Scales {
+		if s < 1 {
+			return fmt.Errorf("perfgate: scale %d out of range", s)
+		}
+	}
+	return nil
+}
+
+// Suites maps suite names to runners; cmd/mcperf and the ci.sh gate select
+// by name.
+var Suites = map[string]func(SuiteOptions) (*Report, error){
+	"core": CoreSuite,
+	"wire": WireSuite,
+}
+
+// sink defeats dead-code elimination of measured loops.
+var sink uint64
+
+// measure times fn(Ops) Reps times and returns the best rep's ns/op and
+// allocs/op. fn is called once with a small n first to warm caches and grow
+// scratch, so first-use allocations are not charged to rep 1. Allocations
+// are the runtime's Mallocs delta around the rep; sub-1% residue (GC
+// bookkeeping on other goroutines) is rounded away so a genuinely
+// allocation-free loop records exactly 0.
+func measure(o SuiteOptions, fn func(n int)) (nsPerOp, allocsPerOp float64) {
+	warm := o.Ops / 10
+	if warm < 64 {
+		warm = 64
+	}
+	fn(warm)
+	best := math.MaxFloat64
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < o.Reps; r++ {
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		fn(o.Ops)
+		dur := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
+		ns := float64(dur) / float64(o.Ops)
+		if ns < best {
+			best = ns
+			allocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(o.Ops)
+		}
+	}
+	allocsPerOp = math.Round(allocsPerOp*1000) / 1000
+	return best, allocsPerOp
+}
+
+// keysFor derives the deterministic key set of one (suite, scale) pair.
+// Keys are nonzero and distinct; the high bit is kept clear so `k | 1<<63`
+// is always an absent key for miss series.
+func keysFor(seed uint64, scale int) []uint64 {
+	keys := make([]uint64, scale)
+	for i := range keys {
+		k := hashutil.Mix64(seed + uint64(i)*0x9e3779b97f4a7c15)
+		k &^= 1 << 63
+		if k == 0 {
+			k = 1
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+// capacityFor sizes a table so the resident set sits near 50% load — the
+// regime the lookup principles are designed around.
+func capacityFor(scale int) int {
+	c := 2 * scale
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// seedStore inserts every key (value = key) and fails loudly on a full
+// table, which would invalidate the series.
+func seedStore(st mccuckoo.Store, keys []uint64) error {
+	for _, k := range keys {
+		if r := st.Insert(k, k); r.Status == mccuckoo.Failed {
+			return fmt.Errorf("perfgate: seeding insert failed at %d/%d keys", st.Len(), len(keys))
+		}
+	}
+	return nil
+}
+
+// lookupHitLoop cycles lookups over the resident keys.
+func lookupHitLoop(st mccuckoo.Store, keys []uint64) func(int) {
+	j := 0
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			v, _ := st.Lookup(keys[j])
+			sink += v
+			j++
+			if j == len(keys) {
+				j = 0
+			}
+		}
+	}
+}
+
+// lookupMissLoop cycles lookups over keys guaranteed absent.
+func lookupMissLoop(st mccuckoo.Store, keys []uint64) func(int) {
+	j := 0
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			v, _ := st.Lookup(keys[j] | 1<<63)
+			sink += v
+			j++
+			if j == len(keys) {
+				j = 0
+			}
+		}
+	}
+}
+
+// mixLoop is the fixed op mix: per 8 ops, one delete, one (re)insert, five
+// hit lookups, one miss lookup. The delete/insert pair rotates through the
+// key set so the population stays near the seeded load while every op kind
+// stays on the measured path. Deterministic: no RNG draws at run time.
+func mixLoop(st mccuckoo.Store, keys []uint64) func(int) {
+	j := 0
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			k := keys[j]
+			switch i & 7 {
+			case 0:
+				st.Delete(k)
+			case 1:
+				st.Insert(k, k)
+			case 7:
+				v, _ := st.Lookup(k | 1<<63)
+				sink += v
+			default:
+				v, _ := st.Lookup(k)
+				sink += v
+			}
+			j++
+			if j == len(keys) {
+				j = 0
+			}
+		}
+	}
+}
+
+// CoreSuite measures the four public table kinds: single-thread lookup-hit,
+// lookup-miss (Table only — the paper's headline metric), and the fixed op
+// mix, at every scale.
+func CoreSuite(o SuiteOptions) (*Report, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	r := NewReport("core", "go run ./cmd/mcperf record -suite core")
+	kinds := []struct {
+		name  string
+		build func(capacity int) (mccuckoo.Store, error)
+	}{
+		{"table", func(c int) (mccuckoo.Store, error) {
+			return mccuckoo.New(c, mccuckoo.WithSeed(o.Seed))
+		}},
+		{"blocked", func(c int) (mccuckoo.Store, error) {
+			return mccuckoo.NewBlocked(c, mccuckoo.WithSeed(o.Seed))
+		}},
+		{"concurrent", func(c int) (mccuckoo.Store, error) {
+			t, err := mccuckoo.New(c, mccuckoo.WithSeed(o.Seed))
+			if err != nil {
+				return nil, err
+			}
+			return mccuckoo.NewConcurrent(t), nil
+		}},
+		{"sharded", func(c int) (mccuckoo.Store, error) {
+			return mccuckoo.NewSharded(c, 4, mccuckoo.WithSeed(o.Seed))
+		}},
+	}
+	for _, kind := range kinds {
+		for _, scale := range o.Scales {
+			keys := keysFor(o.Seed, scale)
+			st, err := kind.build(capacityFor(scale))
+			if err != nil {
+				return nil, fmt.Errorf("perfgate: build %s at scale %d: %w", kind.name, scale, err)
+			}
+			if err := seedStore(st, keys); err != nil {
+				return nil, err
+			}
+			r.addSeries(fmt.Sprintf("%s/lookup_hit/n=%d", kind.name, scale), scale, o, lookupHitLoop(st, keys))
+			if kind.name == "table" {
+				r.addSeries(fmt.Sprintf("%s/lookup_miss/n=%d", kind.name, scale), scale, o, lookupMissLoop(st, keys))
+			}
+			r.addSeries(fmt.Sprintf("%s/mix/n=%d", kind.name, scale), scale, o, mixLoop(st, keys))
+		}
+	}
+	return r, nil
+}
+
+// addSeries measures one loop and appends the series.
+func (r *Report) addSeries(name string, scale int, o SuiteOptions, fn func(int)) {
+	ns, allocs := measure(o, fn)
+	r.Series = append(r.Series, Series{
+		Name:        name,
+		Scale:       scale,
+		Ops:         int64(o.Ops),
+		Reps:        o.Reps,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+	})
+}

@@ -1,0 +1,153 @@
+package perfgate
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"mccuckoo"
+	"mccuckoo/internal/wire"
+)
+
+// wireScale is the resident key count of the wire series; it selects the
+// 1k noise band.
+const wireScale = 1000
+
+// WireSuite measures the serving layer twice over a seeded sharded store:
+// the in-process serve path (wire.ServeProbe — decode-to-response execution
+// with the connection worker's buffer cycle, where the zero-copy framing
+// must show 0 allocs/op) and full loopback-TCP round trips through the
+// pooled client.
+func WireSuite(o SuiteOptions) (*Report, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	r := NewReport("wire", "go run ./cmd/mcperf record -suite wire")
+
+	store, err := mccuckoo.NewSharded(4*wireScale, 4, mccuckoo.WithSeed(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	keys := keysFor(o.Seed, wireScale)
+	if err := seedStore(store, keys); err != nil {
+		return nil, err
+	}
+
+	if err := wireServeSeries(r, o, store, keys); err != nil {
+		return nil, err
+	}
+	if err := wireRTTSeries(r, o, store, keys); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func u64le(vs ...uint64) []byte {
+	b := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	return b
+}
+
+// wireServeSeries drives the in-process serve path: GET hits over rotating
+// keys, update PUTs, missing-key DELs, and a 16-key batched GET.
+func wireServeSeries(r *Report, o SuiteOptions, store mccuckoo.BatchStore, keys []uint64) error {
+	probe, err := wire.NewServeProbe(store)
+	if err != nil {
+		return err
+	}
+
+	const rot = 16
+	getF := make([]wire.Frame, rot)
+	for i := range getF {
+		getF[i] = wire.Frame{Type: wire.OpGet, ID: uint64(i), Payload: u64le(keys[i])}
+	}
+	putF := wire.Frame{Type: wire.OpPut, ID: 1, Payload: u64le(keys[7], 42)}
+	delF := wire.Frame{Type: wire.OpDel, ID: 2, Payload: u64le(keys[9] | 1<<63)}
+
+	batch := append([]byte{wire.OpGet}, binary.LittleEndian.AppendUint32(nil, rot)...)
+	batch = append(batch, u64le(keys[:rot]...)...)
+	batchF := wire.Frame{Type: wire.OpBatch, ID: 3, Payload: batch}
+
+	r.addSeries("wire/serve/get", wireScale, o, func(n int) {
+		for i := 0; i < n; i++ {
+			sink += uint64(probe.Handle(getF[i&(rot-1)]))
+		}
+	})
+	r.addSeries("wire/serve/put_update", wireScale, o, func(n int) {
+		for i := 0; i < n; i++ {
+			sink += uint64(probe.Handle(putF))
+		}
+	})
+	r.addSeries("wire/serve/del_miss", wireScale, o, func(n int) {
+		for i := 0; i < n; i++ {
+			sink += uint64(probe.Handle(delF))
+		}
+	})
+	r.addSeries(fmt.Sprintf("wire/serve/batch_get/n=%d", rot), wireScale, o, func(n int) {
+		for i := 0; i < n; i++ {
+			sink += uint64(probe.Handle(batchF))
+		}
+	})
+	return nil
+}
+
+// wireRTTSeries measures full round trips over loopback TCP: a live server,
+// the pooled client, one GET (and one 64-key batched GET) per op. These run
+// WireOps iterations — round trips cost microseconds, not nanoseconds.
+func wireRTTSeries(r *Report, o SuiteOptions, store mccuckoo.BatchStore, keys []uint64) error {
+	srv, err := wire.NewServer(wire.Config{Store: store})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	cli, err := wire.Dial(wire.ClientConfig{Addr: ln.Addr().String(), Conns: 1})
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if err := cli.Ping(); err != nil {
+		return fmt.Errorf("perfgate: wire rtt ping: %w", err)
+	}
+
+	ow := o
+	ow.Ops = o.WireOps
+	var rttErr error
+	ow2 := ow
+	r.addSeries("wire/rtt/get", wireScale, ow, func(n int) {
+		for i := 0; i < n; i++ {
+			v, _, err := cli.Get(keys[i%wireScale])
+			if err != nil && rttErr == nil {
+				rttErr = err
+			}
+			sink += v
+		}
+	})
+	const bn = 64
+	bkeys := keys[:bn]
+	r.addSeries(fmt.Sprintf("wire/rtt/batch_get/n=%d", bn), wireScale, ow2, func(n int) {
+		for i := 0; i < n; i++ {
+			vs, _, err := cli.GetBatch(bkeys)
+			if err != nil && rttErr == nil {
+				rttErr = err
+			}
+			if len(vs) == bn {
+				sink += vs[0]
+			}
+		}
+	})
+	return rttErr
+}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mccuckoo/internal/telemetry/trace"
+)
+
+// recordingServer is a scripted peer over net.Pipe: it records every request
+// frame it reads (normalized to ID 0, since the client's request counter
+// advances between calls) and replies with a minimal well-formed OK response
+// for each op, so the client-side decoders succeed.
+type recordingServer struct {
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (rs *recordingServer) record(f Frame) {
+	norm := AppendFrame(nil, Frame{Type: f.Type, ID: 0, Payload: f.Payload, Trace: f.Trace})
+	rs.mu.Lock()
+	rs.frames = append(rs.frames, norm)
+	rs.mu.Unlock()
+}
+
+func (rs *recordingServer) recorded() [][]byte {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([][]byte(nil), rs.frames...)
+}
+
+// serve runs the scripted responder loop until the pipe closes.
+func (rs *recordingServer) serve(nc net.Conn) {
+	defer nc.Close()
+	var buf []byte
+	for {
+		f, b, err := ReadFrame(nc, DefaultMaxPayload, buf)
+		if err != nil {
+			return
+		}
+		buf = b
+		rs.record(f)
+		var p []byte
+		switch f.Type {
+		case OpPing:
+		case OpGet:
+			p = appendU64(appendU8(nil, 1), 99)
+		case OpPut:
+			p = appendU32(appendU8(nil, 0), 0)
+		case OpDel:
+			p = appendU8(nil, 1)
+		case OpVGet:
+			p = appendU64(appendU64(appendU8(nil, VStateLive), 7), 9)
+		case OpReplicate:
+			_, ents, ok := ParseReplicatePayload(f.Payload, nil)
+			if !ok {
+				p = nil
+			} else {
+				p = appendU32(nil, uint32(len(ents)))
+				for range ents {
+					p = appendU8(p, ApplyApplied)
+				}
+			}
+		case OpDigest:
+			p = AppendDigestResponse(nil, 0, 0, nil)
+		}
+		resp := AppendFrame(nil, Frame{Type: respFlag | StatusOK, ID: f.ID, Payload: p})
+		if _, err := nc.Write(resp); err != nil {
+			return
+		}
+	}
+}
+
+// newRecordingClient dials a Client whose single connection is a net.Pipe
+// served by the scripted recorder.
+func newRecordingClient(t *testing.T) (*Client, *recordingServer) {
+	t.Helper()
+	rs := &recordingServer{}
+	cli, err := Dial(ClientConfig{
+		Addr:  "pipe",
+		Conns: 1,
+		Dial: func(string, time.Duration) (net.Conn, error) {
+			cNC, sNC := net.Pipe()
+			go rs.serve(sNC)
+			return cNC, nil
+		},
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli, rs
+}
+
+// TestCtxDelegatesPinIdenticalFrames pins the API contract behind the
+// Ctx/non-Ctx collapse: every non-Ctx client method is a one-line delegate
+// passing the zero trace context, and the zero context produces a request
+// frame byte-identical to the non-Ctx call — no traced flag, no trace
+// prefix, same op, same payload.
+func TestCtxDelegatesPinIdenticalFrames(t *testing.T) {
+	cli, rs := newRecordingClient(t)
+
+	ents := []Entry{{Seq: 3, Op: OpPut, Key: 11, Value: 22}}
+	pairs := []struct {
+		name  string
+		plain func() error
+		ctx   func() error
+	}{
+		{"Get",
+			func() error { _, _, err := cli.Get(5); return err },
+			func() error { _, _, err := cli.GetCtx(trace.Context{}, 5); return err }},
+		{"Put",
+			func() error { _, err := cli.Put(5, 6); return err },
+			func() error { _, err := cli.PutCtx(trace.Context{}, 5, 6); return err }},
+		{"Del",
+			func() error { _, err := cli.Del(5); return err },
+			func() error { _, err := cli.DelCtx(trace.Context{}, 5); return err }},
+		{"VGet",
+			func() error { _, _, _, err := cli.VGet(5); return err },
+			func() error { _, _, _, err := cli.VGetCtx(trace.Context{}, 5); return err }},
+		{"Replicate",
+			func() error { _, err := cli.Replicate(3, ents); return err },
+			func() error { _, err := cli.ReplicateCtx(trace.Context{}, 3, ents); return err }},
+		{"DigestRange",
+			func() error { _, _, _, err := cli.DigestRange("peer", 1, 100, 8); return err },
+			func() error { _, _, _, err := cli.DigestRangeCtx(trace.Context{}, "peer", 1, 100, 8); return err }},
+	}
+
+	for _, p := range pairs {
+		before := len(rs.recorded())
+		if err := p.plain(); err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if err := p.ctx(); err != nil {
+			t.Fatalf("%sCtx: %v", p.name, err)
+		}
+		got := rs.recorded()
+		if len(got) != before+2 {
+			t.Fatalf("%s: recorded %d frames, want %d", p.name, len(got), before+2)
+		}
+		plain, withCtx := got[before], got[before+1]
+		if !bytes.Equal(plain, withCtx) {
+			t.Errorf("%s: non-Ctx and zero-Ctx request frames differ\n plain: %x\n   ctx: %x", p.name, plain, withCtx)
+		}
+	}
+
+	// A valid trace context must NOT be byte-identical: the frame grows the
+	// traced flag and the context prefix. This guards against the delegate
+	// collapse accidentally dropping the trace path.
+	tc := trace.Context{TraceID: 0xfeed, SpanID: 7, Flags: trace.FlagSampled}
+	before := len(rs.recorded())
+	if _, _, err := cli.GetCtx(tc, 5); err != nil {
+		t.Fatalf("traced GetCtx: %v", err)
+	}
+	if _, _, err := cli.Get(5); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	got := rs.recorded()
+	if bytes.Equal(got[before], got[before+1]) {
+		t.Errorf("traced frame is byte-identical to untraced frame; trace context was dropped")
+	}
+}

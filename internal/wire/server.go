@@ -302,8 +302,16 @@ func (s *Server) serveConn(nc net.Conn) {
 	defer s.wg.Done()
 	defer s.unregisterConn(nc)
 
-	work := make(chan Frame, s.cfg.QueueDepth)
+	work := make(chan connReq, s.cfg.QueueDepth)
 	out := make(chan []byte, s.cfg.QueueDepth)
+	// Buffer freelists, the zero-copy machinery (DESIGN.md §10): request
+	// buffers travel from the reader through work to the worker and come
+	// back via freeReq; response buffers travel from the worker through out
+	// to the writer and come back via freeResp. Capacities exceed the queue
+	// depths so a recycle never blocks; when a freelist is momentarily empty
+	// the taker allocates a fresh buffer, which then joins the cycle.
+	freeReq := make(chan []byte, s.cfg.QueueDepth+1)
+	freeResp := make(chan []byte, 2*s.cfg.QueueDepth+2)
 	connDone := make(chan struct{})
 	// connFailed is closed by the writer on a write failure, so a
 	// subscription pump blocked on an idle op log learns the peer is gone.
@@ -327,9 +335,17 @@ func (s *Server) serveConn(nc net.Conn) {
 	pipe.Add(2)
 	go func() {
 		defer pipe.Done()
-		h := &connHandler{srv: s}
-		for f := range work {
-			out <- h.handle(f)
+		h := &connHandler{srv: s, freeResp: freeResp}
+		for req := range work {
+			out <- h.handle(req.f)
+			// The request buffer is dead once handle returns (responses
+			// never alias the request payload); recycle it for the reader.
+			if req.buf != nil {
+				select {
+				case freeReq <- req.buf:
+				default:
+				}
+			}
 		}
 		close(out)
 	}()
@@ -352,10 +368,17 @@ func (s *Server) serveConn(nc net.Conn) {
 				continue
 			}
 			s.bytesOut.Add(int64(len(b)))
+			// A written response buffer goes back to the worker's freelist.
+			// Subscription and BUSY frames join the cycle here too; that only
+			// seeds the freelist earlier.
+			select {
+			case freeResp <- b:
+			default:
+			}
 		}
 	}()
 
-	s.readLoop(nc, work, out, connFailed)
+	s.readLoop(nc, work, out, connFailed, freeReq)
 	close(work)
 	pipe.Wait()
 	nc.Close()
@@ -369,7 +392,7 @@ func (s *Server) serveConn(nc net.Conn) {
 // connection or the server goes down.
 //
 //mcvet:deadlined
-func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte, connFailed <-chan struct{}) {
+func (s *Server) readLoop(nc net.Conn, work chan<- connReq, out chan<- []byte, connFailed <-chan struct{}, freeReq <-chan []byte) {
 	var buf []byte
 	for {
 		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
@@ -443,12 +466,20 @@ func (s *Server) readLoop(nc net.Conn, work chan<- Frame, out chan<- []byte, con
 			s.runSubscription(f.ID, fromSeq, out, connFailed)
 			return
 		}
-		// The payload aliases buf, which the next ReadFrame overwrites;
-		// queued requests need their own copy.
-		f.Payload = append([]byte(nil), f.Payload...)
+		// Zero-copy handoff: the payload aliases buf, so ownership of buf
+		// moves to the worker along with the frame and the reader continues
+		// with a recycled buffer (or nil, making the next ReadFrame allocate
+		// one that then joins the cycle). The old copy-per-request here was
+		// the serve path's last steady-state allocation.
 		select {
-		case work <- f:
+		case work <- connReq{f: f, buf: buf}:
+			select {
+			case buf = <-freeReq:
+			default:
+				buf = nil
+			}
 		default:
+			// BUSY: the frame was not queued, so buf stays with the reader.
 			s.busy.Add(1)
 			out <- respFrame(f.ID, StatusBusy, nil)
 		}
@@ -542,11 +573,31 @@ func (s *Server) streamSend(out chan<- []byte, connFailed <-chan struct{}, b []b
 	}
 }
 
+// connReq is one queued request: the decoded frame plus the read buffer its
+// payload aliases. The worker recycles buf to the reader once the request is
+// handled.
+type connReq struct {
+	f   Frame
+	buf []byte
+}
+
 // connHandler executes one connection's requests. The scratch slices are
-// reused across batch requests so steady-state batches do not allocate
-// per call.
+// reused across requests and response frames are encoded into freelist
+// buffers, so the steady-state serve path does not allocate per call
+// (asserted by TestServePathZeroAlloc).
 type connHandler struct {
-	srv      *Server
+	srv *Server
+
+	// freeResp supplies response buffers; the connection's writer returns
+	// each one after the bytes are on the wire. Nil (as in some tests) just
+	// means every response allocates.
+	freeResp chan []byte
+
+	// pbuf is the response-payload scratch: payloads are built here, then
+	// copied into the response frame by AppendFrame, so it is free for the
+	// next request as soon as respFrame returns.
+	pbuf []byte
+
 	keys     []uint64
 	vals     []uint64
 	results  []mccuckoo.InsertResult
@@ -554,6 +605,24 @@ type connHandler struct {
 	removed  []bool
 	ents     []Entry
 	statuses []byte
+}
+
+// respFrame encodes one response frame into a freelist buffer when one is
+// available, a fresh one otherwise. payload may alias h.pbuf; it is copied.
+func (h *connHandler) respFrame(id uint64, status byte, payload []byte) []byte {
+	var b []byte
+	select {
+	case b = <-h.freeResp:
+		b = b[:0]
+	default:
+		b = make([]byte, 0, FrameOverhead+len(payload))
+	}
+	return AppendFrame(b, Frame{Type: respFlag | status, ID: id, Payload: payload})
+}
+
+func (h *connHandler) errFrame(id uint64, msg string) []byte {
+	h.srv.errored.Add(1)
+	return h.respFrame(id, StatusErr, []byte(msg))
 }
 
 // handle executes one request and returns the encoded response frame. A
@@ -572,7 +641,7 @@ func (h *connHandler) handle(f Frame) (resp []byte) {
 			psp.Op = f.Type
 			psp.FinishForced()
 			s.logf("wire: panic serving %s request: %v", OpName(f.Type), r)
-			resp = s.errFrame(f.ID, fmt.Sprintf("internal error: %v", r))
+			resp = h.errFrame(f.ID, fmt.Sprintf("internal error: %v", r))
 		}
 	}()
 	if f.Type >= 1 && f.Type < byte(len(s.ops)) {
@@ -589,103 +658,110 @@ func (h *connHandler) handle(f Frame) (resp []byte) {
 	switch f.Type {
 	case OpPing:
 		if len(f.Payload) != 0 {
-			return s.errFrame(f.ID, "malformed ping payload")
+			return h.errFrame(f.ID, "malformed ping payload")
 		}
-		return respFrame(f.ID, StatusOK, nil)
+		return h.respFrame(f.ID, StatusOK, nil)
 	case OpGet:
 		k := c.u64()
 		if !c.ok() {
-			return s.errFrame(f.ID, "malformed get payload")
+			return h.errFrame(f.ID, "malformed get payload")
 		}
 		tsp := sp.StartChild(trace.KindTableOp)
 		v, found := store.Lookup(k)
 		tsp.Op, tsp.Key = f.Type, hashutil.Mix64(k)
 		tsp.Finish()
-		p := make([]byte, 0, 9)
+		p := h.pbuf[:0]
 		p = appendU8(p, boolByte(found))
 		p = appendU64(p, v)
-		return respFrame(f.ID, StatusOK, p)
+		h.pbuf = p
+		return h.respFrame(f.ID, StatusOK, p)
 	case OpPut:
 		k, v := c.u64(), c.u64()
 		if !c.ok() {
-			return s.errFrame(f.ID, "malformed put payload")
+			return h.errFrame(f.ID, "malformed put payload")
 		}
 		tsp := sp.StartChild(trace.KindTableOp)
 		r := store.Insert(k, v)
 		tsp.Op, tsp.Key, tsp.Kicks = f.Type, hashutil.Mix64(k), int32(r.Kicks)
 		tsp.Finish()
-		p := make([]byte, 0, 5)
+		p := h.pbuf[:0]
 		p = appendU8(p, byte(r.Status))
 		p = appendU32(p, uint32(r.Kicks))
-		return respFrame(f.ID, StatusOK, p)
+		h.pbuf = p
+		return h.respFrame(f.ID, StatusOK, p)
 	case OpDel:
 		k := c.u64()
 		if !c.ok() {
-			return s.errFrame(f.ID, "malformed del payload")
+			return h.errFrame(f.ID, "malformed del payload")
 		}
 		tsp := sp.StartChild(trace.KindTableOp)
 		removed := store.Delete(k)
 		tsp.Op, tsp.Key = f.Type, hashutil.Mix64(k)
 		tsp.Finish()
-		return respFrame(f.ID, StatusOK, appendU8(nil, boolByte(removed)))
+		p := appendU8(h.pbuf[:0], boolByte(removed))
+		h.pbuf = p
+		return h.respFrame(f.ID, StatusOK, p)
 	case OpBatch:
 		return h.handleBatch(f)
 	case OpVGet:
 		k := c.u64()
 		if !c.ok() {
-			return s.errFrame(f.ID, "malformed vget payload")
+			return h.errFrame(f.ID, "malformed vget payload")
 		}
 		if s.rep == nil {
-			return s.errFrame(f.ID, "store is not replicated")
+			return h.errFrame(f.ID, "store is not replicated")
 		}
 		tsp := sp.StartChild(trace.KindTableOp)
 		state, v, seq := s.rep.VGet(k)
 		tsp.Op, tsp.Key = f.Type, hashutil.Mix64(k)
 		tsp.Finish()
-		p := make([]byte, 0, 17)
+		p := h.pbuf[:0]
 		p = appendU8(p, state)
 		p = appendU64(p, v)
 		p = appendU64(p, seq)
-		return respFrame(f.ID, StatusOK, p)
+		h.pbuf = p
+		return h.respFrame(f.ID, StatusOK, p)
 	case OpReplicate:
 		_, ents, ok := ParseReplicatePayload(f.Payload, h.ents)
 		if !ok {
-			return s.errFrame(f.ID, "malformed replicate payload")
+			return h.errFrame(f.ID, "malformed replicate payload")
 		}
 		h.ents = ents
 		if s.rep == nil {
-			return s.errFrame(f.ID, "store is not replicated")
+			return h.errFrame(f.ID, "store is not replicated")
 		}
 		asp := sp.StartChild(trace.KindReplApply)
 		h.statuses = s.rep.ApplyPush(ents, h.statuses)
 		asp.Op, asp.Kicks = f.Type, int32(len(ents))
 		asp.Finish()
-		p := make([]byte, 0, 4+len(h.statuses))
+		p := h.pbuf[:0]
 		p = appendU32(p, uint32(len(h.statuses)))
 		p = append(p, h.statuses...)
-		return respFrame(f.ID, StatusOK, p)
+		h.pbuf = p
+		return h.respFrame(f.ID, StatusOK, p)
 	case OpDigest:
 		lo, hi, maxKeys, name, ok := ParseDigestRequest(f.Payload)
 		if !ok {
-			return s.errFrame(f.ID, "malformed digest payload")
+			return h.errFrame(f.ID, "malformed digest payload")
 		}
 		if s.rep == nil {
-			return s.errFrame(f.ID, "store is not replicated")
+			return h.errFrame(f.ID, "store is not replicated")
 		}
 		digest, count, keys := s.rep.DigestRange(name, lo, hi, maxKeys)
-		p := AppendDigestResponse(make([]byte, 0, 20+len(keys)*digestEntrySize), digest, count, keys)
-		return respFrame(f.ID, StatusOK, p)
+		p := AppendDigestResponse(h.pbuf[:0], digest, count, keys)
+		h.pbuf = p
+		return h.respFrame(f.ID, StatusOK, p)
 	case OpStats:
 		if len(f.Payload) != 0 {
-			return s.errFrame(f.ID, "malformed stats payload")
+			return h.errFrame(f.ID, "malformed stats payload")
 		}
 		p, err := json.Marshal(statsOf(store))
 		if err != nil {
-			return s.errFrame(f.ID, "stats encoding failed: "+err.Error())
+			return h.errFrame(f.ID, "stats encoding failed: "+err.Error())
 		}
-		return respFrame(f.ID, StatusOK, p)
+		return h.respFrame(f.ID, StatusOK, p)
 	default:
-		return s.errFrame(f.ID, fmt.Sprintf("unknown opcode %d", f.Type))
+		return h.errFrame(f.ID, fmt.Sprintf("unknown opcode %d", f.Type))
 	}
 }
 
@@ -696,7 +772,7 @@ func (h *connHandler) handleBatch(f Frame) []byte {
 	s := h.srv
 	sub, n, records, ok := parseBatchHeader(f.Payload)
 	if !ok {
-		return s.errFrame(f.ID, "malformed batch payload")
+		return h.errFrame(f.ID, "malformed batch payload")
 	}
 	h.keys = growU64(h.keys, n)
 	c := cursor{b: records}
@@ -708,14 +784,15 @@ func (h *connHandler) handleBatch(f Frame) []byte {
 		h.vals = growU64(h.vals, n)
 		h.founds = growBool(h.founds, n)
 		s.cfg.Store.LookupBatchInto(h.keys, h.vals, h.founds)
-		p := make([]byte, 0, 5+9*n)
+		p := h.pbuf[:0]
 		p = appendU8(p, sub)
 		p = appendU32(p, uint32(n))
 		for i := 0; i < n; i++ {
 			p = appendU8(p, boolByte(h.founds[i]))
 			p = appendU64(p, h.vals[i])
 		}
-		return respFrame(f.ID, StatusOK, p)
+		h.pbuf = p
+		return h.respFrame(f.ID, StatusOK, p)
 	case OpPut:
 		h.vals = growU64(h.vals, n)
 		for i := 0; i < n; i++ {
@@ -724,29 +801,31 @@ func (h *connHandler) handleBatch(f Frame) []byte {
 		}
 		h.results = growResults(h.results, n)
 		s.cfg.Store.InsertBatchInto(h.keys, h.vals, h.results)
-		p := make([]byte, 0, 5+5*n)
+		p := h.pbuf[:0]
 		p = appendU8(p, sub)
 		p = appendU32(p, uint32(n))
 		for i := 0; i < n; i++ {
 			p = appendU8(p, byte(h.results[i].Status))
 			p = appendU32(p, uint32(h.results[i].Kicks))
 		}
-		return respFrame(f.ID, StatusOK, p)
+		h.pbuf = p
+		return h.respFrame(f.ID, StatusOK, p)
 	case OpDel:
 		for i := 0; i < n; i++ {
 			h.keys[i] = c.u64()
 		}
 		h.removed = growBool(h.removed, n)
 		s.cfg.Store.DeleteBatchInto(h.keys, h.removed)
-		p := make([]byte, 0, 5+n)
+		p := h.pbuf[:0]
 		p = appendU8(p, sub)
 		p = appendU32(p, uint32(n))
 		for i := 0; i < n; i++ {
 			p = appendU8(p, boolByte(h.removed[i]))
 		}
-		return respFrame(f.ID, StatusOK, p)
+		h.pbuf = p
+		return h.respFrame(f.ID, StatusOK, p)
 	default:
-		return s.errFrame(f.ID, "unknown batch sub-op")
+		return h.errFrame(f.ID, "unknown batch sub-op")
 	}
 }
 

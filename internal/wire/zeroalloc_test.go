@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"testing"
+
+	"mccuckoo"
+)
+
+// newProbeHarness builds a ServeProbe over a populated single-writer table.
+// The probe is single-threaded, matching a connection worker, so a plain
+// *mccuckoo.Table is a valid store here.
+func newProbeHarness(tb testing.TB) (*ServeProbe, []uint64) {
+	tb.Helper()
+	tab, err := mccuckoo.New(1<<12, mccuckoo.WithSeed(11))
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + 1
+		if r := tab.Insert(keys[i], uint64(i)); r.Status == mccuckoo.Failed {
+			tb.Fatalf("seed insert %d failed", i)
+		}
+	}
+	p, err := NewServeProbe(tab)
+	if err != nil {
+		tb.Fatalf("NewServeProbe: %v", err)
+	}
+	return p, keys
+}
+
+// TestServePathZeroAlloc pins the zero-copy serve path: once the buffer
+// freelists are primed, handling GET / update-PUT / miss-DEL / PING / batch
+// GET requests allocates nothing. This is the property the pooled request
+// and response buffers exist for — the old path copied every request payload
+// and allocated every response frame.
+func TestServePathZeroAlloc(t *testing.T) {
+	p, keys := newProbeHarness(t)
+
+	get := Frame{Type: OpGet, ID: 1, Payload: appendU64(nil, keys[7])}
+	put := Frame{Type: OpPut, ID: 2, Payload: appendU64(appendU64(nil, keys[9]), 42)}
+	del := Frame{Type: OpDel, ID: 3, Payload: appendU64(nil, 0xdead0000dead)} // miss
+	ping := Frame{Type: OpPing, ID: 4}
+
+	batch := appendU32(appendU8(nil, OpGet), 16)
+	for i := 0; i < 16; i++ {
+		batch = appendU64(batch, keys[i])
+	}
+	bget := Frame{Type: OpBatch, ID: 5, Payload: batch}
+
+	for _, tc := range []struct {
+		name string
+		f    Frame
+	}{
+		{"get", get}, {"put_update", put}, {"del_miss", del},
+		{"ping", ping}, {"batch_get", bget},
+	} {
+		f := tc.f
+		if st := p.Handle(f); st != StatusOK {
+			t.Fatalf("%s: status %d, want OK", tc.name, st)
+		}
+		if n := testing.AllocsPerRun(200, func() { p.Handle(f) }); n != 0 {
+			t.Errorf("%s: %v allocs/op on the steady-state serve path, want 0", tc.name, n)
+		}
+	}
+}
+
+// BenchmarkServePathGet is the in-process serve-path benchmark backing the
+// perf gate's wire/serve series; with -benchmem it should report 0 B/op.
+func BenchmarkServePathGet(b *testing.B) {
+	p, keys := newProbeHarness(b)
+	f := Frame{Type: OpGet, ID: 1, Payload: appendU64(nil, keys[3])}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Handle(f)
+	}
+}
